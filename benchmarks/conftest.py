@@ -1,0 +1,23 @@
+"""Benchmark configuration.
+
+Every benchmark regenerates one of the paper's tables or figures and
+prints the same rows/series the paper reports (run with ``-s`` to see
+them inline; they are also summarized in EXPERIMENTS.md).  Simulations
+are deterministic, so each benchmark runs its driver once via
+``benchmark.pedantic``.
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Benchmark a deterministic driver exactly once and return its value."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1)
+
+
+@pytest.fixture
+def once(benchmark):
+    def _run(fn, *args, **kwargs):
+        return run_once(benchmark, fn, *args, **kwargs)
+    return _run

@@ -1,0 +1,55 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out."""
+
+from repro.exp.ablations import (format_allocator_ablation,
+                                 format_policy_ablation,
+                                 format_prefetch_ablation,
+                                 format_pregrant_ablation,
+                                 format_refraction_ablation,
+                                 run_allocator_ablation,
+                                 run_policy_ablation,
+                                 run_prefetch_ablation,
+                                 run_pregrant_ablation,
+                                 run_refraction_ablation)
+
+
+def test_bench_allocator_firstfit_vs_buddy(once):
+    """Section 4.2: first-fit + periodic coalescing vs the buddy plan-B."""
+    results = once(run_allocator_ablation)
+    print("\n" + format_allocator_ablation(results))
+    # buddy trades internal waste for eager merging; first-fit wastes none
+    assert results["first-fit"]["internal_waste_bytes"] == 0
+    assert results["buddy"]["internal_waste_bytes"] > 0
+
+
+def test_bench_refraction_period(once):
+    """Section 3.1: the refraction period sheds futile allocation RPCs."""
+    results = once(run_refraction_ablation, scale=1 / 128)
+    print("\n" + format_refraction_ablation(results))
+    assert results[2.0]["cmd_enomem_rpcs"] \
+        < results[0.0]["cmd_enomem_rpcs"] / 5
+    assert results[2.0]["elapsed_s"] <= results[0.0]["elapsed_s"] * 1.05
+
+
+def test_bench_policy_first_in_vs_lru(once):
+    """Sections 3.3/4.5: first-in wins cyclic multi-scans, LRU thrashes."""
+    results = once(run_policy_ablation, scale=1 / 128)
+    print("\n" + format_policy_ablation(results))
+    assert results["lru"]["local_hits"] == 0
+    assert results["first-in"]["local_hits"] > 0
+    assert results["first-in"]["elapsed_s"] <= results["lru"]["elapsed_s"]
+
+
+def test_bench_prefetch_extension(once):
+    """Extension: sequential region prefetch overlaps remote pulls with
+    application compute in the steady state."""
+    results = once(run_prefetch_ablation, scale=1 / 128)
+    print("\n" + format_prefetch_ablation(results))
+    assert results[2]["last_scan_s"] < results[0]["last_scan_s"]
+    assert results[2]["prefetches"] > 0
+
+
+def test_bench_window_pregrant(once):
+    """Bulk-protocol setup cost: grant-on-RPC vs offer/window handshake."""
+    results = once(run_pregrant_ablation, n=50)
+    print("\n" + format_pregrant_ablation(results))
+    assert results[True]["mean_latency_s"] < results[False]["mean_latency_s"]

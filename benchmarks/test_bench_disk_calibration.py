@@ -1,0 +1,11 @@
+"""Benchmark regenerating the Section 5.1 disk-bandwidth table."""
+
+from repro.exp.disk_cal import format_disk_calibration, run_disk_calibration
+
+
+def test_bench_disk_calibration(once):
+    """Paper: 7.75 / 7.75 / 0.57 / 1.56 MB/s (seq 8K/32K, rand 8K/32K)."""
+    results = once(run_disk_calibration)
+    print("\n" + format_disk_calibration(results))
+    for key, res in results.items():
+        assert abs(res["measured"] / res["paper"] - 1) < 0.2, key

@@ -1,0 +1,39 @@
+"""Benchmark regenerating Figure 7: lu and dmine speedups.
+
+Paper: lu 1.2 (U-Net) / 1.15 (UDP); dmine 3.2 / 2.6 on the second run,
+~none on the first.  Shape asserted: lu modest but >1 with ~9% I/O under
+Dodo; dmine's second run far above its first; U-Net above UDP.
+"""
+
+import pytest
+
+from repro.exp.fig7 import format_fig7, run_dmine, run_fig7, run_lu
+
+
+@pytest.mark.parametrize("transport", ["udp", "unet"])
+def test_bench_fig7_lu(once, transport):
+    res = once(run_lu, transport, scale=1 / 64)
+    print(f"\nlu/{transport}: speedup {res['speedup']:.2f} "
+          f"(paper {res['paper']}), dodo I/O fraction "
+          f"{res['dodo_io_fraction']:.2f}")
+    assert 1.02 < res["speedup"] < 1.5
+    assert res["dodo_io_fraction"] < 0.15  # paper: ~9%
+
+
+@pytest.mark.parametrize("transport", ["udp", "unet"])
+def test_bench_fig7_dmine(once, transport):
+    res = once(run_dmine, transport, scale=1 / 16)
+    print(f"\ndmine/{transport}: run1 {res['speedup_run1']:.2f}, "
+          f"run2 {res['speedup_run2']:.2f} (paper {res['paper']})")
+    assert res["speedup_run2"] > 1.8
+    assert res["speedup_run2"] > res["speedup_run1"] + 0.4
+
+
+def test_bench_fig7_full(once):
+    """The whole figure, including the U-Net > UDP ordering."""
+    results = once(run_fig7, scale_lu=1 / 64, scale_dmine=1 / 16)
+    print("\n" + format_fig7(results))
+    assert results[("lu", "unet")]["speedup"] \
+        >= results[("lu", "udp")]["speedup"]
+    assert results[("dmine", "unet")]["speedup_run2"] \
+        > results[("dmine", "udp")]["speedup_run2"]

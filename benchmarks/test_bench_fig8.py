@@ -1,0 +1,59 @@
+"""Benchmark regenerating Figure 8: the synthetic-benchmark speedup panels.
+
+Four panels: (A) 8 KB/1 GB, (B) 32 KB/1 GB, (C) 8 KB/2 GB, (D) 32 KB/2 GB,
+each for {sequential, hotcold, random} x {UDP, U-Net}, scaled by 1/64.
+
+Shape asserted (the paper's Section 5.3 findings):
+
+* sequential shows virtually no speedup anywhere;
+* random and hotcold are significantly above sequential;
+* growing requests 8K -> 32K lowers the random and hotcold speedups;
+* growing the dataset past remote memory (2 GB) lowers random but
+  raises hotcold;
+* U-Net beats UDP in every cell.
+"""
+
+from repro.exp.fig8 import format_fig8, run_fig8
+
+SCALE = 1 / 64
+
+
+def _lookup(results, panel, transport, pattern):
+    for r in results[panel]:
+        if r["point"].transport == transport \
+                and r["point"].pattern == pattern:
+            return r["speedup"]
+    raise KeyError((panel, transport, pattern))
+
+
+def test_bench_fig8_all_panels(once):
+    results = once(run_fig8, scale=SCALE)
+    print("\n" + format_fig8(results))
+    A, B = "A (8K, 1GB)", "B (32K, 1GB)"
+    C, D = "C (8K, 2GB)", "D (32K, 2GB)"
+
+    for transport in ("udp", "unet"):
+        # sequential: virtually no speedup, everywhere
+        for panel in (A, B, C, D):
+            assert 0.75 < _lookup(results, panel, transport,
+                                  "sequential") < 1.3
+        # random / hotcold significantly above sequential at 8K/1GB
+        seq = _lookup(results, A, transport, "sequential")
+        assert _lookup(results, A, transport, "random") > seq + 0.25
+        assert _lookup(results, A, transport, "hotcold") > seq + 0.2
+        # 32 KB requests reduce random & hotcold speedups
+        assert _lookup(results, B, transport, "random") \
+            < _lookup(results, A, transport, "random")
+        assert _lookup(results, B, transport, "hotcold") \
+            < _lookup(results, A, transport, "hotcold")
+        # 2 GB dataset: random drops, hotcold rises
+        assert _lookup(results, C, transport, "random") \
+            < _lookup(results, A, transport, "random")
+        assert _lookup(results, C, transport, "hotcold") \
+            > _lookup(results, A, transport, "hotcold")
+
+    # U-Net above UDP in every cell
+    for panel in (A, B, C, D):
+        for pattern in ("sequential", "hotcold", "random"):
+            assert _lookup(results, panel, "unet", pattern) \
+                >= _lookup(results, panel, "udp", pattern) - 0.02

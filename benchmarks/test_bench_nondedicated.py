@@ -1,0 +1,17 @@
+"""Benchmark for the Section 5.3.1 non-dedicated-cluster claims."""
+
+from repro.exp.nondedicated import (NonDedicatedParams,
+                                    format_nondedicated, run_nondedicated)
+
+
+def test_bench_nondedicated(once):
+    """Speedups persist with owner churn; reclaim delays are tiny."""
+    results = once(run_nondedicated, NonDedicatedParams(
+        num_iter=4, owner_active_mean_s=40.0, owner_away_mean_s=200.0))
+    print("\n" + format_nondedicated(results))
+    assert results["speedup"] > 1.0
+    d = results["dodo"]
+    assert d["recruits"] >= 1
+    if d["reclaims"]:
+        # "users experience virtually no delays when reclaiming"
+        assert d["max_reclaim_delay_s"] < 0.5

@@ -1,0 +1,40 @@
+"""Methodology check: speedups must be stable across the scaling factor.
+
+The whole evaluation runs scaled down (DESIGN.md's scaling rule: all
+sizes shrink by one factor, timing never scales).  If the methodology is
+sound, the measured speedups at different scales must agree — this
+benchmark runs the same Figure 8 point at two scales and checks that the
+speedups track each other, which is what justifies quoting scaled
+results against the paper's full-size numbers.
+"""
+
+from repro.exp.fig8 import Fig8Point, run_point
+
+
+def test_bench_speedup_invariant_under_scaling(once):
+    def run_both():
+        out = {}
+        for scale in (1 / 256, 1 / 64):
+            out[scale] = run_point(
+                Fig8Point("random", 8192, 1, "udp"), scale=scale,
+                num_iter=3)
+        return out
+
+    results = once(run_both)
+    s_small = results[1 / 256]["speedup"]
+    s_big = results[1 / 64]["speedup"]
+    print(f"\nrandom/8K/1GB/udp speedup: {s_small:.2f} @ 1/256, "
+          f"{s_big:.2f} @ 1/64")
+    assert abs(s_small - s_big) < 0.25
+
+
+def test_bench_sequential_flat_at_both_scales(once):
+    def run_both():
+        return {scale: run_point(Fig8Point("sequential", 8192, 1, "unet"),
+                                 scale=scale, num_iter=3)
+                for scale in (1 / 256, 1 / 64)}
+
+    results = once(run_both)
+    for scale, r in results.items():
+        print(f"\nsequential/unet @ {scale}: {r['speedup']:.2f}")
+        assert 0.75 < r["speedup"] < 1.25

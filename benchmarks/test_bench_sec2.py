@@ -1,0 +1,35 @@
+"""Benchmarks regenerating the Section 2 study: Figure 1, Table 1, Figure 2."""
+
+from repro.exp.sec2 import (format_fig1, format_fig2, format_table1,
+                            run_fig1, run_fig2, run_table1)
+
+
+def test_bench_fig1_cluster_availability(once):
+    """Figure 1: available memory over time on clusterA and clusterB."""
+    results = once(run_fig1, days=4.0)
+    print("\n" + format_fig1(results))
+    a = results["clusterA"]["summary"]
+    b = results["clusterB"]["summary"]
+    # paper: A 3549/2747 MB, B 852/742 MB; 60-68% of installed available
+    assert abs(a["avg_available_all_mb"] - 3549) / 3549 < 0.25
+    assert abs(b["avg_available_all_mb"] - 852) / 852 < 0.25
+    assert 0.5 < a["frac_available_all"] < 0.8
+
+
+def test_bench_table1_memory_by_use(once):
+    """Table 1: mean (std) memory per use for each host class."""
+    results = once(run_table1, days=2.0, hosts_per_class=4)
+    print("\n" + format_table1(results))
+    for mb, row in results["measured"].items():
+        paper = results["paper"][mb]
+        assert abs(row["available"][0] - paper.available_mean) \
+            / paper.available_mean < 0.4
+
+
+def test_bench_fig2_per_workstation_variation(once):
+    """Figure 2: per-host availability is mostly high, with dips."""
+    results = once(run_fig2, days=4.0)
+    print("\n" + format_fig2(results))
+    for res in results.values():
+        assert res["median_avail_frac"] > 0.35
+        assert res["min_avail_frac"] < res["median_avail_frac"] * 0.8

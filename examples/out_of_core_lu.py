@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Out-of-core LU decomposition — the paper's ``lu`` application.
+
+Factors a dense matrix too large for "application memory" by streaming
+64-column-style slabs through the region-management library: the
+triangle-scan re-reads hit the local region cache first, then remote
+memory on the cluster, and only then the disk.  Runs the same
+factorization with and without Dodo and verifies ``L @ U == A`` both
+times.
+
+Run:  python examples/out_of_core_lu.py
+"""
+
+import numpy as np
+
+from repro.exp.platform import MB, Platform, PlatformParams
+from repro.sim import Simulator
+from repro.workloads import (LuParams, OutOfCoreLU, make_test_matrix,
+                             unpack_lu)
+
+
+def factor_once(use_dodo: bool, a: np.ndarray, params: LuParams):
+    sim = Simulator(seed=2)
+    platform = Platform(sim, PlatformParams(
+        transport="unet", store_payload=True, n_memory_hosts=4,
+        imd_pool_bytes=2 * MB, local_cache_bytes=96 * 1024,
+        app_fs_cache_dodo=128 * 1024, app_fs_cache_baseline=224 * 1024,
+        disk_capacity_bytes=256 * MB), dodo=True)
+    ooc = OutOfCoreLU(platform, params, use_dodo=use_dodo,
+                      policy="first-in")
+
+    def proc():
+        yield from ooc.load_matrix(a)
+        t0 = sim.now
+        lu = yield from ooc.factor()
+        return lu, sim.now - t0
+
+    lu, elapsed = sim.run(until=sim.process(proc()))
+    stats = {}
+    if use_dodo:
+        stats = {k: int(v) for k, v in ooc.cache.stats.counters.items()
+                 if k.startswith(("cread", "clone"))}
+    return lu, elapsed, stats
+
+
+def main() -> None:
+    params = LuParams(n=192, slab_cols=16)
+    rng = np.random.default_rng(11)
+    a = make_test_matrix(rng, params.n)
+    print(f"matrix: {params.n}x{params.n} doubles, "
+          f"{params.n_slabs} slabs of {params.slab_cols} columns "
+          f"({params.matrix_bytes >> 10} KB total)\n")
+
+    for use_dodo in (False, True):
+        label = "dodo" if use_dodo else "baseline"
+        lu, elapsed, stats = factor_once(use_dodo, a, params)
+        l, u = unpack_lu(lu)
+        err = float(np.abs(l @ u - a).max())
+        print(f"{label:9s} factor time {elapsed:8.3f} s (virtual), "
+              f"max |LU - A| = {err:.2e}")
+        if stats:
+            print(f"{'':9s} region cache: {stats}")
+    print("\ntriangle-scan re-reads were served by the local region cache"
+          "\nand remote memory instead of the disk — that is Dodo's win.")
+
+
+if __name__ == "__main__":
+    main()

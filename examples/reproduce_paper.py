@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Regenerate every table and figure of the paper in one go.
+
+Runs the Section 2 study (Figure 1, Table 1, Figure 2), the Section 5.1
+disk microbenchmark, Figure 7 (lu + dmine), Figure 8 (all four synthetic
+panels), the Section 5.3.1 non-dedicated evaluation and the design-choice
+ablations, printing each in the paper's row/series format with the
+paper's numbers alongside where it reports them.
+
+Run:  python examples/reproduce_paper.py           (~4-6 minutes)
+      python examples/reproduce_paper.py --quick   (smaller scales, ~1 min)
+"""
+
+import argparse
+import sys
+import time
+
+
+def banner(title: str) -> None:
+    print("\n" + "=" * 72)
+    print(title)
+    print("=" * 72)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller scales, ~1 minute total")
+    args = parser.parse_args()
+    t0 = time.time()
+
+    from repro.exp import ablations, disk_cal, fig7, fig8, nondedicated, sec2
+
+    days = 1.0 if args.quick else 4.0
+    banner("Section 2 - Figure 1: cluster memory availability")
+    print(sec2.format_fig1(sec2.run_fig1(days=days)))
+
+    banner("Section 2 - Table 1: memory by use per host class")
+    print(sec2.format_table1(sec2.run_table1(days=min(days, 2.0))))
+
+    banner("Section 2 - Figure 2: per-workstation variation")
+    print(sec2.format_fig2(sec2.run_fig2(days=days)))
+
+    banner("Section 5.1 - disk bandwidth calibration")
+    print(disk_cal.format_disk_calibration(disk_cal.run_disk_calibration()))
+
+    banner("Section 5.3 - Figure 7: lu and dmine")
+    print(fig7.format_fig7(fig7.run_fig7(
+        scale_lu=1 / 256 if args.quick else 1 / 64,
+        scale_dmine=1 / 64 if args.quick else 1 / 16)))
+
+    banner("Section 5.3 - Figure 8: synthetic benchmarks")
+    print(fig8.format_fig8(fig8.run_fig8(
+        scale=1 / 256 if args.quick else 1 / 64,
+        num_iter=3 if args.quick else 4)))
+
+    banner("Section 5.3.1 - non-dedicated cluster")
+    print(nondedicated.format_nondedicated(nondedicated.run_nondedicated(
+        nondedicated.NonDedicatedParams(
+            num_iter=3 if args.quick else 4,
+            owner_active_mean_s=40.0, owner_away_mean_s=200.0))))
+
+    banner("Ablations")
+    print(ablations.format_allocator_ablation(
+        ablations.run_allocator_ablation()))
+    print()
+    print(ablations.format_refraction_ablation(
+        ablations.run_refraction_ablation(scale=1 / 256)))
+    print()
+    print(ablations.format_policy_ablation(
+        ablations.run_policy_ablation(scale=1 / 256)))
+    print()
+    print(ablations.format_pregrant_ablation(
+        ablations.run_pregrant_ablation()))
+
+    print(f"\nall experiments regenerated in {time.time() - t0:.0f} s "
+          "of wall time")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,24 @@
+"""Reproduction of "Dodo: A User-level System for Exploiting Idle Memory
+in Workstation Clusters" (Koussih, Acharya, Setia; HPDC 1999).
+
+Package layout:
+
+* :mod:`repro.sim` -- deterministic discrete-event simulation kernel
+* :mod:`repro.net` -- switched Ethernet, UDP/U-Net models, usocket, RPC,
+  and the blast/selective-NACK bulk transfer protocol
+* :mod:`repro.storage` -- mechanical disk, OS page cache, file system
+* :mod:`repro.cluster` -- workstations, owners, idleness, memory traces
+* :mod:`repro.core` -- Dodo itself: cmd / rmd / imd daemons, libdodo
+  (mopen/mread/mwrite/mclose/msync) and libmanage (copen/cread/...)
+* :mod:`repro.workloads` -- lu, dmine, and the three synthetic benchmarks
+* :mod:`repro.exp` -- experiment drivers for every paper table/figure
+* :mod:`repro.metrics` -- counters, time series, report formatting
+
+Entry points: ``python -m repro --help`` or the scripts in ``examples/``.
+"""
+
+__version__ = "1.0.0"
+
+from repro.sim import Simulator
+
+__all__ = ["Simulator", "__version__"]

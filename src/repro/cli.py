@@ -1,0 +1,137 @@
+"""Command-line interface: run any paper experiment from the shell.
+
+Examples::
+
+    python -m repro list
+    python -m repro fig1
+    python -m repro fig7 --scale-lu 1/64 --scale-dmine 1/16
+    python -m repro fig8 --scale 1/128 --iters 3
+    python -m repro all --quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from fractions import Fraction
+from typing import Callable
+
+
+def _scale(text: str) -> float:
+    """Parse '1/64', '0.015625' or '1' into a float scale."""
+    return float(Fraction(text))
+
+
+def cmd_fig1(args) -> None:
+    from repro.exp import sec2
+    print(sec2.format_fig1(sec2.run_fig1(days=args.days)))
+
+
+def cmd_table1(args) -> None:
+    from repro.exp import sec2
+    print(sec2.format_table1(sec2.run_table1(days=args.days)))
+
+
+def cmd_fig2(args) -> None:
+    from repro.exp import sec2
+    print(sec2.format_fig2(sec2.run_fig2(days=args.days)))
+
+
+def cmd_disk(args) -> None:
+    from repro.exp import disk_cal
+    print(disk_cal.format_disk_calibration(
+        disk_cal.run_disk_calibration()))
+
+
+def cmd_fig7(args) -> None:
+    from repro.exp import fig7
+    print(fig7.format_fig7(fig7.run_fig7(
+        scale_lu=args.scale_lu, scale_dmine=args.scale_dmine)))
+
+
+def cmd_fig8(args) -> None:
+    from repro.exp import fig8
+    print(fig8.format_fig8(fig8.run_fig8(scale=args.scale,
+                                         num_iter=args.iters)))
+
+
+def cmd_nondedicated(args) -> None:
+    from repro.exp import nondedicated as nd
+    print(nd.format_nondedicated(nd.run_nondedicated(
+        nd.NonDedicatedParams(num_iter=args.iters))))
+
+
+def cmd_ablations(args) -> None:
+    from repro.exp import ablations as ab
+    print(ab.format_allocator_ablation(ab.run_allocator_ablation()))
+    print()
+    print(ab.format_refraction_ablation(
+        ab.run_refraction_ablation(scale=args.scale)))
+    print()
+    print(ab.format_policy_ablation(ab.run_policy_ablation(
+        scale=args.scale)))
+    print()
+    print(ab.format_pregrant_ablation(ab.run_pregrant_ablation()))
+
+
+def cmd_all(args) -> None:
+    import subprocess
+    cmd = [sys.executable, "examples/reproduce_paper.py"]
+    if args.quick:
+        cmd.append("--quick")
+    raise SystemExit(subprocess.call(cmd))
+
+
+COMMANDS: dict[str, tuple[str, Callable]] = {
+    "fig1": ("Figure 1: cluster memory availability", cmd_fig1),
+    "table1": ("Table 1: memory by use per host class", cmd_table1),
+    "fig2": ("Figure 2: per-workstation variation", cmd_fig2),
+    "disk": ("Section 5.1 disk bandwidth table", cmd_disk),
+    "fig7": ("Figure 7: lu and dmine speedups", cmd_fig7),
+    "fig8": ("Figure 8: synthetic benchmark panels", cmd_fig8),
+    "nondedicated": ("Section 5.3.1 desktop-cluster run", cmd_nondedicated),
+    "ablations": ("design-choice ablations", cmd_ablations),
+    "all": ("everything (examples/reproduce_paper.py)", cmd_all),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    sub = parser.add_subparsers(dest="command")
+
+    listp = sub.add_parser("list", help="list available experiments")
+    listp.set_defaults(func=None)
+
+    for name, (help_text, func) in COMMANDS.items():
+        p = sub.add_parser(name, help=help_text)
+        p.set_defaults(func=func)
+        if name in ("fig1", "table1", "fig2"):
+            p.add_argument("--days", type=float, default=4.0,
+                           help="simulated trace length in days")
+        if name == "fig7":
+            p.add_argument("--scale-lu", type=_scale, default=1 / 64)
+            p.add_argument("--scale-dmine", type=_scale, default=1 / 16)
+        if name == "fig8":
+            p.add_argument("--scale", type=_scale, default=1 / 64)
+            p.add_argument("--iters", type=int, default=4)
+        if name == "nondedicated":
+            p.add_argument("--iters", type=int, default=4)
+        if name == "ablations":
+            p.add_argument("--scale", type=_scale, default=1 / 128)
+        if name == "all":
+            p.add_argument("--quick", action="store_true")
+    return parser
+
+
+def main(argv=None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command is None or args.command == "list":
+        print("available experiments:")
+        for name, (help_text, _) in COMMANDS.items():
+            print(f"  {name:14s} {help_text}")
+        return 0
+    args.func(args)
+    return 0

@@ -1,0 +1,50 @@
+"""Workstation-cluster substrate: hosts, owners, idleness, memory traces."""
+
+from repro.cluster.cluster import Cluster, ClusterConfig
+from repro.cluster.idleness import IdlePolicy, idle_mask, instant_quiet, is_idle_now
+from repro.cluster.memtrace import (CLUSTER_A_MIX, CLUSTER_B_MIX, TABLE1,
+                                    HostClassStats, HostTrace, TraceParams,
+                                    available_series_mb, cluster_summary,
+                                    generate_cluster, generate_host_trace,
+                                    table1_from_traces)
+from repro.cluster.owner import Owner, OwnerParams
+from repro.cluster.preferences import (PreferenceRules, Rule,
+                                       console_idle_at_least, custom,
+                                       max_load, min_available_memory,
+                                       never, time_window)
+from repro.cluster.replay import TraceReplayer
+from repro.cluster.workstation import MB, MemoryState, Workstation
+
+__all__ = [
+    "CLUSTER_A_MIX",
+    "CLUSTER_B_MIX",
+    "Cluster",
+    "ClusterConfig",
+    "HostClassStats",
+    "HostTrace",
+    "IdlePolicy",
+    "MB",
+    "MemoryState",
+    "Owner",
+    "OwnerParams",
+    "PreferenceRules",
+    "Rule",
+    "TABLE1",
+    "TraceParams",
+    "TraceReplayer",
+    "Workstation",
+    "console_idle_at_least",
+    "custom",
+    "max_load",
+    "min_available_memory",
+    "never",
+    "time_window",
+    "available_series_mb",
+    "cluster_summary",
+    "generate_cluster",
+    "generate_host_trace",
+    "idle_mask",
+    "instant_quiet",
+    "is_idle_now",
+    "table1_from_traces",
+]

@@ -1,0 +1,69 @@
+"""The idleness predicate used throughout the paper.
+
+A workstation is idle when there has been **no keyboard or mouse activity
+and the (daemon-excluded) load has stayed below 0.3 for five minutes or
+more**.  The online form is evaluated incrementally by the resource
+monitor, which samples once a second (Section 4.1); the array form is used
+by the Section-2 trace analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster.workstation import Workstation
+
+
+@dataclass(frozen=True)
+class IdlePolicy:
+    """Thresholds of the recruitment rule."""
+
+    #: console + load must be quiet for this long
+    window_s: float = 300.0
+    #: `w`-reported load threshold
+    load_threshold: float = 0.3
+    #: rmd sampling period
+    sample_interval_s: float = 1.0
+
+
+def instant_quiet(ws: Workstation, policy: IdlePolicy) -> bool:
+    """One sample of the predicate: console untouched this instant and
+    owner load below threshold.  The five-minute persistence requirement
+    is tracked by the caller (:class:`~repro.core.rmd.ResourceMonitor`)."""
+    return (ws.console_idle_seconds() >= policy.sample_interval_s
+            and ws.load_excluding_daemons() < policy.load_threshold)
+
+
+def is_idle_now(ws: Workstation, policy: IdlePolicy | None = None) -> bool:
+    """Stateless check usable by tests: console idle for the full window
+    and instantaneous load below threshold."""
+    policy = policy or IdlePolicy()
+    return (ws.console_idle_seconds() >= policy.window_s
+            and ws.load_excluding_daemons() < policy.load_threshold)
+
+
+def idle_mask(console_active: np.ndarray, load: np.ndarray, dt_s: float,
+              policy: IdlePolicy | None = None) -> np.ndarray:
+    """Vectorized predicate over a sampled trace.
+
+    ``console_active[t]`` is True if there was input during sample ``t``;
+    ``load[t]`` is the load average.  A host is idle at ``t`` if every
+    sample in the trailing five-minute window had no input and load below
+    threshold.
+    """
+    policy = policy or IdlePolicy()
+    if console_active.shape != load.shape:
+        raise ValueError("console_active and load must have the same shape")
+    quiet = (~console_active) & (load < policy.load_threshold)
+    w = max(1, int(round(policy.window_s / dt_s)))
+    if w == 1:
+        return quiet
+    # idle[t] = all(quiet[t-w+1 .. t]); rolling AND via cumulative sums
+    q = quiet.astype(np.int64)
+    c = np.concatenate([[0], np.cumsum(q)])
+    sums = c[w:] - c[:-w]  # sums[i] = count of quiet samples in window
+    out = np.zeros_like(quiet)
+    out[w - 1:] = sums == w
+    return out

@@ -1,0 +1,103 @@
+"""Owner preference rules — Condor-style recruitment control (Section 3.1).
+
+"User preferences are used to give the owner of the workstation complete
+control over when her machine is recruited by Dodo.  We borrowed the user
+preference rules used by Condor."  Condor's START expression is a
+conjunction of owner-supplied predicates over machine state; we provide
+the same shape: a :class:`PreferenceRules` is a list of named rules, all
+of which must allow recruitment.  The resource monitor consults the rules
+before forking an idle memory daemon, in addition to the built-in
+idleness test.
+
+Built-in rule constructors cover the classic Condor policies: time-of-day
+windows, minimum free memory, extended console-idle requirements, a
+do-not-disturb switch, and arbitrary custom predicates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.cluster.workstation import MB, Workstation
+
+#: a rule: (workstation, current time) -> recruitment allowed?
+RuleFn = Callable[[Workstation, float], bool]
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One named predicate; recruitment requires every rule to pass."""
+
+    name: str
+    allows: RuleFn
+
+    def __call__(self, ws: Workstation, now: float) -> bool:
+        return bool(self.allows(ws, now))
+
+
+@dataclass
+class PreferenceRules:
+    """An owner's recruitment policy: the conjunction of its rules."""
+
+    rules: list[Rule] = field(default_factory=list)
+
+    def add(self, rule: Rule) -> "PreferenceRules":
+        self.rules.append(rule)
+        return self
+
+    def allows(self, ws: Workstation, now: float) -> bool:
+        return all(rule(ws, now) for rule in self.rules)
+
+    def blocking_rule(self, ws: Workstation, now: float):
+        """The first rule refusing recruitment, or None."""
+        for rule in self.rules:
+            if not rule(ws, now):
+                return rule
+        return None
+
+
+# -- built-in rule constructors -------------------------------------------------
+
+def never() -> Rule:
+    """Do-not-disturb: this machine is never recruited."""
+    return Rule("never", lambda ws, now: False)
+
+
+def time_window(start_hour: float, end_hour: float,
+                day_seconds: float = 86400.0) -> Rule:
+    """Allow recruitment only between two local hours (e.g. 19 -> 7 allows
+    overnight harvesting; windows may wrap midnight)."""
+    if not (0 <= start_hour < 24 and 0 <= end_hour < 24):
+        raise ValueError("hours must be in [0, 24)")
+
+    def allows(ws: Workstation, now: float) -> bool:
+        hour = (now % day_seconds) / 3600.0
+        if start_hour <= end_hour:
+            return start_hour <= hour < end_hour
+        return hour >= start_hour or hour < end_hour
+
+    return Rule(f"time_window[{start_hour}-{end_hour})", allows)
+
+
+def min_available_memory(bytes_: int) -> Rule:
+    """Only recruit while at least this much memory is available."""
+    return Rule(f"min_available[{bytes_ // MB}MB]",
+                lambda ws, now: ws.available_memory() >= bytes_)
+
+
+def console_idle_at_least(seconds: float) -> Rule:
+    """Demand a longer console-idle period than the default five minutes."""
+    return Rule(f"console_idle[{seconds:.0f}s]",
+                lambda ws, now: ws.console_idle_seconds() >= seconds)
+
+
+def max_load(threshold: float) -> Rule:
+    """A stricter owner-load ceiling than the built-in 0.3."""
+    return Rule(f"max_load[{threshold}]",
+                lambda ws, now: ws.load_excluding_daemons() <= threshold)
+
+
+def custom(name: str, fn: RuleFn) -> Rule:
+    """Escape hatch for arbitrary owner-supplied predicates."""
+    return Rule(name, fn)

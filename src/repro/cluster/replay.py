@@ -1,0 +1,64 @@
+"""Trace-driven workstation behaviour — the paper's Section 5.3.1 method.
+
+"While we have not yet deployed Dodo in such a production environment, we
+have evaluated its performance in such environments via trace-driven
+simulation."  The traces in question are the Section-2 memory/activity
+traces; this module replays a :class:`~repro.cluster.memtrace.HostTrace`
+onto a live :class:`~repro.cluster.workstation.Workstation`, driving the
+exact signals the resource monitor samples — console access times, load,
+and the memory components that determine how much an idle memory daemon
+may pin.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.memtrace import HostTrace
+from repro.cluster.workstation import KB_TO_BYTES, Workstation
+from repro.sim import Interrupt, Simulator
+
+
+class TraceReplayer:
+    """A process feeding one host's trace into its workstation state."""
+
+    def __init__(self, sim: Simulator, ws: Workstation, trace: HostTrace,
+                 speedup: float = 1.0, loop: bool = False):
+        """``speedup`` compresses trace time (a 60 s sample becomes
+        ``60/speedup`` simulated seconds) so multi-day traces can drive
+        minutes-long experiments; ``loop`` wraps around at the end."""
+        if speedup <= 0:
+            raise ValueError("speedup must be positive")
+        self.sim = sim
+        self.ws = ws
+        self.trace = trace
+        self.speedup = speedup
+        self.loop = loop
+        self.samples_applied = 0
+        self.proc = sim.process(self._run())
+
+    def stop(self) -> None:
+        if self.proc.is_alive:
+            self.proc.interrupt("replay-stop")
+
+    def _apply(self, i: int) -> None:
+        tr = self.trace
+        ws = self.ws
+        ws.owner_load = float(tr.load[i])
+        if tr.console_active[i]:
+            ws.touch_console()
+        ws.mem.kernel = int(tr.kernel[i]) * KB_TO_BYTES
+        ws.mem.process = int(tr.process[i]) * KB_TO_BYTES
+        if ws.fs is None:
+            ws.mem.filecache = int(tr.filecache[i]) * KB_TO_BYTES
+        self.samples_applied += 1
+
+    def _run(self):
+        step = self.trace.dt_s / self.speedup
+        try:
+            while True:
+                for i in range(len(self.trace.load)):
+                    self._apply(i)
+                    yield self.sim.timeout(step)
+                if not self.loop:
+                    return
+        except Interrupt:
+            return

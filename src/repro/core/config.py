@@ -1,0 +1,71 @@
+"""All tunables of the Dodo system in one place.
+
+Defaults follow the paper where it gives numbers (15% headroom, 0.3 load
+threshold, five-minute idle window, 100 MB imd pools in the evaluation,
+80 MB local region cache) and sensible engineering values elsewhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cluster.idleness import IdlePolicy
+from repro.net.bulk import BulkParams
+
+MB = 1024 * 1024
+
+#: well-known service ports
+CMD_PORT = 6000
+IMD_PORT = 6001
+RMD_PORT = 6002
+
+
+@dataclass(frozen=True)
+class DodoConfig:
+    """System-wide configuration shared by daemons and libraries."""
+
+    #: transport for all Dodo traffic: "udp" or "unet"
+    transport: str = "udp"
+    #: carry real bytes through regions (functional mode) or sizes only
+    store_payload: bool = True
+
+    # -- central manager -----------------------------------------------------
+    #: keep-alive echo interval to client libraries
+    keepalive_interval_s: float = 5.0
+    #: reclaim a client's regions after this long without an echo
+    keepalive_threshold_s: float = 15.0
+    #: include the client id in region keys (the paper's planned
+    #: multi-client extension, Section 4.3 footnote)
+    multi_client_keys: bool = False
+
+    # -- runtime library ----------------------------------------------------------
+    #: refraction period: no allocation attempts for this long after a
+    #: failed allocation (Section 3.1)
+    refraction_period_s: float = 2.0
+    #: RPC timeout/retries for control operations
+    rpc_timeout_s: float = 0.25
+    rpc_retries: int = 6
+    #: manager->imd probing is less patient: a dead host must not eat the
+    #: whole client window before the manager tries the next candidate
+    imd_rpc_retries: int = 2
+
+    # -- idle memory daemon ---------------------------------------------------------
+    #: cap on the pool an imd will pin on one host (the evaluation used
+    #: fixed 100 MB pools on 128 MB nodes)
+    max_pool_bytes: int = 100 * MB
+    #: reserve this fraction of installed memory for near-future file
+    #: cache use when sizing the pool (Section 3.1)
+    headroom_fraction: float = 0.15
+    #: period of the fragmentation-coalescing sweep (Section 4.2)
+    coalesce_interval_s: float = 30.0
+    #: receive buffer (and thus bulk window) for data transfers
+    data_recvbuf_bytes: int = 256 * 1024
+
+    # -- resource monitor ---------------------------------------------------------
+    idle_policy: IdlePolicy = field(default_factory=IdlePolicy)
+    #: dedicated (Beowulf) clusters recruit on load alone, ignoring the
+    #: console and the five-minute wait (Section 3)
+    dedicated: bool = False
+
+    # -- bulk transfer ---------------------------------------------------------------
+    bulk: BulkParams = field(default_factory=BulkParams)

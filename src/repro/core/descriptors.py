@@ -1,0 +1,72 @@
+"""Region naming and bookkeeping structures (Section 4.3 / 4.4).
+
+* A **region key** identifies a region cluster-wide: the
+  ``(inode-of-backing-file, offset-in-file)`` pair of the paper, optionally
+  extended with a client id (the paper's planned multi-client extension).
+* A **region struct** is what the central manager's region directory (RD)
+  stores and returns to clients: hosting machine, offset in that imd's
+  memory pool, length, and the epoch-based timestamp used to detect stale
+  entries after an imd has been restarted.
+* The client-side **region table** entry tracks what the runtime library
+  knows about each descriptor it has handed out.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+_uid_counter = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class RegionKey:
+    """Cluster-wide region identity."""
+
+    inode: int
+    offset: int
+    client: Optional[str] = None  # set only with multi_client_keys
+
+    def __str__(self) -> str:
+        base = f"{self.inode}:{self.offset}"
+        return f"{self.client}/{base}" if self.client else base
+
+
+@dataclass(frozen=True)
+class RegionStruct:
+    """A region directory entry: where the bytes live."""
+
+    host: str
+    pool_offset: int
+    length: int
+    epoch: int
+
+    def to_wire(self) -> dict:
+        return {"host": self.host, "pool_offset": self.pool_offset,
+                "length": self.length, "epoch": self.epoch}
+
+    @classmethod
+    def from_wire(cls, d: dict) -> "RegionStruct":
+        return cls(host=d["host"], pool_offset=d["pool_offset"],
+                   length=d["length"], epoch=d["epoch"])
+
+
+@dataclass
+class RegionTableEntry:
+    """Client-side state for one ``mopen``'ed region (Section 4.4)."""
+
+    descriptor: int
+    key: RegionKey
+    length: int
+    #: backing file handle + starting offset within it
+    backing_fd: int
+    backing_offset: int
+    #: remote placement; None while the region is not remotely cached
+    remote: Optional[RegionStruct] = None
+    #: unique identifier for the region (paper's region-table field 4)
+    uid: int = field(default_factory=lambda: next(_uid_counter))
+
+    @property
+    def is_remote(self) -> bool:
+        return self.remote is not None

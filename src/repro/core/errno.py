@@ -1,0 +1,35 @@
+"""The errno-style error model of the Dodo API (Section 3.2).
+
+The paper's C API signals failure by returning -1 and setting ``errno`` to
+``ENOMEM`` (region not active / out of remote memory) or ``EINVAL`` (bad
+descriptor or arguments), or passes through the backing ``write()``'s
+errno.  We reproduce those exact codes; the Python-facing wrappers return
+``(-1, errno)`` pairs rather than raising, so application code ports
+one-to-one from the paper's interface.
+"""
+
+from __future__ import annotations
+
+#: out of memory / region no longer active
+ENOMEM = 12
+#: invalid descriptor or arguments
+EINVAL = 22
+#: I/O error on the backing file (stand-in for a pass-through write errno)
+EIO = 5
+
+_NAMES = {ENOMEM: "ENOMEM", EINVAL: "EINVAL", EIO: "EIO"}
+
+
+def errno_name(code: int) -> str:
+    """Symbolic name for an errno value (for messages and tests)."""
+    return _NAMES.get(code, f"errno({code})")
+
+
+class DodoError(Exception):
+    """Internal exception carrying an errno; the public API converts it
+    to the C-style (-1, errno) convention."""
+
+    def __init__(self, errno: int, message: str = ""):
+        super().__init__(f"{errno_name(errno)}: {message}" if message
+                         else errno_name(errno))
+        self.errno = errno

@@ -1,0 +1,261 @@
+"""The idle memory daemon (imd) — Section 4.2.
+
+Forked by the resource monitor when a workstation is recruited.  It pins a
+memory pool sized from the host's recruitable memory (inquiry tools +
+``lotsfree`` + the 15% headroom rule), timestamps itself with an epoch
+counter, and serves four operations over its control port:
+
+* ``alloc`` / ``free`` — from the central manager; first-fit allocation
+  with a periodic coalescing sweep.  Freed space is never returned to the
+  OS, only marked reusable, exactly as in the paper.
+* ``read`` / ``write`` — from client runtime libraries; region data moves
+  over the Section 4.4 bulk blast protocol on per-transfer ephemeral
+  sockets.
+
+On reclaim the daemon finishes in-flight transfers, then exits; every
+reply piggybacks the current largest free block so the central manager's
+idle-workstation directory stays fresh.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.allocator import make_allocator
+from repro.core.config import CMD_PORT, IMD_PORT, DodoConfig
+from repro.cluster.workstation import Workstation
+from repro.metrics.recorder import Recorder
+from repro.net.bulk import BulkError, recv_bulk, send_bulk
+from repro.net.rpc import RpcClient, RpcServer, RpcTimeout
+from repro.sim import Simulator
+
+
+class IdleMemoryDaemon:
+    """One recruited host's guest-memory server."""
+
+    def __init__(self, sim: Simulator, ws: Workstation, config: DodoConfig,
+                 epoch: int, cmd_host: Optional[str] = None,
+                 pool_bytes: Optional[int] = None,
+                 allocator_kind: str = "first-fit",
+                 control_port: int = IMD_PORT):
+        self.sim = sim
+        self.ws = ws
+        self.config = config
+        self.epoch = epoch
+        self.cmd_host = cmd_host
+        if pool_bytes is None:
+            pool_bytes = min(config.max_pool_bytes,
+                             ws.recruitable_memory(config.headroom_fraction))
+        if pool_bytes <= 0:
+            raise ValueError(f"no recruitable memory on {ws.name}")
+        self.pool_bytes = pool_bytes
+        self.allocator = make_allocator(allocator_kind, pool_bytes)
+        #: the guest data lives in the daemon's address space (paper);
+        #: a real byte pool in functional mode, None in metadata-only mode
+        self.pool: Optional[bytearray] = (
+            bytearray(self.allocator.pool_size) if config.store_payload
+            else None)
+        ws.guest_memory += pool_bytes
+        self.stats = Recorder(f"imd.{ws.name}")
+
+        self.endpoint = ws.endpoint(config.transport)
+        self._ctrl_sock = self.endpoint.socket(port=control_port)
+        self.control_port = control_port
+        self._server = RpcServer(self._ctrl_sock, {
+            "alloc": self._h_alloc,
+            "free": self._h_free,
+            "read": self._h_read,
+            "write": self._h_write,
+            "ping": self._h_ping,
+        }, name=f"imd.{ws.name}")
+        self._server.start()
+        #: logical (requested) size of each hosted region, by pool offset
+        self._regions: dict[int, int] = {}
+        self.active_transfers = 0
+        self.stopping = False
+        self.exited = False
+        self._drained = sim.event()
+        self._coalescer = sim.process(self._coalesce_loop())
+
+    # -- lifecycle -----------------------------------------------------------------
+    def register(self):
+        """Process: announce pool size and epoch to the central manager."""
+        return self.sim.process(self._register())
+
+    def _register(self):
+        if self.cmd_host is None:
+            return False
+        sock = self.endpoint.socket()
+        client = RpcClient(sock)
+        try:
+            yield from client.call(
+                (self.cmd_host, CMD_PORT), "imd_register",
+                {"host": self.ws.name, "pool_bytes": self.pool_bytes,
+                 "epoch": self.epoch, "port": self.control_port,
+                 "largest_free": self.allocator.largest_free()},
+                timeout=self.config.rpc_timeout_s,
+                retries=self.config.rpc_retries)
+            return True
+        except RpcTimeout:
+            self.stats.add("register_failures")
+            return False
+        finally:
+            sock.close()
+
+    def shutdown(self):
+        """Process: graceful exit — finish in-flight transfers, release.
+
+        This is the imd's signal handler from Section 4.1: it completes
+        ongoing transfers and exits.  The process value is the drain time.
+        """
+        return self.sim.process(self._shutdown())
+
+    def _shutdown(self):
+        if self.exited:
+            return 0.0
+        start = self.sim.now
+        self.stopping = True
+        if self.active_transfers > 0:
+            yield self._drained
+        self._server.stop()
+        if self._coalescer.is_alive:
+            self._coalescer.interrupt("imd-exit")
+        self.ws.guest_memory -= self.pool_bytes
+        self.pool = None
+        self.exited = True
+        self.stats.add("shutdowns")
+        drain = self.sim.now - start
+        self.stats.sample("drain_s", drain)
+        return drain
+
+    def _coalesce_loop(self):
+        from repro.sim import Interrupt
+        try:
+            while True:
+                yield self.sim.timeout(self.config.coalesce_interval_s)
+                self.allocator.coalesce()
+        except Interrupt:
+            return
+
+    # -- bookkeeping helpers ----------------------------------------------------------
+    def _piggyback(self, reply: dict) -> dict:
+        reply["largest_free"] = self.allocator.largest_free()
+        return reply
+
+    def _begin_transfer(self) -> None:
+        self.active_transfers += 1
+
+    def _end_transfer(self) -> None:
+        self.active_transfers -= 1
+        if self.active_transfers == 0 and self.stopping \
+                and not self._drained.triggered:
+            self._drained.succeed()
+
+    # -- RPC handlers -----------------------------------------------------------------
+    def _h_ping(self, args: dict, src) -> dict:
+        return self._piggyback({"ok": not self.stopping,
+                                "epoch": self.epoch})
+
+    def _h_alloc(self, args: dict, src) -> dict:
+        if self.stopping:
+            return self._piggyback({"ok": False, "reason": "shutting down"})
+        size = int(args["size"])
+        offset = self.allocator.alloc(size)
+        if offset is None:
+            self.stats.add("alloc_rejects")
+            return self._piggyback({"ok": False, "reason": "no space"})
+        self._regions[offset] = size
+        self.stats.add("regions_hosted")
+        return self._piggyback({"ok": True, "region_id": offset,
+                                "epoch": self.epoch})
+
+    def _h_free(self, args: dict, src) -> dict:
+        try:
+            freed = self.allocator.free(int(args["region_id"]))
+        except KeyError:
+            return self._piggyback({"ok": False, "reason": "no such region"})
+        self._regions.pop(int(args["region_id"]), None)
+        self.stats.add("regions_freed")
+        return self._piggyback({"ok": True, "freed": freed})
+
+    def _region_span(self, args: dict) -> tuple[int, int, int]:
+        """Validate (region_id, offset, length) and clamp the length to
+        what exists, per the paper's short-read/short-write semantics."""
+        region_id = int(args["region_id"])
+        size = self._regions.get(region_id)
+        if size is None:
+            raise KeyError("no such region")
+        offset = int(args["offset"])
+        length = int(args["length"])
+        if offset < 0 or offset > size or length < 0:
+            raise ValueError("bad range")
+        return region_id, offset, min(length, size - offset)
+
+    def _h_read(self, args: dict, src):
+        """Generator handler: blast region bytes back to the client's
+        reply port; the RPC reply (bytes pushed) doubles as completion."""
+        if self.stopping:
+            return {"ok": False, "reason": "shutting down"}
+        try:
+            region_id, offset, length = self._region_span(args)
+        except (KeyError, ValueError) as exc:
+            self.stats.add("read_rejects")
+            return self._piggyback({"ok": False, "reason": str(exc)})
+        data = None
+        if self.pool is not None:
+            base = region_id + offset
+            data = bytes(self.pool[base:base + length])
+        self._begin_transfer()
+        try:
+            sock = self.endpoint.socket(
+                recvbuf=self.config.data_recvbuf_bytes)
+            try:
+                yield self.sim.process(send_bulk(
+                    sock, (src[0], int(args["reply_port"])), length,
+                    data=data, params=self.config.bulk,
+                    window=args.get("window")))
+            finally:
+                sock.close()
+        except BulkError:
+            self.stats.add("read_aborts")
+            return self._piggyback({"ok": False, "reason": "client gone"})
+        finally:
+            self._end_transfer()
+        self.stats.add("bytes_read", length)
+        return self._piggyback({"ok": True, "nbytes": length})
+
+    def _h_write(self, args: dict, src) -> dict:
+        """Open a per-transfer receive socket and tell the client where to
+        blast; a detached process lands the bytes in the pool."""
+        if self.stopping:
+            return {"ok": False, "reason": "shutting down"}
+        try:
+            region_id, offset, length = self._region_span(args)
+        except (KeyError, ValueError) as exc:
+            self.stats.add("write_rejects")
+            return self._piggyback({"ok": False, "reason": str(exc)})
+        sock = self.endpoint.socket(recvbuf=self.config.data_recvbuf_bytes)
+        self._begin_transfer()
+        self.sim.process(self._write_receiver(sock, region_id, offset,
+                                              length))
+        return self._piggyback({"ok": True, "data_port": sock.port,
+                                "window": sock.recvbuf, "nbytes": length})
+
+    def _write_receiver(self, sock, region_id: int, offset: int,
+                        length: int):
+        try:
+            result = yield self.sim.process(recv_bulk(
+                sock, first_timeout=2.0, params=self.config.bulk,
+                close_socket=True, pregranted=True))
+            if result is None:
+                self.stats.add("write_aborts")
+                sock.close()
+                return
+            data, total, _ = result
+            if self.pool is not None and data is not None:
+                base = region_id + offset
+                n = min(length, len(data))
+                self.pool[base:base + n] = data[:n]
+            self.stats.add("bytes_written", total)
+        finally:
+            self._end_transfer()

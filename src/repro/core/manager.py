@@ -1,0 +1,294 @@
+"""The central manager daemon (cmd) — Sections 3.1 and 4.3.
+
+Runs on a dedicated machine.  Maintains:
+
+* the **idle-workstation directory (IWD)** — currently idle hosts, each
+  with its last known epoch and largest known free block (hints, refreshed
+  by piggybacked information on every imd reply and verified before use);
+* the **region directory (RD)** — a hash table keyed by
+  ``(inode-of-backing-file, offset-in-file)`` mapping to the hosting
+  machine, pool offset, length and epoch timestamp.
+
+Exports ``alloc`` / ``checkAlloc`` / ``free`` to runtime libraries and
+accepts registrations and busy/idle notifications from the per-host
+daemons.  Sends periodic keep-alive echoes to every attached client and
+reclaims the regions of clients that stop answering (applications that
+died without freeing); clients that *detach cleanly* may leave their
+regions behind for a later run (how dmine reuses its dataset across runs,
+Section 5.2.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.config import CMD_PORT, DodoConfig
+from repro.core.descriptors import RegionKey, RegionStruct
+from repro.cluster.workstation import Workstation
+from repro.metrics.recorder import Recorder
+from repro.net.rpc import RpcClient, RpcServer, RpcTimeout
+from repro.sim import Interrupt, Simulator
+
+
+@dataclass
+class IwdEntry:
+    """One idle host: epoch + free-space hint + control port."""
+
+    host: str
+    epoch: int
+    largest_free: int
+    port: int
+
+
+@dataclass
+class RdEntry:
+    """One allocated region and the client that created it (None once the
+    creating client detached persistently)."""
+
+    struct: RegionStruct
+    owner: Optional[str]
+
+
+@dataclass
+class ClientState:
+    """Keep-alive target: the echo endpoint of one runtime library."""
+
+    addr: str
+    echo_port: int
+    last_echo: float
+    missed: int = 0
+
+
+def _wire_key(key: RegionKey) -> list:
+    return [key.inode, key.offset, key.client]
+
+
+def _unwire_key(raw) -> RegionKey:
+    return RegionKey(inode=raw[0], offset=raw[1], client=raw[2])
+
+
+class CentralManager:
+    """The cmd process and its directories."""
+
+    def __init__(self, sim: Simulator, ws: Workstation, config: DodoConfig,
+                 port: int = CMD_PORT):
+        self.sim = sim
+        self.ws = ws
+        self.config = config
+        self.iwd: dict[str, IwdEntry] = {}
+        self.rd: dict[RegionKey, RdEntry] = {}
+        self.clients: dict[str, ClientState] = {}
+        self.stats = Recorder("cmd")
+        self._rng = sim.rng("cmd.placement")
+        self.endpoint = ws.endpoint(config.transport)
+        self._sock = self.endpoint.socket(port=port)
+        self._server = RpcServer(self._sock, {
+            "alloc": self._h_alloc,
+            "check_alloc": self._h_check_alloc,
+            "free": self._h_free,
+            "imd_register": self._h_imd_register,
+            "notify_busy": self._h_notify_busy,
+            "client_detach": self._h_client_detach,
+        }, name="cmd")
+        self._server.start()
+        self._keepalive = sim.process(self._keepalive_loop())
+
+    def stop(self) -> None:
+        self._server.stop()
+        if self._keepalive.is_alive:
+            self._keepalive.interrupt("cmd-stop")
+
+    # -- imd-facing handlers ---------------------------------------------------------
+    def _h_imd_register(self, args: dict, src) -> dict:
+        entry = IwdEntry(host=args["host"], epoch=int(args["epoch"]),
+                         largest_free=int(args["largest_free"]),
+                         port=int(args["port"]))
+        self.iwd[entry.host] = entry
+        self.stats.add("imd_registrations")
+        return {"ok": True}
+
+    def _h_notify_busy(self, args: dict, src) -> dict:
+        """A host was reclaimed: drop it from the IWD.  Its RD entries are
+        invalidated lazily by the epoch check, as in the paper."""
+        host = args["host"]
+        self.iwd.pop(host, None)
+        self.stats.add("busy_notifications")
+        return {"ok": True}
+
+    # -- client-facing handlers ----------------------------------------------------
+    def _track_client(self, args: dict, src) -> Optional[str]:
+        client = args.get("client")
+        echo_port = args.get("echo_port")
+        if client is None or echo_port is None:
+            return client
+        state = self.clients.get(client)
+        if state is None:
+            self.clients[client] = ClientState(
+                addr=src[0], echo_port=int(echo_port), last_echo=self.sim.now)
+        else:
+            state.last_echo = self.sim.now
+        return client
+
+    def _h_check_alloc(self, args: dict, src) -> dict:
+        self._track_client(args, src)
+        key = _unwire_key(args["key"])
+        entry = self.rd.get(key)
+        if entry is None:
+            self.stats.add("check.miss")
+            return {"ok": False}
+        iwd = self.iwd.get(entry.struct.host)
+        if iwd is None or iwd.epoch != entry.struct.epoch:
+            # stale: the hosting imd is gone or has been restarted
+            del self.rd[key]
+            self.stats.add("check.stale")
+            return {"ok": False}
+        self.stats.add("check.hit")
+        return {"ok": True, "region": entry.struct.to_wire()}
+
+    def _h_alloc(self, args: dict, src):
+        """Generator handler: place a new region on a random idle host
+        with enough space, verifying hints before trusting them."""
+        client = self._track_client(args, src)
+        key = _unwire_key(args["key"])
+        length = int(args["length"])
+
+        existing = self.rd.get(key)
+        if existing is not None:
+            iwd = self.iwd.get(existing.struct.host)
+            if iwd is not None and iwd.epoch == existing.struct.epoch \
+                    and existing.struct.length >= length:
+                self.stats.add("alloc.reused")
+                existing.owner = client or existing.owner
+                return {"ok": True, "region": existing.struct.to_wire()}
+            del self.rd[key]  # stale or too small: replace
+
+        candidates = [h for h, e in self.iwd.items()
+                      if e.largest_free >= length]
+        while candidates:
+            pick = candidates.pop(int(self._rng.integers(0, len(candidates))))
+            iwd = self.iwd.get(pick)
+            if iwd is None:
+                continue
+            reply = yield from self._imd_call(
+                iwd, "alloc", {"size": length})
+            if reply is None:
+                continue  # host vanished; already dropped from IWD
+            if reply.get("ok"):
+                struct = RegionStruct(host=pick,
+                                      pool_offset=int(reply["region_id"]),
+                                      length=length,
+                                      epoch=int(reply["epoch"]))
+                self.rd[key] = RdEntry(struct=struct, owner=client)
+                self.stats.add("alloc.placed")
+                return {"ok": True, "region": struct.to_wire()}
+            self.stats.add("alloc.host_full")
+        self.stats.add("alloc.enomem")
+        return {"ok": False, "reason": "no idle memory"}
+
+    def _h_free(self, args: dict, src):
+        self._track_client(args, src)
+        key = _unwire_key(args["key"])
+        entry = self.rd.pop(key, None)
+        if entry is None:
+            self.stats.add("free.miss")
+            return {"ok": False, "reason": "no such region"}
+        iwd = self.iwd.get(entry.struct.host)
+        if iwd is not None and iwd.epoch == entry.struct.epoch:
+            yield from self._imd_call(
+                iwd, "free", {"region_id": entry.struct.pool_offset})
+        self.stats.add("free.ok")
+        return {"ok": True}
+
+    def _h_client_detach(self, args: dict, src):
+        """Clean shutdown of a runtime library.  ``persist=True`` leaves
+        the client's regions in remote memory for a future run."""
+        client = args.get("client")
+        persist = bool(args.get("persist", False))
+        self.clients.pop(client, None)
+        freed = 0
+        if not persist:
+            freed = yield from self._reclaim_client(client)
+        else:
+            for entry in self.rd.values():
+                if entry.owner == client:
+                    entry.owner = None
+            self.stats.add("detach.persist")
+        return {"ok": True, "freed": freed}
+
+    # -- shared helpers -----------------------------------------------------------
+    def _imd_call(self, iwd: IwdEntry, method: str, args: dict):
+        """Call one imd; updates the free-space hint from the piggyback.
+        Returns the reply dict or None (host declared dead and removed)."""
+        sock = self.endpoint.socket()
+        client = RpcClient(sock)
+        try:
+            reply = yield from client.call(
+                (iwd.host, iwd.port), method, args,
+                timeout=self.config.rpc_timeout_s,
+                retries=self.config.imd_rpc_retries)
+        except RpcTimeout:
+            self.iwd.pop(iwd.host, None)
+            self.stats.add("imd.dead")
+            return None
+        finally:
+            sock.close()
+        if "largest_free" in reply:
+            live = self.iwd.get(iwd.host)
+            if live is not None:
+                live.largest_free = int(reply["largest_free"])
+        return reply
+
+    def _reclaim_client(self, client: Optional[str]):
+        """Free every region owned by ``client`` (keep-alive expiry or
+        non-persistent detach)."""
+        doomed = [k for k, e in self.rd.items() if e.owner == client]
+        freed = 0
+        for key in doomed:
+            entry = self.rd.pop(key, None)
+            if entry is None:
+                continue
+            iwd = self.iwd.get(entry.struct.host)
+            if iwd is not None and iwd.epoch == entry.struct.epoch:
+                yield from self._imd_call(
+                    iwd, "free", {"region_id": entry.struct.pool_offset})
+            freed += 1
+        if freed:
+            self.stats.add("reclaimed_regions", freed)
+        return freed
+
+    def _keepalive_loop(self):
+        """Echo every attached client; reclaim those that stay silent past
+        the threshold (Section 3.1 fault handling)."""
+        cfg = self.config
+        try:
+            while True:
+                yield self.sim.timeout(cfg.keepalive_interval_s)
+                for cid in list(self.clients):
+                    state = self.clients.get(cid)
+                    if state is None:
+                        continue
+                    sock = self.endpoint.socket()
+                    rpc = RpcClient(sock)
+                    try:
+                        yield from rpc.call(
+                            (state.addr, state.echo_port), "echo",
+                            {"client": cid}, timeout=cfg.rpc_timeout_s,
+                            retries=2)
+                        state.last_echo = self.sim.now
+                        state.missed = 0
+                    except RpcTimeout:
+                        state.missed += 1
+                        silent = self.sim.now - state.last_echo
+                        if silent >= cfg.keepalive_threshold_s:
+                            self.stats.add("clients_expired")
+                            self.clients.pop(cid, None)
+                            yield self.sim.process(
+                                self._drain_reclaim(cid))
+                    finally:
+                        sock.close()
+        except Interrupt:
+            return
+
+    def _drain_reclaim(self, cid: str):
+        yield from self._reclaim_client(cid)

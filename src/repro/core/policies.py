@@ -1,0 +1,117 @@
+"""Region-replacement policy modules for the region-management library.
+
+Section 3.3/4.5: the library is modularized so a policy is just (a) a pair
+of state-management procedures invoked on every ``cread``/``cwrite`` and
+(b) a reclamation procedure that picks a victim given the cache directory.
+Three policies ship, as in the paper:
+
+* **LRU** (the default) — evict the least recently used region;
+* **MRU** — evict the most recently used (useful for cyclic scans larger
+  than the cache);
+* **first-in** — cache regions in first-access order and *never replace
+  them*; motivated by Uysal et al.'s finding that data-intensive
+  applications overwhelmingly do sequential/triangle scans, where LRU
+  flushes the whole cache every pass and first-in keeps a stable prefix.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional
+
+
+class ReplacementPolicy:
+    """Base class: tracks nothing, never evicts."""
+
+    name = "none"
+
+    def on_read(self, crd: int) -> None:
+        """State-management hook, called on every cread."""
+
+    def on_write(self, crd: int) -> None:
+        """State-management hook, called on every cwrite."""
+
+    def on_insert(self, crd: int) -> None:
+        """A region became locally cached."""
+
+    def on_remove(self, crd: int) -> None:
+        """A region left the local cache (evicted or closed)."""
+
+    def select_victim(self, directory) -> Optional[int]:
+        """Reclamation procedure: pick a locally cached region to evict,
+        or None if this policy refuses to evict (caller then bypasses the
+        cache for the incoming region)."""
+        return None
+
+
+class _RecencyPolicy(ReplacementPolicy):
+    """Shared machinery for recency-ordered policies."""
+
+    def __init__(self) -> None:
+        self._order: OrderedDict[int, None] = OrderedDict()
+
+    def _touch(self, crd: int) -> None:
+        if crd in self._order:
+            self._order.move_to_end(crd)
+
+    on_read = _touch
+    on_write = _touch
+
+    def on_insert(self, crd: int) -> None:
+        self._order[crd] = None
+        self._order.move_to_end(crd)
+
+    def on_remove(self, crd: int) -> None:
+        self._order.pop(crd, None)
+
+
+class LruPolicy(_RecencyPolicy):
+    name = "lru"
+
+    def select_victim(self, directory) -> Optional[int]:
+        for crd in self._order:  # oldest first
+            return crd
+        return None
+
+
+class MruPolicy(_RecencyPolicy):
+    name = "mru"
+
+    def select_victim(self, directory) -> Optional[int]:
+        for crd in reversed(self._order):  # newest first
+            return crd
+        return None
+
+
+class FirstInPolicy(ReplacementPolicy):
+    """Cache in first-access order; once cached, never replaced."""
+
+    name = "first-in"
+
+    def __init__(self) -> None:
+        self._order: OrderedDict[int, None] = OrderedDict()
+
+    def on_insert(self, crd: int) -> None:
+        if crd not in self._order:
+            self._order[crd] = None
+
+    def on_remove(self, crd: int) -> None:
+        self._order.pop(crd, None)
+
+    def select_victim(self, directory) -> Optional[int]:
+        return None  # refuse: newcomers bypass the cache instead
+
+
+POLICIES: dict[str, type[ReplacementPolicy]] = {
+    "lru": LruPolicy,
+    "mru": MruPolicy,
+    "first-in": FirstInPolicy,
+}
+
+
+def make_policy(name: str) -> ReplacementPolicy:
+    cls = POLICIES.get(name)
+    if cls is None:
+        raise ValueError(
+            f"unknown policy {name!r}; choose from {sorted(POLICIES)}")
+    return cls()

@@ -1,0 +1,413 @@
+"""``libdodo`` — the runtime library linked into applications (Section 3.2/4.4).
+
+Implements the paper's five-call API with its exact error semantics:
+
+* ``mopen(len, fd, offset)`` — allocate (or re-find) a remote region backed
+  by ``offset`` within the already-open file ``fd``; returns a descriptor,
+  or -1/EINVAL for bad arguments, -1/ENOMEM when no idle memory exists
+  (after which the library observes a *refraction period* during which it
+  refuses further allocation attempts without contacting the manager).
+* ``mread`` / ``mwrite`` — move bytes between the caller and the region
+  over the bulk protocol; writes also go **to the backing file in
+  parallel** (remote memory is a read-only cache; the disk always has the
+  truth).  Short reads/writes clamp at the region end.  A failed access to
+  a region's host drops *all* descriptors on that host.
+* ``mclose`` — deallocate through the central manager.
+* ``msync`` — block until the region's backing-file data is on disk.
+
+All calls are generator *process bodies*: application code runs inside the
+simulation and uses ``result = yield from lib.mopen(...)``.  Returns are
+``(value, errno)`` pairs — C conventions, no exceptions for expected
+failures — plus a data element for ``mread``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.config import CMD_PORT, DodoConfig
+from repro.core.descriptors import RegionKey, RegionStruct, RegionTableEntry
+from repro.core.errno import EINVAL, EIO, ENOMEM
+from repro.cluster.workstation import Workstation
+from repro.metrics.recorder import Recorder
+from repro.net.bulk import BulkError, recv_bulk, send_bulk
+from repro.net.rpc import RpcClient, RpcRemoteError, RpcServer, RpcTimeout
+from repro.sim import AllOf, AnyOf, Simulator
+from repro.storage.filesystem import FsError
+
+
+class DodoRuntime:
+    """Per-application client library instance."""
+
+    def __init__(self, sim: Simulator, ws: Workstation, config: DodoConfig,
+                 cmd_host: str):
+        if ws.fs is None:
+            raise ValueError(f"{ws.name} needs a local file system for "
+                             "backing files")
+        self.sim = sim
+        self.ws = ws
+        self.config = config
+        self.cmd = (cmd_host, CMD_PORT)
+        self.endpoint = ws.endpoint(config.transport)
+        self._cmd_sock = self.endpoint.socket()
+        self._cmd_rpc = RpcClient(self._cmd_sock)
+        echo_sock = self.endpoint.socket()
+        self.echo_port = echo_sock.port
+        self._echo = RpcServer(echo_sock, {"echo": lambda a, s: {"ok": True}},
+                               name=f"lib.{ws.name}.echo")
+        self._echo.start()
+        #: cluster-unique client identity used for keep-alives and
+        #: (optionally) multi-client region keys
+        self.client_id = f"{ws.name}#{self.echo_port}"
+        self._regions: dict[int, RegionTableEntry] = {}
+        self._next_desc = 0
+        self._refraction_until = float("-inf")
+        self.detached = False
+        self.stats = Recorder(f"lib.{ws.name}")
+
+    # -- helpers --------------------------------------------------------------------
+    def _key_for(self, inode: int, offset: int) -> RegionKey:
+        client = self.client_id if self.config.multi_client_keys else None
+        return RegionKey(inode=inode, offset=offset, client=client)
+
+    def _cmd_call(self, method: str, args: dict):
+        args = dict(args)
+        args["client"] = self.client_id
+        args["echo_port"] = self.echo_port
+        return self._cmd_rpc.call(self.cmd, method, args,
+                                  timeout=self.config.rpc_timeout_s,
+                                  retries=self.config.rpc_retries)
+
+    def _entry(self, desc: int) -> Optional[RegionTableEntry]:
+        return self._regions.get(desc)
+
+    def drop_host(self, host: str) -> int:
+        """Drop every descriptor for regions on ``host`` (Section 3.1:
+        the library's reaction to any access failure on that node)."""
+        doomed = [d for d, e in self._regions.items()
+                  if e.remote is not None and e.remote.host == host]
+        for d in doomed:
+            del self._regions[d]
+        if doomed:
+            self.stats.add("hosts_dropped")
+            self.stats.add("descriptors_dropped", len(doomed))
+        return len(doomed)
+
+    @property
+    def open_regions(self) -> int:
+        return len(self._regions)
+
+    def in_refraction(self) -> bool:
+        """True while the library refuses allocation attempts after an
+        ENOMEM (Section 3.1's refraction period)."""
+        return self.sim.now < self._refraction_until
+
+    # -- API: mopen -----------------------------------------------------------------
+    def mopen(self, length: int, fd: int, offset: int):
+        """Generator: ``(descriptor, 0)`` or ``(-1, errno)``."""
+        fh = self.ws.fs.handle(fd)
+        if fh is None or not fh.writable or length < 1 or offset < 0:
+            self.stats.add("mopen.einval")
+            return -1, EINVAL
+        if self.in_refraction():
+            self.stats.add("mopen.refraction_skip")
+            return -1, ENOMEM
+        key = self._key_for(fh.inode, offset)
+
+        try:
+            # An identically-keyed region may already exist (e.g. left by
+            # a previous run against the same backing file — the dmine
+            # pattern).  checkAlloc both finds and validates it.
+            reply = yield from self._cmd_call(
+                "check_alloc", {"key": [key.inode, key.offset, key.client]})
+            if reply.get("ok") and reply["region"]["length"] < length:
+                reply = {"ok": False}  # too small: allocate a replacement
+            if not reply.get("ok"):
+                reply = yield from self._cmd_call(
+                    "alloc", {"key": [key.inode, key.offset, key.client],
+                              "length": length})
+        except (RpcTimeout, RpcRemoteError):
+            self.stats.add("mopen.cmd_unreachable")
+            return -1, ENOMEM
+        if not reply.get("ok"):
+            self._refraction_until = \
+                self.sim.now + self.config.refraction_period_s
+            self.stats.add("mopen.enomem")
+            return -1, ENOMEM
+        struct = RegionStruct.from_wire(reply["region"])
+        desc = self._next_desc
+        self._next_desc += 1
+        self._regions[desc] = RegionTableEntry(
+            descriptor=desc, key=key, length=length, backing_fd=fd,
+            backing_offset=offset, remote=struct)
+        self.stats.add("mopen.ok")
+        return desc, 0
+
+    def mlookup(self, length: int, fd: int, offset: int):
+        """Generator: find an *existing* region for (fd, offset) without
+        allocating — a pure checkAlloc (the cmd operation the paper
+        exports to the library).  ``(descriptor, 0)`` when a valid region
+        of at least ``length`` bytes exists, ``(-1, ENOMEM)`` otherwise.
+
+        This is how a new run discovers regions a previous run left in
+        remote memory (dmine's persistence pattern) without ``mopen``'s
+        side effect of allocating on a miss.
+        """
+        fh = self.ws.fs.handle(fd)
+        if fh is None or not fh.writable or length < 1 or offset < 0:
+            return -1, EINVAL
+        key = self._key_for(fh.inode, offset)
+        try:
+            reply = yield from self._cmd_call(
+                "check_alloc", {"key": [key.inode, key.offset, key.client]})
+        except (RpcTimeout, RpcRemoteError):
+            return -1, ENOMEM
+        if not reply.get("ok") or reply["region"]["length"] < length:
+            return -1, ENOMEM
+        struct = RegionStruct.from_wire(reply["region"])
+        desc = self._next_desc
+        self._next_desc += 1
+        self._regions[desc] = RegionTableEntry(
+            descriptor=desc, key=key, length=length, backing_fd=fd,
+            backing_offset=offset, remote=struct)
+        self.stats.add("mlookup.hit")
+        return desc, 0
+
+    # -- API: mread -----------------------------------------------------------------
+    def mread(self, desc: int, offset: int, length: int):
+        """Generator: ``(nbytes, 0, data)`` or ``(-1, errno, None)``.
+
+        ``data`` is real bytes in payload mode, None otherwise.
+        """
+        entry = self._entry(desc)
+        if entry is None or entry.remote is None:
+            self.stats.add("mread.enomem")
+            return -1, ENOMEM, None
+        if offset < 0 or offset > entry.length or length < 0:
+            self.stats.add("mread.einval")
+            return -1, EINVAL, None
+        length = min(length, entry.length - offset)
+        if length == 0:
+            return 0, 0, b"" if self.config.store_payload else None
+        struct = entry.remote
+
+        reply_sock = self.endpoint.socket(
+            recvbuf=self.config.data_recvbuf_bytes)
+        receiver = self.sim.process(recv_bulk(
+            reply_sock, first_timeout=self._transfer_timeout(length),
+            params=self.config.bulk, close_socket=True, pregranted=True))
+        # The read request carries our receive-buffer grant, so the imd
+        # blasts without a separate negotiation round-trip.  The RPC reply
+        # only matters on the failure path (bad region / daemon exiting):
+        # the moment the data is complete the read is done, so race the
+        # receiver against the RPC instead of waiting for both.
+        rpc_proc = self.sim.process(self._imd_call_quiet(
+            struct, "read",
+            {"region_id": struct.pool_offset, "offset": offset,
+             "length": length, "reply_port": reply_sock.port,
+             "window": reply_sock.recvbuf},
+            data_bytes=length))
+        idx, val = yield AnyOf(self.sim, [receiver, rpc_proc])
+        if idx == 0 or receiver.processed:
+            result = receiver.value
+            failed = result is None
+        elif val is None or not val.get("ok"):
+            # RPC failed first: tear the receiver down.
+            reply_sock.close()
+            yield receiver  # drains to None once the socket closes
+            result, failed = None, True
+        else:
+            # RPC confirmed but the blast is still landing (e.g. a lost
+            # chunk being NACKed): wait for the data.
+            result = yield receiver
+            failed = result is None
+        if failed:
+            self.drop_host(struct.host)
+            self.stats.add("mread.enomem")
+            return -1, ENOMEM, None
+        data, total, _src = result
+        self.stats.add("mread.ok")
+        self.stats.add("mread.bytes", total)
+        return total, 0, data
+
+    # -- API: mwrite ----------------------------------------------------------------
+    def mwrite(self, desc: int, offset: int, length: int,
+               data: Optional[bytes] = None):
+        """Generator: ``(nbytes, 0)`` or ``(-1, errno)``.
+
+        The write goes to the backing file and to the remote region in
+        parallel (Section 3.2); both must complete before return.
+        """
+        entry = self._entry(desc)
+        if entry is None or entry.remote is None:
+            self.stats.add("mwrite.enomem")
+            return -1, ENOMEM
+        if offset < 0 or offset > entry.length or length < 0:
+            self.stats.add("mwrite.einval")
+            return -1, EINVAL
+        if data is not None and len(data) < length:
+            return -1, EINVAL
+        length = min(length, entry.length - offset)
+        if data is not None:
+            data = bytes(data[:length])
+        if length == 0:
+            return 0, 0
+
+        fh = self.ws.fs.handle(entry.backing_fd)
+        if fh is None:
+            self.stats.add("mwrite.eio")
+            return -1, EIO
+        disk_proc = self.sim.process(self._backing_write(
+            fh, entry.backing_offset + offset, length, data))
+        remote_proc = self.sim.process(self._remote_write(
+            entry.remote, offset, length, data))
+        disk_ok, remote_ok = yield AllOf(self.sim, [disk_proc, remote_proc])
+        if not disk_ok:
+            # the paper passes through the backing write()'s errno
+            self.stats.add("mwrite.eio")
+            return -1, EIO
+        if not remote_ok:
+            self.drop_host(entry.remote.host)
+            self.stats.add("mwrite.enomem")
+            return -1, ENOMEM
+        self.stats.add("mwrite.ok")
+        self.stats.add("mwrite.bytes", length)
+        return length, 0
+
+    def _backing_write(self, fh, offset: int, length: int,
+                       data: Optional[bytes]):
+        try:
+            yield self.ws.fs.write(fh, offset, length, data)
+            return True
+        except FsError:
+            return False
+
+    def _remote_write(self, struct: RegionStruct, offset: int, length: int,
+                      data: Optional[bytes]):
+        try:
+            reply = yield from self._imd_call(
+                struct, "write",
+                {"region_id": struct.pool_offset, "offset": offset,
+                 "length": length})
+            if not reply.get("ok"):
+                return False
+            sock = self.endpoint.socket()
+            try:
+                yield self.sim.process(send_bulk(
+                    sock, (struct.host, int(reply["data_port"])), length,
+                    data=data, params=self.config.bulk,
+                    window=reply.get("window")))
+            finally:
+                sock.close()
+            return True
+        except (RpcTimeout, RpcRemoteError, BulkError):
+            return False
+
+    def mpush(self, desc: int, offset: int, length: int,
+              data: Optional[bytes] = None):
+        """Generator: remote-only write — ``(nbytes, 0)`` or ``(-1, errno)``.
+
+        Used by the region-management library's ``cloneRemoteRegion``: when
+        migrating a *clean* region to remote memory the backing file is
+        already current, so only the network copy is needed.
+        """
+        entry = self._entry(desc)
+        if entry is None or entry.remote is None:
+            return -1, ENOMEM
+        if offset < 0 or offset > entry.length or length < 0:
+            return -1, EINVAL
+        length = min(length, entry.length - offset)
+        if data is not None:
+            data = bytes(data[:length])
+        if length == 0:
+            return 0, 0
+        ok = yield self.sim.process(self._remote_write(
+            entry.remote, offset, length, data))
+        if not ok:
+            self.drop_host(entry.remote.host)
+            return -1, ENOMEM
+        self.stats.add("mpush.bytes", length)
+        return length, 0
+
+    # -- API: msync / mclose ---------------------------------------------------------
+    def msync(self, desc: int):
+        """Generator: block until the region's backing data is on disk."""
+        entry = self._entry(desc)
+        if entry is None:
+            return -1, EINVAL
+        fh = self.ws.fs.handle(entry.backing_fd)
+        if fh is None:
+            return -1, EINVAL
+        yield self.ws.fs.fsync(fh)
+        self.stats.add("msync.ok")
+        return 0, 0
+
+    def mclose(self, desc: int):
+        """Generator: deallocate the region via the central manager.
+
+        Does not close the backing file descriptor (paper semantics).
+        """
+        entry = self._entry(desc)
+        if entry is None:
+            return -1, EINVAL
+        key = entry.key
+        try:
+            reply = yield from self._cmd_call(
+                "free", {"key": [key.inode, key.offset, key.client]})
+        except (RpcTimeout, RpcRemoteError):
+            return -1, EINVAL
+        del self._regions[desc]
+        if not reply.get("ok"):
+            self.stats.add("mclose.stale")
+            return -1, EINVAL
+        self.stats.add("mclose.ok")
+        return 0, 0
+
+    # -- lifecycle --------------------------------------------------------------------
+    def detach(self, persist: bool = False):
+        """Generator: clean library shutdown.  ``persist=True`` leaves
+        regions in remote memory for a later run (dmine's usage).
+        Idempotent."""
+        if self.detached:
+            return None
+        try:
+            yield from self._cmd_call("client_detach", {"persist": persist})
+        except (RpcTimeout, RpcRemoteError):
+            pass
+        self.detached = True
+        self._regions.clear()
+        self._echo.stop()
+        self._cmd_sock.close()
+        return None
+
+    # -- internals ---------------------------------------------------------------------
+    def _transfer_timeout(self, length: int) -> float:
+        """Patience for a bulk transfer: control timeout plus worst-case
+        wire time at a very conservative 1 MB/s."""
+        return self.config.rpc_timeout_s * self.config.rpc_retries \
+            + length / 1e6 + 1.0
+
+    def _imd_call_quiet(self, struct: RegionStruct, method: str, args: dict,
+                        data_bytes: int = 0):
+        """Like :meth:`_imd_call` but returns None instead of raising, so
+        it can run as a detached/raced process."""
+        try:
+            reply = yield from self._imd_call(struct, method, args,
+                                              data_bytes=data_bytes)
+            return reply
+        except (RpcTimeout, RpcRemoteError):
+            return None
+
+    def _imd_call(self, struct: RegionStruct, method: str, args: dict,
+                  data_bytes: int = 0):
+        from repro.core.config import IMD_PORT
+        sock = self.endpoint.socket()
+        rpc = RpcClient(sock)
+        try:
+            reply = yield from rpc.call(
+                (struct.host, IMD_PORT), method, args,
+                timeout=self._transfer_timeout(data_bytes),
+                retries=self.config.rpc_retries)
+            return reply
+        finally:
+            sock.close()

@@ -1,0 +1,14 @@
+"""Experiment drivers: one module per paper table/figure plus ablations.
+
+* :mod:`repro.exp.platform` — the Section 5.1 evaluation platform
+* :mod:`repro.exp.sec2` — Figure 1, Table 1, Figure 2
+* :mod:`repro.exp.disk_cal` — the Section 5.1 disk bandwidth table
+* :mod:`repro.exp.fig7` — lu and dmine speedups
+* :mod:`repro.exp.fig8` — synthetic-benchmark speedup panels A-D
+* :mod:`repro.exp.nondedicated` — Section 5.3.1's desktop-cluster claims
+* :mod:`repro.exp.ablations` — allocator / refraction / policy / pregrant
+"""
+
+from repro.exp.platform import Platform, PlatformParams, build_platform
+
+__all__ = ["Platform", "PlatformParams", "build_platform"]

@@ -1,0 +1,103 @@
+"""Figure 8: synthetic-benchmark speedups.
+
+The paper's four panels: speedup of {sequential, hotcold, random} under
+Dodo for (A) 8 KB requests / 1 GB dataset, (B) 32 KB / 1 GB, (C) 8 KB /
+2 GB, (D) 32 KB / 2 GB, each for UDP and U-Net, with num_iter = 4,
+10 ms compute per request, 1.2 GB of remote memory and an 80 MB local
+region cache.
+
+Everything runs scaled (default 1/64: 16 MB "1 GB" dataset, 18.75 MB
+remote pool, 1.25 MB local cache — all ratios preserved; see
+DESIGN.md).  The expected *shape*:
+
+* sequential ≈ 1 everywhere;
+* random and hotcold significantly above 1;
+* 32 KB requests lower the random/hotcold speedups;
+* the 2 GB dataset (exceeding remote memory) lowers random and
+  sequential but *raises* hotcold;
+* U-Net beats UDP throughout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exp.platform import MB, Platform, PlatformParams
+from repro.metrics.report import format_table
+from repro.sim import Simulator
+from repro.workloads.app import SyntheticRunner
+from repro.workloads.synthetic import SyntheticParams
+
+#: paper dataset sizes, scaled by `scale` at run time
+GB = 1 << 30
+
+
+@dataclass(frozen=True)
+class Fig8Point:
+    pattern: str
+    req_size: int
+    dataset_gb: int
+    transport: str
+
+
+def run_point(point: Fig8Point, scale: float = 1 / 64, num_iter: int = 4,
+              seed: int = 5) -> dict:
+    """One bar of Figure 8: baseline + Dodo run, returns the speedup."""
+    dataset = int(point.dataset_gb * GB * scale)
+    dataset -= dataset % point.req_size
+    results = {}
+    for use_dodo in (False, True):
+        sim = Simulator(seed=seed)
+        params = PlatformParams(
+            transport=point.transport, store_payload=False).scaled(scale)
+        platform = Platform(sim, params, dodo=use_dodo)
+        sp = SyntheticParams(pattern=point.pattern,
+                             dataset_bytes=dataset,
+                             req_size=point.req_size, num_iter=num_iter)
+        runner = SyntheticRunner(platform, sp, use_dodo=use_dodo)
+        res = sim.run(until=runner.run())
+        results["dodo" if use_dodo else "baseline"] = res
+    base, dodo = results["baseline"], results["dodo"]
+    return {
+        "point": point,
+        "baseline_s": base.elapsed_s,
+        "dodo_s": dodo.elapsed_s,
+        "speedup": base.elapsed_s / dodo.elapsed_s,
+        "steady_speedup": base.steady_state_s / dodo.steady_state_s,
+    }
+
+
+def run_panel(req_size: int, dataset_gb: int, scale: float = 1 / 64,
+              transports: tuple = ("udp", "unet"),
+              patterns: tuple = ("sequential", "hotcold", "random"),
+              num_iter: int = 4) -> list[dict]:
+    """One panel (A-D) of Figure 8."""
+    out = []
+    for transport in transports:
+        for pattern in patterns:
+            out.append(run_point(
+                Fig8Point(pattern, req_size, dataset_gb, transport),
+                scale=scale, num_iter=num_iter))
+    return out
+
+
+def run_fig8(scale: float = 1 / 64, num_iter: int = 4) -> dict:
+    """All four panels."""
+    return {
+        "A (8K, 1GB)": run_panel(8192, 1, scale, num_iter=num_iter),
+        "B (32K, 1GB)": run_panel(32768, 1, scale, num_iter=num_iter),
+        "C (8K, 2GB)": run_panel(8192, 2, scale, num_iter=num_iter),
+        "D (32K, 2GB)": run_panel(32768, 2, scale, num_iter=num_iter),
+    }
+
+
+def format_fig8(results: dict) -> str:
+    blocks = []
+    for panel, rows in results.items():
+        table_rows = [[r["point"].transport, r["point"].pattern,
+                       f"{r['speedup']:.2f}", f"{r['steady_speedup']:.2f}"]
+                      for r in rows]
+        blocks.append(format_table(
+            ["transport", "pattern", "speedup", "steady-state"],
+            table_rows, title=f"Figure 8{panel}"))
+    return "\n\n".join(blocks)

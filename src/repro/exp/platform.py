@@ -1,0 +1,138 @@
+"""The canonical evaluation platform of Section 5.1, scalable.
+
+The paper's testbed: a 16-node Beowulf cluster (200 MHz Pentium Pro,
+128 MB/node, Quantum Fireball disks, 100 Mb/s switched Ethernet).  One
+node runs the data-intensive application (its local disk holds the
+dataset), one runs the central manager, and twelve run idle memory daemons
+with 100 MB pools — 1200 MB of remote memory.  The application's
+region-management library gets an 80 MB local cache.
+
+Every size can be scaled down by a single ``scale`` factor that preserves
+all the ratios the results depend on (dataset : local cache : remote pool :
+file cache : disk span), so benchmarks finish in seconds while keeping the
+paper's crossovers.  Disk *timing* is never scaled — only spans — because
+seek and rotation costs are absolute.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from repro.cluster.cluster import Cluster, ClusterConfig, HostSpec
+from repro.core.config import DodoConfig
+from repro.core.imd import IdleMemoryDaemon
+from repro.core.manager import CentralManager
+from repro.core.regionlib import RegionCache
+from repro.core.runtime import DodoRuntime
+from repro.sim import Simulator
+from repro.storage.disk import DiskParams
+from repro.storage.filesystem import FsParams
+
+MB = 1024 * 1024
+
+
+@dataclass(frozen=True)
+class PlatformParams:
+    """Sizes and switches of one platform instance."""
+
+    transport: str = "udp"
+    store_payload: bool = False
+    n_memory_hosts: int = 12
+    #: per-imd pool (paper: 100 MB each => 1200 MB total)
+    imd_pool_bytes: int = 100 * MB
+    #: region-management library's local cache (paper: 80 MB)
+    local_cache_bytes: int = 80 * MB
+    #: app node's OS file cache when Dodo is running (the region cache
+    #: displaces most of it)
+    app_fs_cache_dodo: int = 16 * MB
+    #: app node's OS file cache in the no-Dodo baseline (all otherwise
+    #: free memory caches files)
+    app_fs_cache_baseline: int = 96 * MB
+    #: disk capacity (span matters for seek distances)
+    disk_capacity_bytes: int = 3_200_000_000
+    frame_loss_prob: float = 0.0
+    fs_params: Optional[FsParams] = None
+    allocator_kind: str = "first-fit"
+
+    def scaled(self, scale: float) -> "PlatformParams":
+        """Shrink every size by ``scale``, preserving ratios."""
+        if scale == 1.0:
+            return self
+        return replace(
+            self,
+            imd_pool_bytes=int(self.imd_pool_bytes * scale),
+            local_cache_bytes=int(self.local_cache_bytes * scale),
+            app_fs_cache_dodo=int(self.app_fs_cache_dodo * scale),
+            app_fs_cache_baseline=int(self.app_fs_cache_baseline * scale),
+            disk_capacity_bytes=int(self.disk_capacity_bytes * scale),
+        )
+
+
+class Platform:
+    """A built evaluation platform: cluster + Dodo daemons + app node."""
+
+    def __init__(self, sim: Simulator, params: PlatformParams | None = None,
+                 dodo: bool = True, config: DodoConfig | None = None):
+        self.sim = sim
+        self.params = params or PlatformParams()
+        p = self.params
+        self.dodo_enabled = dodo
+        self.config = config or DodoConfig(
+            transport=p.transport, store_payload=p.store_payload,
+            dedicated=True, max_pool_bytes=p.imd_pool_bytes)
+
+        app_cache = p.app_fs_cache_dodo if dodo else p.app_fs_cache_baseline
+        hosts = [
+            HostSpec("app", total_mem_bytes=128 * MB, has_disk=True,
+                     fs_cache_bytes=app_cache, fs_params=p.fs_params,
+                     disk_params=DiskParams(
+                         capacity_bytes=p.disk_capacity_bytes)),
+            HostSpec("mgr", total_mem_bytes=128 * MB),
+        ]
+        for i in range(p.n_memory_hosts):
+            hosts.append(HostSpec(f"mem{i:02d}", total_mem_bytes=128 * MB))
+        self.cluster = Cluster(sim, ClusterConfig(
+            hosts=hosts, frame_loss_prob=p.frame_loss_prob,
+            store_data=p.store_payload))
+
+        self.app = self.cluster["app"]
+        self.mgr = self.cluster["mgr"]
+        self.cmd: Optional[CentralManager] = None
+        self.imds: list[IdleMemoryDaemon] = []
+        if dodo:
+            self.cmd = CentralManager(sim, self.mgr, self.config)
+            for i in range(p.n_memory_hosts):
+                ws = self.cluster[f"mem{i:02d}"]
+                imd = IdleMemoryDaemon(
+                    sim, ws, self.config, epoch=1, cmd_host="mgr",
+                    pool_bytes=p.imd_pool_bytes,
+                    allocator_kind=p.allocator_kind)
+                imd.register()
+                self.imds.append(imd)
+            sim.run(until=0.5)  # let registrations land
+
+    @property
+    def remote_pool_total(self) -> int:
+        return self.params.imd_pool_bytes * self.params.n_memory_hosts
+
+    def runtime(self) -> DodoRuntime:
+        """A fresh libdodo instance on the app node."""
+        if not self.dodo_enabled:
+            raise RuntimeError("platform built without Dodo")
+        return DodoRuntime(self.sim, self.app, self.config, cmd_host="mgr")
+
+    def region_cache(self, policy: str = "lru",
+                     local_bytes: Optional[int] = None,
+                     runtime: Optional[DodoRuntime] = None) -> RegionCache:
+        """A fresh libmanage instance over a (new) runtime."""
+        rt = runtime or self.runtime()
+        return RegionCache(rt, local_bytes or self.params.local_cache_bytes,
+                           policy=policy)
+
+
+def build_platform(sim: Simulator, scale: float = 1.0, dodo: bool = True,
+                   **kwargs) -> Platform:
+    """Convenience: a (possibly scaled) Section 5.1 platform."""
+    params = PlatformParams(**kwargs).scaled(scale)
+    return Platform(sim, params, dodo=dodo)

@@ -1,0 +1,8 @@
+"""Measurement utilities: counters, time series and report formatting."""
+
+from repro.metrics.ascii import line_chart, sparkline
+from repro.metrics.recorder import Recorder, TimeSeries
+from repro.metrics.report import format_series, format_table, speedup
+
+__all__ = ["Recorder", "TimeSeries", "format_series", "format_table",
+           "line_chart", "sparkline", "speedup"]

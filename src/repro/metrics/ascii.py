@@ -1,0 +1,83 @@
+"""ASCII rendering of time series — the paper's Figures 1/2 in a terminal.
+
+No plotting dependencies: series render as block-character charts and
+one-line sparklines, good enough to eyeball the availability dips and
+diurnal structure the paper's figures show.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+#: eight block heights, lowest to highest
+_BLOCKS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float], width: int = 72,
+              lo: float | None = None, hi: float | None = None) -> str:
+    """One-line block-character rendering of a series."""
+    vals = _resample(values, width)
+    if lo is None:
+        lo = min(vals)
+    if hi is None:
+        hi = max(vals)
+    span = hi - lo
+    if span <= 0:
+        return _BLOCKS[0] * len(vals)
+    out = []
+    for v in vals:
+        idx = int((v - lo) / span * (len(_BLOCKS) - 1) + 0.5)
+        out.append(_BLOCKS[max(0, min(idx, len(_BLOCKS) - 1))])
+    return "".join(out)
+
+
+def line_chart(values: Sequence[float], width: int = 72, height: int = 10,
+               title: str = "", ylabel_fmt: str = "{:.0f}") -> str:
+    """A multi-row block chart with a y-axis, for the Figure 1/2 series."""
+    if height < 2:
+        raise ValueError("height must be >= 2")
+    vals = _resample(values, width)
+    lo, hi = min(vals), max(vals)
+    span = hi - lo or 1.0
+    rows = []
+    if title:
+        rows.append(title)
+    label_w = max(len(ylabel_fmt.format(hi)), len(ylabel_fmt.format(lo)))
+    for level in range(height, 0, -1):
+        cutoff_hi = lo + span * level / height
+        cutoff_lo = lo + span * (level - 1) / height
+        cells = []
+        for v in vals:
+            if v >= cutoff_hi:
+                cells.append("█")
+            elif v > cutoff_lo:
+                frac = (v - cutoff_lo) / (cutoff_hi - cutoff_lo)
+                cells.append(_BLOCKS[max(0, min(
+                    int(frac * (len(_BLOCKS) - 1)), len(_BLOCKS) - 1))])
+            else:
+                cells.append(" ")
+        if level == height:
+            label = ylabel_fmt.format(hi)
+        elif level == 1:
+            label = ylabel_fmt.format(lo)
+        else:
+            label = ""
+        rows.append(f"{label:>{label_w}} |{''.join(cells)}")
+    rows.append(" " * label_w + " +" + "-" * len(vals))
+    return "\n".join(rows)
+
+
+def _resample(values: Sequence[float], width: int) -> list[float]:
+    """Bucket-average a series down to at most ``width`` points."""
+    vals = list(values)
+    if not vals:
+        raise ValueError("empty series")
+    if len(vals) <= width:
+        return [float(v) for v in vals]
+    out = []
+    n = len(vals)
+    for i in range(width):
+        a = i * n // width
+        b = max(a + 1, (i + 1) * n // width)
+        out.append(sum(vals[a:b]) / (b - a))
+    return out

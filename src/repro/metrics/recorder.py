@@ -1,0 +1,139 @@
+"""Lightweight counters and time series shared by all components.
+
+Every daemon, NIC, disk and cache owns a :class:`Recorder`; experiments pull
+numbers out of them after a run.  Recording is plain dictionary arithmetic —
+cheap enough to leave on unconditionally.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterable
+
+
+class Recorder:
+    """A named bag of additive counters and value accumulators."""
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self._counters: defaultdict[str, float] = defaultdict(float)
+        self._samples: defaultdict[str, list[float]] = defaultdict(list)
+
+    # -- counters -----------------------------------------------------------
+    def add(self, key: str, amount: float = 1.0) -> None:
+        """Increment counter ``key`` by ``amount``."""
+        self._counters[key] += amount
+
+    def count(self, key: str) -> float:
+        """Current value of counter ``key`` (0 if never incremented)."""
+        return self._counters.get(key, 0.0)
+
+    @property
+    def counters(self) -> dict[str, float]:
+        return dict(self._counters)
+
+    # -- samples --------------------------------------------------------------
+    def sample(self, key: str, value: float) -> None:
+        """Append one observation to the sample list for ``key``."""
+        self._samples[key].append(value)
+
+    def samples(self, key: str) -> list[float]:
+        return list(self._samples.get(key, []))
+
+    def mean(self, key: str) -> float:
+        vals = self._samples.get(key)
+        if not vals:
+            return 0.0
+        return sum(vals) / len(vals)
+
+    def maximum(self, key: str) -> float:
+        vals = self._samples.get(key)
+        return max(vals) if vals else 0.0
+
+    def clear(self) -> None:
+        self._counters.clear()
+        self._samples.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Recorder {self.name!r} {dict(self._counters)}>"
+
+
+class TimeSeries:
+    """(time, value) pairs with stepwise integration helpers.
+
+    Used for Section-2 style availability traces: ``integral``/``average``
+    treat the series as a right-continuous step function, matching how the
+    original study averaged sampled memory levels.
+    """
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self.times: list[float] = []
+        self.values: list[float] = []
+
+    def record(self, time: float, value: float) -> None:
+        if self.times and time < self.times[-1]:
+            raise ValueError("time series must be recorded in time order")
+        self.times.append(time)
+        self.values.append(value)
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def value_at(self, time: float) -> float:
+        """Step-function value at ``time`` (last recorded value <= time)."""
+        if not self.times or time < self.times[0]:
+            raise ValueError(f"no value recorded at or before t={time}")
+        lo, hi = 0, len(self.times) - 1
+        while lo < hi:
+            mid = (lo + hi + 1) // 2
+            if self.times[mid] <= time:
+                lo = mid
+            else:
+                hi = mid - 1
+        return self.values[lo]
+
+    def integral(self, t0: float, t1: float) -> float:
+        """Integral of the step function over ``[t0, t1]``."""
+        if t1 < t0:
+            raise ValueError("t1 must be >= t0")
+        if t1 == t0:
+            return 0.0
+        total = 0.0
+        prev_t = t0
+        prev_v = self.value_at(t0)
+        for t, v in zip(self.times, self.values):
+            if t <= t0:
+                continue
+            if t >= t1:
+                break
+            total += prev_v * (t - prev_t)
+            prev_t, prev_v = t, v
+        total += prev_v * (t1 - prev_t)
+        return total
+
+    def average(self, t0: float, t1: float) -> float:
+        """Time-weighted mean over ``[t0, t1]``."""
+        if t1 == t0:
+            return self.value_at(t0)
+        return self.integral(t0, t1) / (t1 - t0)
+
+    def minimum(self) -> float:
+        if not self.values:
+            raise ValueError("empty time series")
+        return min(self.values)
+
+    def maximum(self) -> float:
+        if not self.values:
+            raise ValueError("empty time series")
+        return max(self.values)
+
+    @staticmethod
+    def aggregate(series: Iterable["TimeSeries"], times: Iterable[float],
+                  name: str = "sum") -> "TimeSeries":
+        """Sum several step series sampled at common ``times``."""
+        out = TimeSeries(name)
+        series = list(series)
+        for t in times:
+            out.record(t, sum(s.value_at(t) for s in series))
+        return out

@@ -1,0 +1,50 @@
+"""Plain-text table and series formatting for benchmark output.
+
+The benchmark harness prints the same rows/series the paper reports; these
+helpers keep the formatting consistent across experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+
+def speedup(baseline: float, improved: float) -> float:
+    """Classic speedup: baseline time divided by improved time."""
+    if improved <= 0:
+        raise ValueError(f"non-positive improved time: {improved}")
+    return baseline / improved
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence],
+                 title: str = "") -> str:
+    """Render rows as an aligned monospace table."""
+    str_rows = [[_fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(series: Mapping[str, Sequence[float]], xlabel: str,
+                  xs: Sequence, title: str = "") -> str:
+    """Render named y-series over a shared x axis, one x per row."""
+    headers = [xlabel] + list(series.keys())
+    rows = []
+    for i, x in enumerate(xs):
+        rows.append([x] + [series[k][i] for k in series])
+    return format_table(headers, rows, title=title)
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}" if abs(value) < 1000 else f"{value:.1f}"
+    return str(value)

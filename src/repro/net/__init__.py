@@ -1,0 +1,46 @@
+"""Simulated cluster interconnect: switched Ethernet, UDP and U-Net.
+
+Layering (bottom up):
+
+* :mod:`repro.net.network` — links + store-and-forward switch, loss model
+* :mod:`repro.net.nic` — per-host TX/RX engines and port demux
+* :mod:`repro.net.usocket` / :mod:`repro.net.api` — the paper's
+  ``libusocket.a`` datagram API, parameterized by transport
+  (:mod:`repro.net.params`)
+* :mod:`repro.net.rpc` — control-plane request/response with retries
+* :mod:`repro.net.bulk` — Section 4.4's blast / selective-NACK protocol
+"""
+
+from repro.net.api import USocketAPI
+from repro.net.bulk import BulkError, BulkParams, recv_bulk, send_bulk
+from repro.net.network import Network
+from repro.net.nic import NIC
+from repro.net.packet import Chunk, Datagram
+from repro.net.params import (LinkParams, TransportParams, UDP_PARAMS,
+                              UNET_PARAMS, transport_params)
+from repro.net.rpc import RpcClient, RpcRemoteError, RpcServer, RpcTimeout
+from repro.net.usocket import SocketClosed, TransportEndpoint, USocket
+
+__all__ = [
+    "BulkError",
+    "BulkParams",
+    "Chunk",
+    "Datagram",
+    "LinkParams",
+    "NIC",
+    "Network",
+    "RpcClient",
+    "RpcRemoteError",
+    "RpcServer",
+    "RpcTimeout",
+    "SocketClosed",
+    "TransportEndpoint",
+    "TransportParams",
+    "UDP_PARAMS",
+    "UNET_PARAMS",
+    "USocket",
+    "USocketAPI",
+    "recv_bulk",
+    "send_bulk",
+    "transport_params",
+]

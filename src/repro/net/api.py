@@ -1,0 +1,136 @@
+"""Paper-faithful ``libusocket.a`` function names (Figure 6).
+
+These wrappers exist for interface fidelity with the paper; internal code
+uses the object API in :mod:`repro.net.usocket` directly.  Descriptor
+management mirrors the C library: ``u_socket`` returns a small integer fd,
+``u_close`` releases it, and addresses are MAC-address strings converted
+with ``u_aton``/``u_ntoa``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.net.usocket import TransportEndpoint, USocket
+
+
+class USocketAPI:
+    """Per-host facade exposing the Figure-6 functions over one endpoint."""
+
+    def __init__(self, endpoint: TransportEndpoint):
+        self.endpoint = endpoint
+        self._fds: dict[int, USocket] = {}
+        self._next_fd = 3  # after stdin/stdout/stderr, like a Unix process
+
+    # -- descriptor management ---------------------------------------------
+    def u_socket(self, sendbufsize: int, recvbufsize: int) -> int:
+        """Create a socket; returns a non-negative descriptor."""
+        sock = self.endpoint.socket(sendbuf=sendbufsize, recvbuf=recvbufsize)
+        fd = self._next_fd
+        self._next_fd += 1
+        self._fds[fd] = sock
+        return fd
+
+    def u_close(self, usockfd: int) -> int:
+        """Close a descriptor; returns 0, or -1 if the fd is unknown."""
+        sock = self._fds.pop(usockfd, None)
+        if sock is None:
+            return -1
+        sock.close()
+        return 0
+
+    # -- addressing ------------------------------------------------------------
+    @staticmethod
+    def u_aton(str_addr: str) -> str:
+        """Parse an address string; our 'MAC addresses' are host names."""
+        return str_addr
+
+    @staticmethod
+    def u_ntoa(macaddr: str) -> str:
+        return str(macaddr)
+
+    def u_bind(self, usockfd: int, port: int) -> int:
+        """Bind the socket to a well-known port; returns 0 or -1.
+
+        The C library bound to MAC addresses; our network identifies hosts
+        by name, so binding selects the service port.
+        """
+        sock = self._sock(usockfd)
+        if sock is None:
+            return -1
+        endpoint = self.endpoint
+        if endpoint.socket_for_port(port) is not None:
+            return -1
+        endpoint._unbind(sock.port)
+        sock.port = port
+        endpoint._ports[port] = sock
+        return 0
+
+    def u_connect(self, usockfd: int, macaddr: str, port: int) -> int:
+        sock = self._sock(usockfd)
+        if sock is None:
+            return -1
+        sock.connect(macaddr, port)
+        return 0
+
+    # -- data transfer --------------------------------------------------------
+    def u_send(self, usockfd: int, buff: bytes, length: Optional[int] = None):
+        """Send ``buff`` to the connected peer; event yields byte count."""
+        sock = self._sock(usockfd)
+        if sock is None:
+            raise ValueError(f"bad usocket fd {usockfd}")
+        if length is None:
+            length = len(buff)
+        return sock.send(length, payload=bytes(buff[:length]))
+
+    def u_send_iovec(self, usockfd: int, iov: Sequence[bytes]):
+        sock = self._sock(usockfd)
+        if sock is None:
+            raise ValueError(f"bad usocket fd {usockfd}")
+        return sock.send_iovec(iov)
+
+    def u_recv(self, usockfd: int, length: int, timeout: Optional[float] = None):
+        """Receive one datagram; the event yields ``(data, src_addr)`` or
+        ``(None, None)`` on timeout.  Data longer than ``length`` is
+        truncated, as with real datagram sockets."""
+        sock = self._sock(usockfd)
+        if sock is None:
+            raise ValueError(f"bad usocket fd {usockfd}")
+        return self.endpoint.sim.process(self._recv_proc(sock, length, timeout))
+
+    def u_recv_iovec(self, usockfd: int, iov_sizes: Sequence[int],
+                     timeout: Optional[float] = None):
+        """Scatter receive: the event yields ``(list_of_buffers, src_addr)``
+        splitting the datagram across the iovec sizes."""
+        total = sum(iov_sizes)
+        return self.endpoint.sim.process(
+            self._recv_iovec_proc(self._sock(usockfd), list(iov_sizes), total,
+                                  timeout))
+
+    # -- internals -----------------------------------------------------------
+    def _sock(self, fd: int) -> Optional[USocket]:
+        return self._fds.get(fd)
+
+    def _recv_proc(self, sock: USocket, length: int, timeout):
+        dgram = yield sock.recv(timeout)
+        if dgram is None:
+            return None, None
+        data = dgram.payload if isinstance(dgram.payload, (bytes, bytearray)) \
+            else b""
+        return bytes(data[:length]), dgram.src
+
+    def _recv_iovec_proc(self, sock: USocket, sizes: list[int], total: int,
+                         timeout):
+        if sock is None:
+            raise ValueError("bad usocket fd")
+        dgram = yield sock.recv(timeout)
+        if dgram is None:
+            return None, None
+        data = dgram.payload if isinstance(dgram.payload, (bytes, bytearray)) \
+            else b""
+        data = bytes(data[:total])
+        bufs, off = [], 0
+        for size in sizes:
+            bufs.append(data[off:off + size])
+            off += size
+        return bufs, dgram.src

@@ -1,0 +1,291 @@
+"""The bulk data transfer protocol of Section 4.4.
+
+Memory regions can be arbitrarily large and do not fit in individual
+packets (~1.5 KB for U-Net, 64 KB for UDP), so Dodo runs its own blast
+protocol on top of the datagram layer:
+
+* the region is partitioned into sequence-numbered chunks of the
+  transport's maximum payload;
+* the sender *negotiates the amount of space available at the receiver*
+  (the receive-buffer grant), then *blasts* as many chunks as fit in that
+  space and waits;
+* when the transfer is set up by an RPC exchange — every mread/mwrite is —
+  the receiver's grant rides on that exchange (the mread client IS the
+  receiver and states its buffer in the read request; the mwrite reply
+  carries the imd's), so no extra negotiation round-trip is paid: pass
+  ``window=`` to both ends.  The standalone offer/window handshake remains
+  for transfers without a prior control exchange;
+* the receiver waits for that number of chunks or a timeout; on timeout it
+  identifies the missing chunks by sequence number and sends a **selective
+  NACK** listing them; the sender retransmits exactly those;
+* duplicate chunks are dropped by sequence number (the paper's footnote 5).
+
+Control-message loss is handled with probe/retry: every control exchange
+is retried up to ``max_attempts`` times, and a sender that misses an ACK
+probes the receiver instead of re-blasting data.
+
+Each transfer runs on a dedicated ephemeral socket pair, which is how the
+runtime library and the idle memory daemons use it.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.net.packet import Chunk
+from repro.net.usocket import USocket
+
+#: wire size charged for each control message (offer/window/ack/nack/probe)
+CTRL_SIZE = 64
+
+_xfer_ids = itertools.count(1)
+
+
+class BulkError(Exception):
+    """Transfer failed after exhausting retries (peer dead or unreachable)."""
+
+
+@dataclass(frozen=True)
+class BulkParams:
+    """Tunables for one side of a bulk transfer."""
+
+    #: receiver wait before NACKing an incomplete blast; also the sender's
+    #: ACK wait before probing
+    ack_timeout_s: float = 0.05
+    #: attempts per control exchange before declaring the peer dead
+    max_attempts: int = 8
+    #: how long the receiver lingers after completion to answer probes
+    #: whose ACK was lost
+    linger_s: float = 0.1
+
+
+DEFAULT_BULK = BulkParams()
+
+
+def _partition(size: int, data: Optional[bytes], chunk_size: int) -> list[Chunk]:
+    """Split ``size`` bytes into sequence-numbered chunks."""
+    chunks = []
+    seq = 0
+    off = 0
+    while off < size:
+        n = min(chunk_size, size - off)
+        payload = None if data is None else bytes(data[off:off + n])
+        chunks.append(Chunk(seq=seq, size=n, data=payload))
+        seq += 1
+        off += n
+    if not chunks:  # zero-length transfer still needs the handshake
+        chunks.append(Chunk(seq=0, size=0, data=b"" if data is not None else None))
+    return chunks
+
+
+def send_bulk(sock: USocket, dst: tuple[str, int], size: int,
+              data: Optional[bytes] = None,
+              params: BulkParams = DEFAULT_BULK,
+              window: Optional[int] = None):
+    """Generator process: push ``size`` bytes to ``dst`` via blast protocol.
+
+    ``data=None`` runs in metadata-only mode (timing identical, no bytes
+    carried).  ``window`` is a pre-granted receiver buffer (obtained on the
+    RPC that set the transfer up); when None the offer/window handshake
+    negotiates it.  Returns the number of bytes transferred; raises
+    :class:`BulkError` if the receiver never responds.
+    """
+    sim = sock.sim
+    xfer = next(_xfer_ids)
+    chunk_size = sock.endpoint.params.max_payload
+    chunks = _partition(size, data, chunk_size)
+    nchunks = len(chunks)
+    #: transfer metadata rides on every data burst and probe so a
+    #: pre-granted receiver can latch onto the transfer without an offer
+    meta = {"xfer": xfer, "total": size, "nchunks": nchunks,
+            "chunk_size": chunk_size}
+
+    window_bytes = window
+    if window_bytes is None:
+        # -- negotiate the receiver's buffer space --------------------------
+        for _ in range(params.max_attempts):
+            yield sock.send(CTRL_SIZE, payload={
+                "kind": "bulk_offer", **meta}, dst=dst)
+            reply = yield sock.recv(timeout=params.ack_timeout_s)
+            if reply is None:
+                continue
+            msg = reply.payload
+            if isinstance(msg, dict) and msg.get("xfer") == xfer \
+                    and msg.get("kind") == "bulk_window":
+                window_bytes = msg["window"]
+                break
+        if window_bytes is None:
+            raise BulkError(
+                f"xfer {xfer}: receiver at {dst} granted no window")
+    per_blast = max(1, window_bytes // max(chunk_size, 1))
+
+    # -- blast loop ------------------------------------------------------------
+    blast_start = 0
+    while blast_start < nchunks:
+        blast = chunks[blast_start:blast_start + per_blast]
+        outstanding = blast
+        acked = False
+        for _attempt in range(params.max_attempts):
+            if outstanding:
+                yield sock.send(
+                    sum(c.size for c in outstanding),
+                    payload={"kind": "bulk_data", **meta},
+                    chunks=outstanding, dst=dst)
+            else:
+                # Everything sent but ACK lost: probe instead of re-blasting.
+                yield sock.send(CTRL_SIZE, payload={
+                    "kind": "bulk_probe", "blast_start": blast_start,
+                    **meta}, dst=dst)
+            reply = yield sock.recv(timeout=params.ack_timeout_s)
+            if reply is None:
+                outstanding = []  # unknown state: probe next time
+                continue
+            msg = reply.payload
+            if not isinstance(msg, dict) or msg.get("xfer") != xfer:
+                continue
+            if msg.get("kind") == "bulk_ack" \
+                    and msg.get("blast_start") == blast_start:
+                acked = True
+                break
+            if msg.get("kind") == "bulk_nack":
+                missing = set(msg["missing"])
+                outstanding = [c for c in blast if c.seq in missing]
+        if not acked:
+            raise BulkError(
+                f"xfer {xfer}: no ACK for blast at {blast_start} from {dst}")
+        blast_start += per_blast
+    return size
+
+
+def recv_bulk(sock: USocket, first_timeout: Optional[float] = None,
+              params: BulkParams = DEFAULT_BULK, close_socket: bool = False,
+              pregranted: bool = False):
+    """Generator process: receive one bulk transfer on ``sock``.
+
+    Waits up to ``first_timeout`` for the transfer to start (None =
+    forever).  With ``pregranted=True`` the sender already knows this
+    socket's receive buffer (it was carried on the RPC that set the
+    transfer up) and blasts immediately; otherwise the offer/window
+    handshake runs first.  Returns ``(data_or_None, size, (src, sport))``
+    — data is assembled bytes when the sender ran in payload mode.
+    Returns ``None`` if nothing arrived or the sender disappeared
+    mid-transfer.
+
+    The post-completion *linger* (answering probes whose final ACK was
+    lost) runs as a detached process so the caller gets the data the
+    moment it is complete; with ``close_socket=True`` the linger process
+    closes the socket when it finishes.
+    """
+    sim = sock.sim
+
+    # -- latch onto a transfer ----------------------------------------------------
+    first = None
+    wanted = {"bulk_data", "bulk_probe"} if pregranted else {"bulk_offer"}
+    while first is None:
+        d = yield sock.recv(timeout=first_timeout)
+        if d is None:
+            return None
+        msg = d.payload
+        if isinstance(msg, dict) and msg.get("kind") in wanted:
+            first = d
+    msg = first.payload
+    xfer = msg["xfer"]
+    total, nchunks = msg["total"], msg["nchunks"]
+    chunk_size = msg["chunk_size"]
+    sender = (first.src, first.sport)
+    window = sock.recvbuf
+    per_blast = max(1, window // max(chunk_size, 1))
+
+    def grant():
+        return sock.send(CTRL_SIZE, payload={
+            "kind": "bulk_window", "xfer": xfer, "window": window},
+            dst=sender)
+
+    received: dict[int, Chunk] = {}
+    if pregranted:
+        # the first message is already part of the data flow: process it
+        if msg["kind"] == "bulk_data":
+            for chunk in first.delivered_chunks():
+                received.setdefault(chunk.seq, chunk)
+        else:  # a probe for a blast that was lost entirely
+            start = msg["blast_start"]
+            exp = set(range(start, min(start + per_blast, nchunks)))
+            yield sock.send(CTRL_SIZE, payload={
+                "kind": "bulk_nack", "xfer": xfer,
+                "missing": sorted(exp)}, dst=sender)
+    else:
+        yield grant()
+
+    blast_start = 0
+    while blast_start < nchunks:
+        expected = set(range(blast_start, min(blast_start + per_blast, nchunks)))
+        attempts = 0
+        while not expected.issubset(received.keys()):
+            d = yield sock.recv(timeout=params.ack_timeout_s)
+            if d is None:
+                # Timeout: selective NACK for what is still missing.
+                attempts += 1
+                if attempts > params.max_attempts:
+                    return None
+                missing = sorted(expected - received.keys())
+                yield sock.send(CTRL_SIZE, payload={
+                    "kind": "bulk_nack", "xfer": xfer,
+                    "missing": missing}, dst=sender)
+                continue
+            m = d.payload
+            if not isinstance(m, dict) or m.get("xfer") != xfer:
+                continue
+            kind = m.get("kind")
+            if kind == "bulk_offer":
+                yield grant()  # our window reply was lost
+            elif kind == "bulk_data":
+                attempts = 0
+                for chunk in d.delivered_chunks():
+                    received.setdefault(chunk.seq, chunk)  # dedup by seq
+            elif kind == "bulk_probe":
+                start = m["blast_start"]
+                exp = set(range(start, min(start + per_blast, nchunks)))
+                missing = sorted(exp - received.keys())
+                if missing:
+                    yield sock.send(CTRL_SIZE, payload={
+                        "kind": "bulk_nack", "xfer": xfer,
+                        "missing": missing}, dst=sender)
+                else:
+                    yield sock.send(CTRL_SIZE, payload={
+                        "kind": "bulk_ack", "xfer": xfer,
+                        "blast_start": start}, dst=sender)
+        yield sock.send(CTRL_SIZE, payload={
+            "kind": "bulk_ack", "xfer": xfer,
+            "blast_start": blast_start}, dst=sender)
+        blast_start += per_blast
+
+    # -- linger to answer probes whose final ACK was lost ---------------------
+    sim.process(_linger(sock, xfer, sender, per_blast, nchunks,
+                        params, close_socket))
+
+    if any(c.data is None for c in received.values()):
+        data = None
+    else:
+        data = b"".join(received[seq].data for seq in range(nchunks))
+    return data, total, sender
+
+
+def _linger(sock: USocket, xfer: int, sender: tuple[str, int],
+            per_blast: int, nchunks: int, params: BulkParams,
+            close_socket: bool):
+    sim = sock.sim
+    end = sim.now + params.linger_s
+    while sim.now < end and not sock.closed:
+        d = yield sock.recv(timeout=end - sim.now)
+        if d is None:
+            break
+        m = d.payload
+        if isinstance(m, dict) and m.get("xfer") == xfer \
+                and m.get("kind") == "bulk_probe":
+            yield sock.send(CTRL_SIZE, payload={
+                "kind": "bulk_ack", "xfer": xfer,
+                "blast_start": m["blast_start"]}, dst=sender)
+    if close_socket:
+        sock.close()

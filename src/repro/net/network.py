@@ -1,0 +1,168 @@
+"""The switched-Ethernet fabric connecting all workstations.
+
+Models the paper's 16-port BayStack 350: every host has a dedicated
+full-duplex 100 Mb/s link to one store-and-forward switch.  A transmission
+
+1. occupies the sender's TX engine for its full serialization time,
+2. crosses the switch after ``switch_latency + first_frame_time`` (frames
+   pipeline through the switch, so only the leading frame's store-and-
+   forward delay is on the critical path),
+3. occupies the receiver's RX engine for the serialization time (running
+   concurrently with the sender's TX — this is where receiver-side
+   contention between multiple senders appears),
+4. suffers per-frame Bernoulli loss (burst datagrams lose individual
+   chunks; single datagrams are dropped whole, matching IP fragmentation
+   semantics where one lost fragment kills the datagram),
+5. is charged the receiver's per-datagram CPU overhead and delivered to
+   the NIC's port demux.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.metrics.recorder import Recorder
+from repro.net.nic import NIC
+from repro.net.packet import Datagram
+from repro.net.params import LinkParams, TransportParams
+from repro.sim import Simulator
+
+
+class Network:
+    """The cluster switch plus all attached host links."""
+
+    def __init__(self, sim: Simulator, link: LinkParams | None = None):
+        self.sim = sim
+        self.link = link or LinkParams()
+        self._nics: dict[str, NIC] = {}
+        self.stats = Recorder("network")
+        self._loss_rng = sim.rng("net.loss")
+
+    def attach(self, nic: NIC) -> None:
+        if nic.addr in self._nics:
+            raise ValueError(f"host {nic.addr!r} already attached")
+        self._nics[nic.addr] = nic
+
+    def nic(self, addr: str) -> NIC:
+        return self._nics[addr]
+
+    @property
+    def hosts(self) -> list[str]:
+        return list(self._nics)
+
+    # -- framing -------------------------------------------------------------
+    def frames_for(self, payload_bytes: int) -> int:
+        """Ethernet frames needed for one datagram of ``payload_bytes``."""
+        if payload_bytes <= 0:
+            return 1
+        per_frame = self.link.mtu_bytes - 28  # IP fragment payload
+        return max(1, math.ceil(payload_bytes / per_frame))
+
+    def burst_frames(self, dgram: Datagram) -> int:
+        if dgram.is_burst:
+            return sum(self.frames_for(c.size) for c in dgram.chunks)
+        return self.frames_for(dgram.size)
+
+    # -- transmission ----------------------------------------------------------
+    def transmit(self, dgram: Datagram, params: TransportParams,
+                 min_hold: float = 0.0):
+        """Start carrying ``dgram``; returns the transmission process.
+
+        ``min_hold`` is residual sender CPU work that overlaps the wire
+        (burst pipelining): the TX engine is held for
+        ``max(wire_time, min_hold)``, so a CPU-bound sender throttles the
+        transmission instead of paying CPU and wire serially.
+
+        The process value is True if the datagram (or any chunk of a
+        burst) was delivered, False if it was lost or the destination is
+        down/absent.
+        """
+        return self.sim.process(self._transmit(dgram, params, min_hold))
+
+    def _transmit(self, dgram: Datagram, params: TransportParams,
+                  min_hold: float):
+        src_nic = self._nics.get(dgram.src)
+        if src_nic is None or src_nic.down:
+            self.stats.add("tx.dropped.src_down")
+            return False
+        frames = self.burst_frames(dgram)
+        wire = self.link.wire_time(dgram.size, frames)
+        hold = max(wire, min_hold)
+        first = self.link.frame_time(
+            min(dgram.size, self.link.mtu_bytes - 28))
+        self.stats.add("tx.datagrams", dgram.count)
+        self.stats.add("tx.bytes", dgram.size)
+        self.stats.add("tx.frames", frames)
+
+        yield src_nic.tx.acquire()
+        rx_proc = self.sim.process(self._rx_side(dgram, params, hold, first))
+        yield self.sim.timeout(hold)
+        src_nic.tx.release()
+        delivered = yield rx_proc
+        return delivered
+
+    def _rx_side(self, dgram: Datagram, params: TransportParams,
+                 wire: float, first_frame: float):
+        yield self.sim.timeout(self.link.switch_latency_s + first_frame)
+        dst_nic = self._nics.get(dgram.dst)
+        if dst_nic is None or dst_nic.down:
+            self.stats.add("rx.dropped.dst_down")
+            return False
+
+        # Receiver CPU: frames are processed as they arrive, so for bursts
+        # only the final chunk's processing trails the last frame; the
+        # rest overlaps (and throttles) the stream.
+        frames = self.burst_frames(dgram)
+        cpu_total = params.cpu_time(dgram.size, frames, dgram.count,
+                                    params.recv_overhead_s)
+        if dgram.is_burst and dgram.count > 1:
+            last = dgram.chunks[-1]
+            tail = min(cpu_total, params.cpu_time(
+                last.size, self.frames_for(last.size), 1,
+                params.recv_overhead_s))
+            hold = max(wire, cpu_total - tail)
+        else:
+            tail = cpu_total
+            hold = wire
+
+        yield dst_nic.rx.acquire()
+        yield self.sim.timeout(hold)
+        dst_nic.rx.release()
+
+        dgram = self._apply_loss(dgram, params)
+        if dgram is None:
+            return False
+        yield self.sim.timeout(tail)
+        dst_nic.deliver(dgram)
+        return True
+
+    # -- loss model ------------------------------------------------------------
+    def _apply_loss(self, dgram: Datagram,
+                    params: TransportParams) -> Datagram | None:
+        p_frame = params.frame_loss_prob
+        if p_frame <= 0.0:
+            return dgram
+        if not dgram.is_burst:
+            p_drop = 1.0 - (1.0 - p_frame) ** self.frames_for(dgram.size)
+            if self._loss_rng.random() < p_drop:
+                self.stats.add("loss.datagrams")
+                return None
+            return dgram
+        lost = set()
+        for chunk in dgram.chunks:
+            p_drop = 1.0 - (1.0 - p_frame) ** self.frames_for(chunk.size)
+            if self._loss_rng.random() < p_drop:
+                lost.add(chunk.seq)
+        if len(lost) == len(dgram.chunks):
+            self.stats.add("loss.bursts_total")
+            return None
+        if lost:
+            self.stats.add("loss.chunks", len(lost))
+            survivors = [c for c in dgram.chunks if c.seq not in lost]
+            return Datagram(
+                src=dgram.src, sport=dgram.sport, dst=dgram.dst,
+                dport=dgram.dport,
+                size=sum(c.size for c in survivors),
+                transport=dgram.transport, payload=dgram.payload,
+                chunks=tuple(survivors), lost=frozenset(lost))
+        return dgram

@@ -1,0 +1,119 @@
+"""Timing/size parameters for the simulated cluster interconnect.
+
+The platform is the paper's: a 16-port 100 Mb/s full-duplex switched
+Ethernet (BayStack 350) with SMC Etherpower NICs.  Two transports share the
+wire:
+
+* **UDP/IP** — datagrams up to 64 KB, kernel crossings on both ends (fixed
+  per-datagram overhead plus a per-byte copy through the socket buffer).
+* **U-Net** — user-level access to the NIC, ~1.5 KB messages, small fixed
+  per-message overhead, no kernel copy.
+
+Overhead constants are calibrated (see ``tests/net/test_calibration.py``)
+so that an 8 KB remote read lands at ~7 MB/s over UDP and ~9.5 MB/s over
+U-Net — bracketing the paper's measured 7.75 MB/s sequential disk
+bandwidth, which is what produces the paper's "no speedup for sequential,
+U-Net beats UDP" results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class LinkParams:
+    """Physical-layer model for each host<->switch link."""
+
+    #: raw link rate in bits/second (100 Mb/s Fast Ethernet)
+    bandwidth_bps: float = 100e6
+    #: per-frame framing + header bytes on the wire (preamble, Ethernet,
+    #: IP/UDP headers, inter-frame gap) — charged once per frame
+    frame_overhead_bytes: int = 46
+    #: maximum Ethernet payload per frame
+    mtu_bytes: int = 1500
+    #: store-and-forward latency through the switch, per transmission
+    switch_latency_s: float = 10e-6
+
+    def frame_time(self, payload_bytes: int) -> float:
+        """Wire time of a single frame carrying ``payload_bytes``."""
+        return (payload_bytes + self.frame_overhead_bytes) * 8.0 \
+            / self.bandwidth_bps
+
+    def wire_time(self, payload_bytes: int, frames: int) -> float:
+        """Serialization time of ``frames`` frames totalling ``payload_bytes``."""
+        total = payload_bytes + frames * self.frame_overhead_bytes
+        return total * 8.0 / self.bandwidth_bps
+
+
+@dataclass(frozen=True)
+class TransportParams:
+    """Software-overhead model for one transport (UDP or U-Net).
+
+    Host CPU cost of moving one datagram =
+    ``fixed per-datagram + per-frame * frames + bytes / copy_bandwidth``,
+    charged on each side.  For UDP the per-frame term models the interrupt
+    + IP reassembly work the 2.0 kernel does per Ethernet frame; the copy
+    term models the socket-buffer copy plus checksumming.  U-Net takes the
+    fixed cost per *message* (= one frame) and only the single user-level
+    copy from the receive buffer into the region block (the paper's
+    iovec-based path removes the temporary-buffer copy, not that one).
+    """
+
+    name: str
+    #: largest application payload per datagram/message
+    max_payload: int
+    #: fixed CPU cost per datagram on the sending host (syscall / doorbell)
+    send_overhead_s: float
+    #: fixed CPU cost per datagram on the receiving host
+    recv_overhead_s: float
+    #: memory-copy (+checksum) bandwidth charged per side, bytes/s;
+    #: ``None`` means zero-copy
+    copy_bandwidth: float | None
+    #: CPU cost per Ethernet frame (interrupt/reassembly); 0 where the
+    #: fixed per-datagram cost already is per frame (U-Net)
+    per_frame_overhead_s: float = 0.0
+    #: independent per-frame loss probability injected at the switch
+    frame_loss_prob: float = 0.0
+
+    def cpu_time(self, payload_bytes: int, frames: int, count: int,
+                 fixed: float) -> float:
+        """Host CPU time to push/pull ``count`` datagrams totalling
+        ``payload_bytes`` over ``frames`` wire frames."""
+        t = count * fixed + frames * self.per_frame_overhead_s
+        if self.copy_bandwidth is not None and payload_bytes > 0:
+            t += payload_bytes / self.copy_bandwidth
+        return t
+
+
+#: UDP/IP over the kernel socket stack on a 200 MHz Pentium Pro.
+UDP_PARAMS = TransportParams(
+    name="udp",
+    max_payload=64 * 1024,
+    send_overhead_s=70e-6,
+    recv_overhead_s=70e-6,
+    copy_bandwidth=60e6,
+    per_frame_overhead_s=17.5e-6,
+)
+
+#: U-Net user-level networking: one Ethernet frame per message; the only
+#: copy left is receive-buffer -> region block (~80 MB/s, charged as
+#: 160 MB/s per side since our model charges both ends).
+UNET_PARAMS = TransportParams(
+    name="unet",
+    max_payload=1472,
+    send_overhead_s=22e-6,
+    recv_overhead_s=22e-6,
+    copy_bandwidth=160e6,
+)
+
+
+def transport_params(name: str, frame_loss_prob: float = 0.0) -> TransportParams:
+    """Look up a transport parameter set by name ('udp' or 'unet')."""
+    base = {"udp": UDP_PARAMS, "unet": UNET_PARAMS}.get(name)
+    if base is None:
+        raise ValueError(f"unknown transport {name!r} (use 'udp' or 'unet')")
+    if frame_loss_prob:
+        from dataclasses import replace
+        return replace(base, frame_loss_prob=frame_loss_prob)
+    return base

@@ -1,0 +1,212 @@
+"""``libusocket.a`` — the UDP-socket-like API of the paper (Figure 6).
+
+The paper implemented a library giving UDP-socket semantics on top of
+U-Net so the rest of Dodo is transport-agnostic.  We reproduce that:
+:class:`TransportEndpoint` binds a parameter set (UDP or U-Net) to a host
+NIC, and :class:`USocket` provides ``send``/``recv`` with receive-buffer
+accounting, timeouts and iovec-style scatter/gather.  The paper-named
+free functions (``u_socket``, ``u_send`` ...) are provided as thin wrappers
+in :mod:`repro.net.api` for interface fidelity.
+
+Semantics preserved from UDP: sends are fire-and-forget (the send event
+completes when the datagram is handed to the NIC, after the sender-side
+CPU overhead); a datagram that arrives to a full receive buffer or an
+unbound port is silently dropped.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import TYPE_CHECKING, Optional, Sequence
+
+from repro.metrics.recorder import Recorder
+from repro.net.packet import Chunk, Datagram
+from repro.net.params import TransportParams
+from repro.sim import AnyOf, Event, Simulator, Store
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.network import Network
+    from repro.net.nic import NIC
+
+#: first port handed out by the ephemeral allocator
+EPHEMERAL_BASE = 32768
+
+
+class SocketClosed(Exception):
+    """Raised when operating on a closed socket."""
+
+
+class TransportEndpoint:
+    """One transport (UDP or U-Net) attached to one host's NIC."""
+
+    def __init__(self, sim: Simulator, nic: "NIC", network: "Network",
+                 params: TransportParams):
+        self.sim = sim
+        self.nic = nic
+        self.network = network
+        self.params = params
+        self._ports: dict[int, "USocket"] = {}
+        self._ephemeral = itertools.count(EPHEMERAL_BASE)
+        nic.register_endpoint(self)
+
+    @property
+    def addr(self) -> str:
+        return self.nic.addr
+
+    def socket(self, port: Optional[int] = None, recvbuf: int = 256 * 1024,
+               sendbuf: int = 256 * 1024) -> "USocket":
+        """Create and bind a socket; ``port=None`` picks an ephemeral one."""
+        if port is None:
+            port = next(self._ephemeral)
+            while port in self._ports:
+                port = next(self._ephemeral)
+        if port in self._ports:
+            raise ValueError(f"port {port} already bound on {self.addr}")
+        sock = USocket(self, port, recvbuf=recvbuf, sendbuf=sendbuf)
+        self._ports[port] = sock
+        return sock
+
+    def socket_for_port(self, port: int) -> Optional["USocket"]:
+        return self._ports.get(port)
+
+    def _unbind(self, port: int) -> None:
+        self._ports.pop(port, None)
+
+
+class USocket:
+    """A datagram socket with buffer limits, timeouts and burst sends."""
+
+    def __init__(self, endpoint: TransportEndpoint, port: int,
+                 recvbuf: int, sendbuf: int):
+        self.endpoint = endpoint
+        self.sim = endpoint.sim
+        self.port = port
+        self.recvbuf = recvbuf
+        self.sendbuf = sendbuf
+        self.default_dst: Optional[tuple[str, int]] = None
+        self.closed = False
+        self._queue: Store = Store(self.sim)
+        self._queued_bytes = 0
+        self._pending_recvs = 0
+        self.stats = Recorder(f"sock.{endpoint.addr}:{port}")
+
+    # -- connection-style convenience -----------------------------------------
+    def connect(self, dst_addr: str, dst_port: int) -> None:
+        """Set the default destination (paper: ``u_connect``)."""
+        self.default_dst = (dst_addr, dst_port)
+
+    # -- sending -----------------------------------------------------------------
+    def send(self, size: int, payload=None,
+             dst: Optional[tuple[str, int]] = None,
+             chunks: Sequence[Chunk] = ()) -> Event:
+        """Send one datagram (or one burst); see module docstring.
+
+        Returns an event that fires — after the sender-side CPU overhead —
+        with the number of payload bytes handed to the NIC.  Raises
+        ``ValueError`` for payloads beyond the transport's max (except for
+        bursts, whose individual chunks must each fit).
+        """
+        if self.closed:
+            raise SocketClosed(f"send on closed socket {self.port}")
+        target = dst or self.default_dst
+        if target is None:
+            raise ValueError("no destination: connect() first or pass dst=")
+        params = self.endpoint.params
+        if chunks:
+            for c in chunks:
+                if c.size > params.max_payload:
+                    raise ValueError(
+                        f"chunk {c.seq} ({c.size} B) exceeds {params.name} "
+                        f"max payload {params.max_payload}")
+        elif size > params.max_payload:
+            raise ValueError(
+                f"datagram of {size} B exceeds {params.name} max payload "
+                f"{params.max_payload}")
+        dgram = Datagram(
+            src=self.endpoint.addr, sport=self.port,
+            dst=target[0], dport=target[1],
+            size=size, transport=params.name, payload=payload,
+            chunks=tuple(chunks))
+        self.stats.add("tx.datagrams", dgram.count)
+        self.stats.add("tx.bytes", size)
+        return self.sim.process(self._send_proc(dgram, params))
+
+    def send_iovec(self, iov: Sequence[bytes],
+                   dst: Optional[tuple[str, int]] = None) -> Event:
+        """Scatter-gather send (paper: ``u_send_iovec``): one datagram whose
+        payload is the concatenation of the iovec, without an intermediate
+        copy charge (the real library used sendmsg/recvmsg for this)."""
+        data = b"".join(iov)
+        return self.send(len(data), payload=data, dst=dst)
+
+    def _send_proc(self, dgram: Datagram, params: TransportParams):
+        network = self.endpoint.network
+        frames = network.burst_frames(dgram)
+        cpu_total = params.cpu_time(dgram.size, frames, dgram.count,
+                                    params.send_overhead_s)
+        if dgram.is_burst and dgram.count > 1:
+            # A blast pipelines: the caller blocks only for the first
+            # chunk's processing; the rest of the CPU work overlaps the
+            # wire (it throttles the transmission if CPU is the
+            # bottleneck — see Network.transmit's min_hold).
+            first = dgram.chunks[0]
+            cpu_first = min(cpu_total, params.cpu_time(
+                first.size, network.frames_for(first.size), 1,
+                params.send_overhead_s))
+            residual = cpu_total - cpu_first
+        else:
+            cpu_first, residual = cpu_total, 0.0
+        yield self.sim.timeout(cpu_first)
+        network.transmit(dgram, params, min_hold=residual)
+        return dgram.size
+
+    # -- receiving -----------------------------------------------------------------
+    def recv(self, timeout: Optional[float] = None) -> Event:
+        """Event yielding the next :class:`Datagram`, or ``None`` on timeout
+        or socket close (paper: ``u_recv`` takes an explicit timeout)."""
+        if self.closed:
+            raise SocketClosed(f"recv on closed socket {self.port}")
+        self._pending_recvs += 1
+        return self.sim.process(self._recv_proc(timeout))
+
+    def _recv_proc(self, timeout: Optional[float]):
+        get = self._queue.get()
+        try:
+            if timeout is None:
+                dgram = yield get
+            else:
+                idx, value = yield AnyOf(self.sim, [get, self.sim.timeout(timeout)])
+                if idx != 0:
+                    self._queue.cancel(get)
+                    self.stats.add("rx.timeouts")
+                    return None
+                dgram = value
+        finally:
+            self._pending_recvs -= 1
+        if dgram is None:  # close sentinel
+            return None
+        self._queued_bytes -= dgram.size
+        self.stats.add("rx.datagrams", dgram.count)
+        self.stats.add("rx.bytes", dgram.size)
+        return dgram
+
+    def _enqueue(self, dgram: Datagram) -> None:
+        """Called by the NIC demux with an arriving datagram."""
+        if self.closed:
+            self.stats.add("rx.dropped.closed")
+            return
+        if self._queued_bytes + dgram.size > self.recvbuf:
+            self.stats.add("rx.dropped.buffer_full")
+            return
+        self._queued_bytes += dgram.size
+        self._queue.put(dgram)
+
+    # -- lifecycle -----------------------------------------------------------------
+    def close(self) -> None:
+        """Unbind the port; pending recvs complete with ``None``."""
+        if self.closed:
+            return
+        self.closed = True
+        self.endpoint._unbind(self.port)
+        for _ in range(self._pending_recvs):
+            self._queue.put(None)

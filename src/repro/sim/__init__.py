@@ -1,0 +1,35 @@
+"""Discrete-event simulation substrate.
+
+A small, from-scratch, SimPy-like kernel used by every other subsystem in
+this reproduction.  Components are written as Python generator *processes*
+that ``yield`` events (timeouts, queue gets, condition events); the
+:class:`~repro.sim.kernel.Simulator` advances virtual time and dispatches
+callbacks deterministically.
+
+The kernel is deliberately minimal but complete enough to model an entire
+workstation cluster: it supports process interruption (used when a resource
+monitor kills an idle-memory daemon), condition events (used by ``mwrite``
+to join its parallel disk and network writes), FIFO stores (message queues),
+and counting resources (disk arms, NIC channels).
+"""
+
+from repro.sim.errors import Interrupt, SimulationError
+from repro.sim.kernel import Event, Simulator, Timeout
+from repro.sim.process import AllOf, AnyOf, Process
+from repro.sim.resources import PriorityStore, Resource, Store
+from repro.sim.rng import RngRegistry
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Event",
+    "Interrupt",
+    "PriorityStore",
+    "Process",
+    "Resource",
+    "RngRegistry",
+    "Simulator",
+    "SimulationError",
+    "Store",
+    "Timeout",
+]

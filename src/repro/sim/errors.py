@@ -1,0 +1,31 @@
+"""Exception types raised by the simulation kernel."""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+class SimulationError(Exception):
+    """Base class for errors raised by the DES kernel itself."""
+
+
+class StopSimulation(Exception):
+    """Internal control-flow exception used by :meth:`Simulator.run`."""
+
+
+class Interrupt(Exception):
+    """Thrown *into* a process when another process interrupts it.
+
+    The interrupting party supplies a ``cause`` that the interrupted
+    process can inspect — e.g. the idle-memory daemon is interrupted by the
+    resource monitor with cause ``"owner-reclaim"`` and reacts by finishing
+    in-flight transfers before exiting (paper, Section 4.1).
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+
+    @property
+    def cause(self) -> Any:
+        """The value passed to :meth:`Process.interrupt`."""
+        return self.args[0]

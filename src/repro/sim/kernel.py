@@ -1,0 +1,228 @@
+"""The discrete-event simulation core: events, timeouts and the scheduler.
+
+Time is a ``float`` number of **seconds** of virtual time.  Determinism is a
+hard requirement for reproducible experiments, so ties in the event heap are
+broken by a monotonically increasing insertion counter, never by object
+identity.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Iterable, Optional
+
+from repro.sim.errors import SimulationError, StopSimulation
+from repro.sim.rng import RngRegistry
+
+_PENDING = object()
+
+
+class Event:
+    """A one-shot occurrence in virtual time.
+
+    An event starts *pending*, becomes *triggered* when given a value (via
+    :meth:`succeed` or :meth:`fail`) and *processed* once the scheduler has
+    run its callbacks.  Processes wait on events by ``yield``-ing them.
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "defused")
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        #: callables invoked with this event once it is processed;
+        #: ``None`` after processing (further appends are a bug).
+        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self._value: Any = _PENDING
+        self._ok: Optional[bool] = None
+        #: a failed event whose exception was consumed (e.g. by a waiting
+        #: process) sets this so the scheduler does not re-raise it.
+        self.defused = False
+
+    # -- state inspection -------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event has a value and is queued for processing."""
+        return self._value is not _PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded.  Only valid once triggered."""
+        if self._ok is None:
+            raise SimulationError("event not yet triggered")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event's value (or exception instance if it failed)."""
+        if self._value is _PENDING:
+            raise SimulationError("event not yet triggered")
+        return self._value
+
+    # -- triggering -------------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self.triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        self._ok = True
+        self._value = value
+        self.sim._enqueue(0.0, self)
+        return self
+
+    def fail(self, exc: BaseException) -> "Event":
+        """Trigger the event with an exception.
+
+        The exception propagates into any process waiting on this event; if
+        nobody consumes it, :meth:`Simulator.run` re-raises it to surface
+        silent failures.
+        """
+        if not isinstance(exc, BaseException):
+            raise TypeError(f"fail() needs an exception, got {exc!r}")
+        if self.triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        self._ok = False
+        self._value = exc
+        self.sim._enqueue(0.0, self)
+        return self
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "processed" if self.processed else (
+            "triggered" if self.triggered else "pending")
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires after a fixed virtual-time delay."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay}")
+        super().__init__(sim)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        sim._enqueue(delay, self)
+
+
+class Simulator:
+    """The event loop: a time-ordered heap of triggered events.
+
+    Parameters
+    ----------
+    seed:
+        Master seed for :class:`~repro.sim.rng.RngRegistry`.  Every
+        component derives an independent, named stream from it so that
+        adding a component never perturbs another's random sequence.
+    """
+
+    def __init__(self, seed: int = 0):
+        self._now: float = 0.0
+        self._heap: list[tuple[float, int, Event]] = []
+        self._counter: int = 0
+        self.rng = RngRegistry(seed)
+        #: number of events processed so far (exposed for perf reporting)
+        self.events_processed: int = 0
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    # -- event construction ------------------------------------------------
+    def event(self) -> Event:
+        """A fresh pending event, to be triggered manually."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """An event firing ``delay`` seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator) -> "Process":
+        """Start a new process from a generator; see :class:`Process`."""
+        from repro.sim.process import Process
+
+        return Process(self, generator)
+
+    def all_of(self, events: Iterable[Event]) -> "Event":
+        from repro.sim.process import AllOf
+
+        return AllOf(self, list(events))
+
+    def any_of(self, events: Iterable[Event]) -> "Event":
+        from repro.sim.process import AnyOf
+
+        return AnyOf(self, list(events))
+
+    # -- scheduling --------------------------------------------------------
+    def _enqueue(self, delay: float, event: Event) -> None:
+        self._counter += 1
+        heapq.heappush(self._heap, (self._now + delay, self._counter, event))
+
+    def peek(self) -> float:
+        """Time of the next event, or ``inf`` if none are queued."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event."""
+        if not self._heap:
+            raise SimulationError("step() on an empty event queue")
+        when, _, event = heapq.heappop(self._heap)
+        self._now = when
+        callbacks, event.callbacks = event.callbacks, None
+        for cb in callbacks:
+            cb(event)
+        self.events_processed += 1
+        if not event._ok and not event.defused:
+            # An unhandled failure: surface it rather than losing it.
+            raise event._value
+
+    def run(self, until: Optional[float | Event] = None) -> Any:
+        """Run until the queue drains, a time is reached, or an event fires.
+
+        ``until`` may be ``None`` (drain), a float time, or an
+        :class:`Event` — in the last case ``run`` returns that event's
+        value (re-raising if it failed).
+        """
+        stop_evt: Optional[Event] = None
+        if isinstance(until, Event):
+            stop_evt = until
+            if stop_evt.processed:
+                if stop_evt.ok:
+                    return stop_evt.value
+                raise stop_evt.value
+
+            def _stop(evt: Event) -> None:
+                raise StopSimulation
+
+            stop_evt.callbacks.append(_stop)
+            horizon = float("inf")
+        elif until is None:
+            horizon = float("inf")
+        else:
+            horizon = float(until)
+            if horizon < self._now:
+                raise SimulationError(
+                    f"run(until={horizon}) is in the past (now={self._now})")
+
+        try:
+            while self._heap and self.peek() <= horizon:
+                self.step()
+        except StopSimulation:
+            pass
+        if horizon != float("inf") and self._now < horizon:
+            self._now = horizon
+        if stop_evt is not None:
+            if not stop_evt.triggered:
+                raise SimulationError(
+                    "run(until=event): queue drained but event never fired")
+            if stop_evt.ok:
+                return stop_evt.value
+            stop_evt.defused = True
+            raise stop_evt.value
+        return None

@@ -1,0 +1,178 @@
+"""Generator-based processes and condition events for the DES kernel.
+
+A *process* is a Python generator that yields :class:`~repro.sim.kernel.Event`
+objects; the kernel resumes it with the event's value (or throws the event's
+exception into it).  A process is itself an event that fires when the
+generator returns, so processes can wait on each other.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+from repro.sim.errors import Interrupt, SimulationError
+from repro.sim.kernel import Event, Simulator
+
+
+class Process(Event):
+    """Wraps a generator and drives it through the event loop.
+
+    The process event succeeds with the generator's return value, or fails
+    with the exception that escaped the generator.  Failures propagate: if
+    no other process is waiting on a failed process, the simulator's run
+    loop raises the exception, so component crashes are never silent.
+    """
+
+    __slots__ = ("_generator", "_target")
+
+    def __init__(self, sim: Simulator, generator: Generator[Event, Any, Any]):
+        if not hasattr(generator, "send"):
+            raise TypeError(f"Process needs a generator, got {generator!r}")
+        super().__init__(sim)
+        self._generator: Optional[Generator] = generator
+        # Bootstrap: resume the generator at time now (after the caller's
+        # current callback finishes), mirroring SimPy's Initialize event.
+        init = Event(sim)
+        init._ok = True
+        init._value = None
+        sim._enqueue(0.0, init)
+        init.callbacks.append(self._resume)
+        self._target: Optional[Event] = init
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not terminated."""
+        return self._generator is not None
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        The process is detached from whatever event it was waiting on; that
+        event firing later will not resume it.  Interrupting a terminated
+        process is an error (matching SimPy semantics).
+        """
+        if self._generator is None:
+            raise SimulationError("cannot interrupt a terminated process")
+        inter = Event(self.sim)
+        inter._ok = False
+        inter._value = Interrupt(cause)
+        self.sim._enqueue(0.0, inter)
+        inter.callbacks.append(self._deliver_interrupt)
+
+    def _deliver_interrupt(self, event: Event) -> None:
+        """Detach from the current wait target and throw the interrupt.
+
+        Detaching happens at *delivery* time, not at :meth:`interrupt` call
+        time — the process may have been bootstrapped or re-targeted by
+        same-timestamp events in between.
+        """
+        event.defused = True
+        if self._generator is None:
+            return  # terminated before delivery
+        if self._target is not None and self._target.callbacks is not None:
+            try:
+                self._target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        self._resume(event)
+
+    # -- kernel callback ----------------------------------------------------
+    def _resume(self, event: Event) -> None:
+        if not event._ok:
+            event.defused = True  # this process consumes the exception
+        if self._generator is None:
+            return  # raced with termination (e.g. double interrupt)
+        self._target = None
+        try:
+            if event._ok:
+                nxt = self._generator.send(event._value)
+            else:
+                nxt = self._generator.throw(event._value)
+        except StopIteration as stop:
+            self._generator = None
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:
+            self._generator = None
+            self.fail(exc)
+            return
+
+        if not isinstance(nxt, Event):
+            self._generator = None
+            self.fail(SimulationError(
+                f"process yielded a non-event: {nxt!r}"))
+            return
+        if nxt.callbacks is None:
+            # Already processed: redeliver its outcome on a fresh event so
+            # the process resumes on the next scheduler step.
+            proxy = Event(self.sim)
+            proxy._ok = nxt._ok
+            proxy._value = nxt._value
+            self.sim._enqueue(0.0, proxy)
+            nxt = proxy
+        nxt.callbacks.append(self._resume)
+        self._target = nxt
+
+
+class _Condition(Event):
+    """Shared machinery for :class:`AllOf` / :class:`AnyOf`."""
+
+    __slots__ = ("_events", "_done")
+
+    def __init__(self, sim: Simulator, events: list[Event]):
+        super().__init__(sim)
+        self._events = events
+        self._done = 0
+        if not events:
+            self.succeed(self._finish_value())
+            return
+        for idx, evt in enumerate(events):
+            if evt.callbacks is None:
+                self._child_done(idx, evt)
+            else:
+                evt.callbacks.append(
+                    lambda e, i=idx: self._child_done(i, e))
+
+    def _child_done(self, idx: int, evt: Event) -> None:
+        if self.triggered:
+            return
+        if not evt._ok:
+            evt.defused = True
+            self.fail(evt._value)
+            return
+        self._done += 1
+        self._on_child(idx, evt)
+
+    def _on_child(self, idx: int, evt: Event) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    def _finish_value(self) -> Any:  # pragma: no cover
+        raise NotImplementedError
+
+
+class AllOf(_Condition):
+    """Fires when every child event has fired; value is the list of values.
+
+    If any child fails, this condition fails with that child's exception.
+    """
+
+    __slots__ = ()
+
+    def _on_child(self, idx: int, evt: Event) -> None:
+        if self._done == len(self._events):
+            self.succeed(self._finish_value())
+
+    def _finish_value(self) -> list[Any]:
+        return [e._value for e in self._events]
+
+
+class AnyOf(_Condition):
+    """Fires when the first child fires; value is ``(index, value)``."""
+
+    __slots__ = ()
+
+    def _on_child(self, idx: int, evt: Event) -> None:
+        self.succeed((idx, evt._value))
+
+    def _finish_value(self) -> Any:
+        return None

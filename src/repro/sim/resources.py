@@ -1,0 +1,200 @@
+"""Queueing primitives: counting resources and FIFO / priority stores.
+
+These model contended hardware (a disk arm, a NIC TX engine) and message
+queues between daemons.  All wait lists are strictly FIFO so simulations are
+deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections import deque
+from typing import Any, Optional
+
+from repro.sim.errors import SimulationError
+from repro.sim.kernel import Event, Simulator
+
+
+class Resource:
+    """A counting semaphore with FIFO granting.
+
+    Usage from a process::
+
+        yield disk.acquire()
+        try:
+            ...  # hold the resource
+        finally:
+            disk.release()
+    """
+
+    def __init__(self, sim: Simulator, capacity: int = 1):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self._in_use = 0
+        self._waiters: deque[Event] = deque()
+
+    @property
+    def in_use(self) -> int:
+        return self._in_use
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._waiters)
+
+    def acquire(self) -> Event:
+        """Event that fires once a unit of the resource is granted."""
+        evt = Event(self.sim)
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            evt.succeed()
+        else:
+            self._waiters.append(evt)
+        return evt
+
+    def release(self) -> None:
+        """Return one unit; grants the oldest waiter if any."""
+        if self._in_use <= 0:
+            raise SimulationError("release() without matching acquire()")
+        while self._waiters:
+            waiter = self._waiters.popleft()
+            if waiter.triggered:  # cancelled
+                continue
+            waiter.succeed()
+            return
+        self._in_use -= 1
+
+    def cancel(self, evt: Event) -> bool:
+        """Withdraw a pending acquire; returns True if it was still queued."""
+        try:
+            self._waiters.remove(evt)
+            return True
+        except ValueError:
+            return False
+
+
+class Store:
+    """An unbounded-or-bounded FIFO queue of arbitrary items.
+
+    ``put`` returns an event that fires when the item is accepted (always
+    immediately for unbounded stores); ``get`` returns an event whose value
+    is the item.  Daemons receive their network messages and control
+    messages ("poison pills") through stores.
+    """
+
+    def __init__(self, sim: Simulator, capacity: float = float("inf")):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self._items: deque[Any] = deque()
+        self._getters: deque[Event] = deque()
+        self._putters: deque[tuple[Event, Any]] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def items(self) -> tuple:
+        """Snapshot of queued items (read-only view for tests/metrics)."""
+        return tuple(self._items)
+
+    def put(self, item: Any) -> Event:
+        evt = Event(self.sim)
+        getter = self._next_getter()
+        if getter is not None:
+            getter.succeed(item)
+            evt.succeed()
+        elif len(self._items) < self.capacity:
+            self._items.append(item)
+            evt.succeed()
+        else:
+            self._putters.append((evt, item))
+        return evt
+
+    def get(self) -> Event:
+        evt = Event(self.sim)
+        if self._items:
+            evt.succeed(self._items.popleft())
+            self._admit_putter()
+        else:
+            self._getters.append(evt)
+        return evt
+
+    def cancel(self, evt: Event) -> bool:
+        """Withdraw a pending get; returns True if it was still queued."""
+        try:
+            self._getters.remove(evt)
+            return True
+        except ValueError:
+            return False
+
+    # -- internals ----------------------------------------------------------
+    def _next_getter(self) -> Optional[Event]:
+        while self._getters:
+            getter = self._getters.popleft()
+            if not getter.triggered:
+                return getter
+        return None
+
+    def _admit_putter(self) -> None:
+        if self._putters and len(self._items) < self.capacity:
+            evt, item = self._putters.popleft()
+            self._items.append(item)
+            evt.succeed()
+
+
+class PriorityStore(Store):
+    """A store that hands out the smallest item first.
+
+    Items must be orderable; ties are broken by insertion order so equal
+    priorities remain FIFO.
+    """
+
+    def __init__(self, sim: Simulator, capacity: float = float("inf")):
+        super().__init__(sim, capacity)
+        self._heap: list[tuple[Any, int, Any]] = []
+        self._seq = itertools.count()
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    @property
+    def items(self) -> tuple:
+        return tuple(item for _, _, item in sorted(self._heap))
+
+    def put(self, item: Any) -> Event:
+        evt = Event(self.sim)
+        getter = self._next_getter()
+        if getter is not None and not self._heap:
+            getter.succeed(item)
+            evt.succeed()
+            return evt
+        if getter is not None:
+            # Keep ordering: push then pop the minimum for the getter.
+            heapq.heappush(self._heap, (item, next(self._seq), item))
+            _, _, smallest = heapq.heappop(self._heap)
+            getter.succeed(smallest)
+            evt.succeed()
+            return evt
+        if len(self._heap) < self.capacity:
+            heapq.heappush(self._heap, (item, next(self._seq), item))
+            evt.succeed()
+        else:
+            self._putters.append((evt, item))
+        return evt
+
+    def get(self) -> Event:
+        evt = Event(self.sim)
+        if self._heap:
+            _, _, item = heapq.heappop(self._heap)
+            evt.succeed(item)
+            if self._putters and len(self._heap) < self.capacity:
+                pevt, pitem = self._putters.popleft()
+                heapq.heappush(self._heap, (pitem, next(self._seq), pitem))
+                pevt.succeed()
+        else:
+            self._getters.append(evt)
+        return evt

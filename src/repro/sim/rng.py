@@ -1,0 +1,38 @@
+"""Named, independent random streams.
+
+Every stochastic component (each disk, each owner model, the packet-loss
+injector, ...) pulls a NumPy ``Generator`` keyed by a stable name.  Streams
+are derived from the master seed and the CRC of the name, so adding or
+removing one component never changes the random sequence any other
+component sees — a prerequisite for meaningful A/B experiments.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+import numpy as np
+
+
+class RngRegistry:
+    """Factory and cache of named ``numpy.random.Generator`` streams."""
+
+    def __init__(self, master_seed: int = 0):
+        self.master_seed = int(master_seed)
+        self._streams: dict[str, np.random.Generator] = {}
+
+    def stream(self, name: str) -> np.random.Generator:
+        """The generator for ``name``, created on first use."""
+        gen = self._streams.get(name)
+        if gen is None:
+            entropy = (self.master_seed, zlib.crc32(name.encode("utf-8")))
+            gen = np.random.default_rng(np.random.SeedSequence(entropy))
+            self._streams[name] = gen
+        return gen
+
+    def __call__(self, name: str) -> np.random.Generator:
+        return self.stream(name)
+
+    def reset(self) -> None:
+        """Drop all cached streams (they will be re-derived on next use)."""
+        self._streams.clear()

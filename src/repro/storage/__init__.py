@@ -1,0 +1,17 @@
+"""Storage substrate: mechanical disk, OS page cache, Unix-like FS."""
+
+from repro.storage.disk import Disk, DiskParams
+from repro.storage.filesystem import (File, FileHandle, FileSystem, FsError,
+                                      FsParams)
+from repro.storage.pagecache import PageCache
+
+__all__ = [
+    "Disk",
+    "DiskParams",
+    "File",
+    "FileHandle",
+    "FileSystem",
+    "FsError",
+    "FsParams",
+    "PageCache",
+]

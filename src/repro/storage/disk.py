@@ -1,0 +1,128 @@
+"""Mechanical disk model — the Quantum Fireball ST3.2A of the paper.
+
+Per-request service time is seek + rotational latency + media transfer,
+with sequential requests (starting where the last one ended) skipping the
+positioning costs entirely.  Seek time follows the classic
+``min + (avg - min) * sqrt(distance / avg_distance)`` curve, capped at the
+maximum.  The single disk arm is a contended resource.
+
+The default parameters are calibrated (see
+``tests/storage/test_calibration.py`` and the disk-calibration benchmark)
+against the application-level figures reported in Section 5.1:
+
+* sequential 8 KB / 32 KB reads through the file system: **7.75 MB/s**
+* random 8 KB reads: **0.57 MB/s**
+* random 32 KB reads: **1.56 MB/s**
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.metrics.recorder import Recorder
+from repro.sim import Resource, Simulator
+
+
+@dataclass(frozen=True)
+class DiskParams:
+    """Geometry and timing of one disk."""
+
+    #: usable capacity in bytes (3.2 GB Quantum Fireball)
+    capacity_bytes: int = 3_200_000_000
+    #: minimum (track-to-track) seek
+    seek_min_s: float = 2.0e-3
+    #: average random-seek time for reads / writes (paper: 10 / 11 ms)
+    seek_avg_read_s: float = 10.0e-3
+    seek_avg_write_s: float = 11.0e-3
+    #: maximum stroke seek (paper: 12 / 13 ms)
+    seek_max_read_s: float = 12.0e-3
+    seek_max_write_s: float = 13.0e-3
+    #: spindle speed (5400 RPM)
+    rpm: float = 5400.0
+    #: sustained media transfer rate, bytes/s
+    media_rate: float = 8.0e6
+    #: fixed per-request controller/driver overhead
+    overhead_s: float = 0.3e-3
+
+    @property
+    def rotation_s(self) -> float:
+        return 60.0 / self.rpm
+
+    @property
+    def avg_rotational_latency_s(self) -> float:
+        return self.rotation_s / 2.0
+
+
+class Disk:
+    """One disk with a single arm; requests are served FIFO.
+
+    Offsets are byte addresses ("LBA * 512" collapsed to plain bytes).
+    ``read``/``write`` return a process whose value is the service time of
+    that request (excluding queueing).
+    """
+
+    def __init__(self, sim: Simulator, name: str = "disk",
+                 params: DiskParams | None = None):
+        self.sim = sim
+        self.name = name
+        self.params = params or DiskParams()
+        self.arm = Resource(sim, capacity=1)
+        self._head: int = 0           # current head byte position
+        self._last_end: int = -1      # end of last transfer, for streaming
+        self.stats = Recorder(name)
+
+    # -- timing model ---------------------------------------------------------
+    def seek_time(self, distance: int, write: bool) -> float:
+        """Positioning time for a head movement of ``distance`` bytes."""
+        p = self.params
+        if distance == 0:
+            return 0.0
+        avg = p.seek_avg_write_s if write else p.seek_avg_read_s
+        cap = p.seek_max_write_s if write else p.seek_max_read_s
+        avg_dist = p.capacity_bytes / 3.0  # mean |a-b| for uniform a, b
+        t = p.seek_min_s + (avg - p.seek_min_s) * math.sqrt(distance / avg_dist)
+        return min(t, cap)
+
+    def service_time(self, offset: int, nbytes: int, write: bool) -> float:
+        """Pure service time for one request at the current head position."""
+        p = self.params
+        transfer = nbytes / p.media_rate
+        if offset == self._last_end:
+            # Streaming: the head is already there, no rotational miss.
+            return p.overhead_s + transfer
+        seek = self.seek_time(abs(offset - self._head), write)
+        return p.overhead_s + seek + p.avg_rotational_latency_s + transfer
+
+    # -- I/O ----------------------------------------------------------------------
+    def read(self, offset: int, nbytes: int):
+        """Process performing one read; value = service time."""
+        return self.sim.process(self._io(offset, nbytes, write=False))
+
+    def write(self, offset: int, nbytes: int):
+        """Process performing one write; value = service time."""
+        return self.sim.process(self._io(offset, nbytes, write=True))
+
+    def _io(self, offset: int, nbytes: int, write: bool):
+        if nbytes <= 0:
+            raise ValueError(f"disk I/O of {nbytes} bytes")
+        if offset < 0 or offset + nbytes > self.params.capacity_bytes:
+            raise ValueError(
+                f"I/O [{offset}, {offset + nbytes}) beyond disk capacity "
+                f"{self.params.capacity_bytes}")
+        yield self.arm.acquire()
+        try:
+            service = self.service_time(offset, nbytes, write)
+            sequential = offset == self._last_end
+            yield self.sim.timeout(service)
+            self._head = offset + nbytes
+            self._last_end = offset + nbytes
+        finally:
+            self.arm.release()
+        kind = "write" if write else "read"
+        self.stats.add(f"{kind}.ops")
+        self.stats.add(f"{kind}.bytes", nbytes)
+        if sequential:
+            self.stats.add(f"{kind}.sequential")
+        self.stats.sample("service_s", service)
+        return service

@@ -1,0 +1,36 @@
+"""Workloads: the paper's two applications and three synthetic benchmarks."""
+
+from repro.workloads.app import (RunResult, SyntheticRunner, TraceRequest,
+                                 TraceRunner)
+from repro.workloads.dmine import (Apriori, BLOCK_SIZE, DmineParams,
+                                   brute_force_frequent, decode_block,
+                                   dmine_trace, encode_blocks,
+                                   generate_transactions)
+from repro.workloads.lu import (LuParams, OutOfCoreLU, lu_factor_slabs,
+                                lu_trace, make_test_matrix, unpack_lu)
+from repro.workloads.synthetic import (PATTERNS, SyntheticParams,
+                                       iteration_offsets)
+
+__all__ = [
+    "Apriori",
+    "BLOCK_SIZE",
+    "DmineParams",
+    "LuParams",
+    "OutOfCoreLU",
+    "PATTERNS",
+    "RunResult",
+    "SyntheticParams",
+    "SyntheticRunner",
+    "TraceRequest",
+    "TraceRunner",
+    "brute_force_frequent",
+    "decode_block",
+    "dmine_trace",
+    "encode_blocks",
+    "generate_transactions",
+    "iteration_offsets",
+    "lu_factor_slabs",
+    "lu_trace",
+    "make_test_matrix",
+    "unpack_lu",
+]

@@ -1,0 +1,70 @@
+"""The three synthetic benchmarks of Section 5.2.2.
+
+Each performs ``num_iter`` iterations; in each iteration it reads its
+entire dataset with requests of ``req_size`` and a constant 10 ms compute
+time between requests:
+
+* **sequential** — reads the dataset front to back;
+* **hotcold** — a 20% "hot" region receives 80% of the references,
+  random within each region;
+* **random** — uniform random requests over the whole dataset.
+
+The request generators yield byte offsets aligned to ``req_size``; the
+:mod:`~repro.workloads.app` harness turns them into FS reads (baseline)
+or region-library reads (Dodo).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+PATTERNS = ("sequential", "hotcold", "random")
+
+
+@dataclass(frozen=True)
+class SyntheticParams:
+    """Knobs of one synthetic run (paper defaults)."""
+
+    pattern: str = "sequential"
+    dataset_bytes: int = 1 << 30
+    req_size: int = 8192
+    num_iter: int = 4
+    compute_s: float = 0.010
+    hot_fraction: float = 0.2
+    hot_prob: float = 0.8
+
+    def __post_init__(self) -> None:
+        if self.pattern not in PATTERNS:
+            raise ValueError(f"pattern must be one of {PATTERNS}, "
+                             f"got {self.pattern!r}")
+        if self.dataset_bytes % self.req_size:
+            raise ValueError("dataset_bytes must be a multiple of req_size")
+
+    @property
+    def requests_per_iter(self) -> int:
+        return self.dataset_bytes // self.req_size
+
+
+def iteration_offsets(params: SyntheticParams,
+                      rng: np.random.Generator) -> Iterator[np.ndarray]:
+    """Yield one array of request offsets per iteration.
+
+    Every iteration touches ``requests_per_iter`` requests ("reads its
+    entire data set ... according to the access pattern").
+    """
+    n = params.requests_per_iter
+    for _ in range(params.num_iter):
+        if params.pattern == "sequential":
+            yield np.arange(n, dtype=np.int64) * params.req_size
+        elif params.pattern == "random":
+            yield rng.integers(0, n, size=n, dtype=np.int64) \
+                * params.req_size
+        else:  # hotcold
+            n_hot_slots = max(1, int(n * params.hot_fraction))
+            is_hot = rng.random(n) < params.hot_prob
+            hot = rng.integers(0, n_hot_slots, size=n, dtype=np.int64)
+            cold = rng.integers(n_hot_slots, n, size=n, dtype=np.int64)
+            yield np.where(is_hot, hot, cold) * params.req_size

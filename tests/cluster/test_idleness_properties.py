@@ -1,0 +1,58 @@
+"""Property tests: the vectorized idleness predicate vs a naive reference."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.idleness import IdlePolicy, idle_mask
+
+
+def naive_idle_mask(console_active, load, dt_s, policy):
+    """Direct, obviously-correct implementation of the Section 2 rule."""
+    n = len(load)
+    w = max(1, int(round(policy.window_s / dt_s)))
+    out = np.zeros(n, dtype=bool)
+    for t in range(n):
+        if t < w - 1:
+            continue
+        window = range(t - w + 1, t + 1)
+        out[t] = all(not console_active[i]
+                     and load[i] < policy.load_threshold for i in window)
+    return out
+
+
+@given(
+    n=st.integers(1, 120),
+    seed=st.integers(0, 1000),
+    window_steps=st.integers(1, 10),
+    activity_rate=st.floats(0.0, 0.5),
+)
+@settings(max_examples=80, deadline=None)
+def test_idle_mask_matches_naive(n, seed, window_steps, activity_rate):
+    rng = np.random.default_rng(seed)
+    console = rng.random(n) < activity_rate
+    load = rng.random(n) * 0.6  # straddles the 0.3 threshold
+    dt = 60.0
+    policy = IdlePolicy(window_s=window_steps * dt)
+    fast = idle_mask(console, load, dt, policy)
+    slow = naive_idle_mask(console, load, dt, policy)
+    assert (fast == slow).all()
+
+
+@given(n=st.integers(1, 60), seed=st.integers(0, 100))
+@settings(max_examples=30, deadline=None)
+def test_idle_mask_monotone_in_quietness(n, seed):
+    """Silencing the console can only add idle samples, never remove."""
+    rng = np.random.default_rng(seed)
+    console = rng.random(n) < 0.3
+    load = rng.random(n) * 0.25  # always under threshold
+    base = idle_mask(console, load, 60.0)
+    quiet = idle_mask(np.zeros(n, dtype=bool), load, 60.0)
+    assert (quiet | ~base).all()  # base => quiet
+
+
+def test_all_quiet_is_idle_after_window():
+    n = 10
+    mask = idle_mask(np.zeros(n, dtype=bool), np.zeros(n), 60.0,
+                     IdlePolicy(window_s=300.0))
+    assert not mask[:4].any() and mask[4:].all()

@@ -1,0 +1,150 @@
+"""Tests for the Section-2 trace generator and its analysis functions."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import (CLUSTER_A_MIX, CLUSTER_B_MIX, TABLE1, IdlePolicy,
+                           TraceParams, available_series_mb, cluster_summary,
+                           generate_cluster, generate_host_trace, idle_mask,
+                           table1_from_traces)
+
+SHORT = TraceParams(duration_s=86400.0)  # one day is enough for unit tests
+
+
+@pytest.fixture(scope="module")
+def rng():
+    return np.random.default_rng(42)
+
+
+@pytest.fixture(scope="module")
+def host128(rng):
+    return generate_host_trace(rng, "h", TABLE1[128], SHORT)
+
+
+def test_trace_length_and_nonnegativity(host128):
+    n = int(SHORT.duration_s / SHORT.dt_s)
+    assert len(host128.kernel) == n
+    for comp in (host128.kernel, host128.filecache, host128.process,
+                 host128.available):
+        assert (comp >= 0).all()
+
+
+def test_components_never_exceed_total(host128):
+    used = host128.kernel + host128.filecache + host128.process
+    assert (used <= host128.total_kb * 1.0001).all()
+
+
+def test_kernel_mean_matches_table1(host128):
+    stats = TABLE1[128]
+    assert host128.kernel.mean() == pytest.approx(stats.kernel_mean,
+                                                  rel=0.25)
+
+
+def test_available_mostly_high_with_dips(host128):
+    """Figure 2's qualitative claim: large fractions available most of the
+    time, but with noticeable dips."""
+    avail_frac = host128.available / host128.total_kb
+    assert np.median(avail_frac) > 0.4
+    assert avail_frac.min() < np.median(avail_frac) * 0.6
+
+
+def test_idle_mask_requires_full_window():
+    console = np.zeros(10, dtype=bool)
+    load = np.zeros(10)
+    mask = idle_mask(console, load, dt_s=60.0,
+                     policy=IdlePolicy(window_s=300.0))
+    assert not mask[:4].any()  # first 4 samples can't have a full window
+    assert mask[4:].all()
+
+
+def test_idle_mask_broken_by_activity():
+    console = np.zeros(20, dtype=bool)
+    console[10] = True
+    load = np.zeros(20)
+    mask = idle_mask(console, load, dt_s=60.0)
+    assert mask[9]
+    assert not mask[10:14].any()  # activity poisons the trailing window
+    assert mask[15:].all()
+
+
+def test_idle_mask_broken_by_load():
+    console = np.zeros(20, dtype=bool)
+    load = np.zeros(20)
+    load[5:8] = 1.0
+    mask = idle_mask(console, load, dt_s=60.0)
+    assert not mask[5:12].any()
+    assert mask[12:].all()
+
+
+def test_idle_mask_shape_mismatch():
+    with pytest.raises(ValueError):
+        idle_mask(np.zeros(5, dtype=bool), np.zeros(6), 60.0)
+
+
+def test_cluster_generation_counts(rng):
+    traces = generate_cluster(rng, CLUSTER_A_MIX, SHORT, name="A")
+    assert len(traces) == 29
+    traces_b = generate_cluster(rng, CLUSTER_B_MIX, SHORT, name="B")
+    assert len(traces_b) == 23
+
+
+def test_cluster_a_summary_matches_paper(rng):
+    """Figure 1 headline numbers: 3549 MB (all) / 2747 MB (idle hosts)."""
+    traces = generate_cluster(rng, CLUSTER_A_MIX, SHORT, name="A")
+    s = cluster_summary(traces)
+    assert s["avg_available_all_mb"] == pytest.approx(3549, rel=0.2)
+    assert s["avg_available_idle_mb"] == pytest.approx(2747, rel=0.3)
+    assert 0.5 < s["frac_available_all"] < 0.8  # paper: 60-68%
+    assert s["avg_available_idle_mb"] < s["avg_available_all_mb"]
+
+
+def test_cluster_b_summary_matches_paper(rng):
+    """Figure 1: clusterB averages 852 MB (all) / 742 MB (idle hosts)."""
+    traces = generate_cluster(rng, CLUSTER_B_MIX, SHORT, name="B")
+    s = cluster_summary(traces)
+    assert s["avg_available_all_mb"] == pytest.approx(852, rel=0.2)
+    assert s["avg_available_idle_mb"] == pytest.approx(742, rel=0.35)
+
+
+def test_table1_reproduction(rng):
+    """Per-class component means must track Table 1 within tolerance."""
+    mix = {32: 4, 64: 4, 128: 4, 256: 4}
+    traces = generate_cluster(rng, mix, SHORT)
+    got = table1_from_traces(traces)
+    for mb, stats in TABLE1.items():
+        row = got[mb]
+        assert row["kernel"][0] == pytest.approx(stats.kernel_mean, rel=0.3)
+        assert row["available"][0] == pytest.approx(stats.available_mean,
+                                                    rel=0.35)
+
+
+def test_available_series_structure(rng):
+    traces = generate_cluster(rng, {64: 3}, SHORT)
+    series = available_series_mb(traces)
+    n = int(SHORT.duration_s / SHORT.dt_s)
+    assert len(series["times_s"]) == n
+    assert (series["idle_hosts_mb"] <= series["all_hosts_mb"] + 1e-9).all()
+
+
+def test_available_series_empty_rejected():
+    with pytest.raises(ValueError):
+        available_series_mb([])
+
+
+def test_diurnal_busy_pattern(rng):
+    """Owners must be at the console more during the day than at night."""
+    tr = generate_host_trace(rng, "h", TABLE1[64],
+                             TraceParams(duration_s=4 * 86400.0))
+    hour = (tr.times / 3600.0) % 24
+    day = (hour >= 8) & (hour < 20)
+    assert tr.console_active[day].mean() > tr.console_active[~day].mean() * 2
+
+
+def test_weekend_quieter_than_weekdays(rng):
+    """Weekly structure: weekend console activity far below weekdays."""
+    tr = generate_host_trace(rng, "h", TABLE1[128],
+                             TraceParams(duration_s=14 * 86400.0))
+    weekday = (tr.times // 86400).astype(int) % 7
+    weekend = weekday >= 5
+    assert tr.console_active[weekend].mean() \
+        < tr.console_active[~weekend].mean() * 0.7

@@ -1,0 +1,54 @@
+"""Additional owner-model behaviour tests."""
+
+import pytest
+
+from repro.cluster import MB, Owner, OwnerParams, Workstation
+from repro.net import Network
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator(seed=161)
+
+
+@pytest.fixture
+def ws(sim):
+    return Workstation(sim, "w0", Network(sim), total_mem_bytes=64 * MB)
+
+
+def test_sessions_alternate_with_away(sim, ws):
+    Owner(sim, ws, OwnerParams(active_mean_s=30.0, away_mean_s=30.0,
+                               background_job_prob=0.0), start_active=True)
+    sim.run(until=1800.0)
+    # over 30 minutes with ~30 s phases, many sessions happen
+    assert ws.stats.count("owner.sessions") >= 5
+
+
+def test_background_jobs_raise_load_without_console(sim, ws):
+    params = OwnerParams(active_mean_s=1.0, away_mean_s=10_000.0,
+                         background_job_prob=1.0, background_load=1.0)
+    Owner(sim, ws, params, start_active=False)
+    sim.run(until=5.0)
+    assert ws.owner_load == pytest.approx(1.0)
+    # console untouched: the machine is CPU-busy but input-idle
+    assert ws.console_last_activity == float("-inf")
+    assert ws.stats.count("owner.background_jobs") == 1
+
+
+def test_session_memory_returned_after_session(sim, ws):
+    base = ws.mem.process
+    params = OwnerParams(active_mean_s=10.0, away_mean_s=10_000.0,
+                         background_job_prob=0.0)
+    Owner(sim, ws, params, start_active=True)
+    sim.run(until=300.0)  # session long over
+    assert ws.mem.process == base
+    assert ws.owner_load == pytest.approx(params.idle_load)
+
+
+def test_stop_idempotent_after_natural_reference(sim, ws):
+    owner = Owner(sim, ws, OwnerParams(active_mean_s=5.0, away_mean_s=5.0))
+    sim.run(until=3.0)
+    owner.stop()
+    sim.run(until=4.0)
+    assert not owner.proc.is_alive

@@ -1,0 +1,165 @@
+"""Tests for the workstation model, cluster builder and owner process."""
+
+import pytest
+
+from repro.cluster import (Cluster, ClusterConfig, MB, Owner, OwnerParams,
+                           Workstation, is_idle_now)
+from repro.cluster.cluster import HostSpec
+from repro.net import Network
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator(seed=4)
+
+
+def make_ws(sim, **kw):
+    net = Network(sim)
+    return Workstation(sim, "w0", net, **kw)
+
+
+def test_memory_accounting_defaults(sim):
+    ws = make_ws(sim, total_mem_bytes=128 * MB)
+    assert ws.mem.kernel == 128 * MB // 5
+    assert ws.available_memory() == 128 * MB - ws.mem.kernel - ws.mem.process
+
+
+def test_recruitable_subtracts_headroom(sim):
+    ws = make_ws(sim, total_mem_bytes=128 * MB)
+    expected = ws.available_memory() - int(0.15 * 128 * MB)
+    assert ws.recruitable_memory() == expected
+
+
+def test_recruitable_never_negative(sim):
+    ws = make_ws(sim, total_mem_bytes=32 * MB, process_mem_bytes=30 * MB)
+    assert ws.recruitable_memory() == 0
+
+
+def test_guest_memory_reduces_availability(sim):
+    ws = make_ws(sim)
+    before = ws.available_memory()
+    ws.guest_memory = 10 * MB
+    assert ws.available_memory() == before - 10 * MB
+
+
+def test_filecache_tracked_by_local_fs(sim):
+    ws = make_ws(sim, fs_cache_bytes=4 * MB)
+    assert ws.fs is not None
+    ws.fs.create("f", size=1 * MB)
+    fh = ws.fs.open("f")
+
+    def proc():
+        yield ws.fs.read(fh, 0, 1 * MB)
+
+    p = sim.process(proc())
+    sim.run(until=p)
+    assert ws.filecache_bytes == pytest.approx(1 * MB, abs=8192)
+    assert ws.available_memory() < ws.mem.total - ws.mem.kernel - 1 * MB + 8192
+
+
+def test_console_idle_seconds(sim):
+    ws = make_ws(sim)
+    assert ws.console_idle_seconds() == float("inf")
+    ws.touch_console()
+
+    def proc():
+        yield sim.timeout(42.0)
+
+    p = sim.process(proc())
+    sim.run(until=p)
+    assert ws.console_idle_seconds() == pytest.approx(42.0)
+
+
+def test_load_excludes_daemons(sim):
+    ws = make_ws(sim)
+    ws.owner_load = 0.1
+    ws.daemon_load = 0.9
+    assert ws.load == pytest.approx(1.0)
+    assert ws.load_excluding_daemons() == pytest.approx(0.1)
+    # daemon load alone must not make the host look busy
+    assert is_idle_now(ws)
+
+
+def test_is_idle_now_respects_console_window(sim):
+    ws = make_ws(sim)
+    ws.touch_console()
+    assert not is_idle_now(ws)
+
+    def proc():
+        yield sim.timeout(301.0)
+
+    p = sim.process(proc())
+    sim.run(until=p)
+    assert is_idle_now(ws)
+    ws.owner_load = 0.5
+    assert not is_idle_now(ws)
+
+
+def test_crash_downs_nic(sim):
+    ws = make_ws(sim)
+    ws.crash()
+    assert ws.nic.down and ws.crashed
+    ws.recover()
+    assert not ws.nic.down
+
+
+def test_endpoint_lookup(sim):
+    ws = make_ws(sim)
+    assert ws.endpoint("udp") is ws.udp
+    assert ws.endpoint("unet") is ws.unet
+    with pytest.raises(ValueError):
+        ws.endpoint("tcp")
+
+
+def test_cluster_uniform_build(sim):
+    cfg = ClusterConfig.uniform(5, total_mem_bytes=64 * MB)
+    cluster = Cluster(sim, cfg)
+    assert len(cluster) == 5
+    assert cluster["ws00"].mem.total == 64 * MB
+    assert sorted(cluster.names) == [f"ws0{i}" for i in range(5)]
+
+
+def test_cluster_duplicate_names_rejected(sim):
+    cfg = ClusterConfig(hosts=[HostSpec("a"), HostSpec("a")])
+    with pytest.raises(ValueError):
+        Cluster(sim, cfg)
+
+
+def test_cluster_host_with_disk(sim):
+    cfg = ClusterConfig(hosts=[HostSpec("app", has_disk=True,
+                                        fs_cache_bytes=2 * MB)])
+    cluster = Cluster(sim, cfg)
+    assert cluster["app"].fs is not None
+    assert cluster["app"].disk is not None
+
+
+def test_owner_session_touches_console_and_load(sim):
+    ws = make_ws(sim)
+    Owner(sim, ws, OwnerParams(active_mean_s=100, away_mean_s=100,
+                               console_interval_s=5), start_active=True)
+    sim.run(until=50.0)
+    # at least one session ran and the console was touched during it
+    assert ws.stats.count("owner.sessions") >= 1
+    assert ws.console_last_activity > float("-inf")
+
+
+def test_owner_away_period_quiet(sim):
+    ws = make_ws(sim)
+    params = OwnerParams(active_mean_s=10, away_mean_s=10_000,
+                         background_job_prob=0.0)
+    Owner(sim, ws, params, start_active=False)
+    sim.run(until=5.0)
+    assert ws.owner_load == pytest.approx(params.idle_load)
+
+
+def test_owner_stop_releases_memory(sim):
+    ws = make_ws(sim)
+    base_proc = ws.mem.process
+    owner = Owner(sim, ws, OwnerParams(active_mean_s=1e6, away_mean_s=1.0),
+                  start_active=True)
+    sim.run(until=10.0)
+    assert ws.mem.process > base_proc  # active session pins memory
+    owner.stop()
+    sim.run(until=11.0)
+    assert ws.mem.process == base_proc

@@ -1,0 +1,184 @@
+"""Unit + property tests for the imd pool allocators."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import BuddyAllocator, FirstFitAllocator, make_allocator
+
+POOL = 1 << 20  # 1 MB
+
+
+def test_firstfit_basic_alloc_free():
+    a = FirstFitAllocator(POOL)
+    off = a.alloc(1000)
+    assert off == 0
+    assert a.used_bytes == 1000
+    assert a.free(off) == 1000
+    assert a.used_bytes == 0
+
+
+def test_firstfit_allocations_disjoint():
+    a = FirstFitAllocator(POOL)
+    spans = []
+    for size in (100, 5000, 42, 8192, 1):
+        off = a.alloc(size)
+        assert off is not None
+        spans.append((off, size))
+    spans.sort()
+    for (o1, s1), (o2, _) in zip(spans, spans[1:]):
+        assert o1 + s1 <= o2
+
+
+def test_firstfit_exhaustion_returns_none():
+    a = FirstFitAllocator(1000)
+    assert a.alloc(600) is not None
+    assert a.alloc(600) is None
+    assert a.stats.count("alloc_failures") == 1
+
+
+def test_firstfit_reuses_freed_space_without_coalesce():
+    a = FirstFitAllocator(1000)
+    x = a.alloc(400)
+    a.alloc(400)
+    a.free(x)
+    assert a.alloc(400) == x  # first fit finds the hole
+
+
+def test_firstfit_fragmentation_requires_coalesce():
+    a = FirstFitAllocator(1000)
+    offs = [a.alloc(250) for _ in range(4)]
+    for off in offs:
+        a.free(off)
+    # four adjacent 250-byte holes; without coalescing no 1000-byte fit
+    assert a.largest_free() == 250
+    assert a.fragmentation() > 0.7
+    a.coalesce()
+    assert a.largest_free() == 1000
+    assert a.fragmentation() == 0.0
+    assert a.alloc(1000) == 0
+
+
+def test_firstfit_double_free_rejected():
+    a = FirstFitAllocator(1000)
+    off = a.alloc(10)
+    a.free(off)
+    with pytest.raises(KeyError):
+        a.free(off)
+
+
+def test_firstfit_bad_sizes():
+    with pytest.raises(ValueError):
+        FirstFitAllocator(0)
+    a = FirstFitAllocator(1000)
+    with pytest.raises(ValueError):
+        a.alloc(0)
+
+
+def test_buddy_rounds_to_power_of_two():
+    b = BuddyAllocator(1 << 16)
+    b.alloc(5000)  # rounds to 8192
+    assert b.used_bytes == 8192
+
+
+def test_buddy_merges_on_free():
+    b = BuddyAllocator(1 << 16)
+    offs = [b.alloc(4096) for _ in range(16)]
+    assert b.alloc(4096) is None
+    for off in offs:
+        b.free(off)
+    assert b.largest_free() == 1 << 16  # fully merged back
+
+
+def test_buddy_pool_must_be_power_of_two():
+    with pytest.raises(ValueError):
+        BuddyAllocator(1000)
+
+
+def test_buddy_oversized_alloc_fails():
+    b = BuddyAllocator(1 << 16)
+    assert b.alloc((1 << 16) + 1) is None
+
+
+def test_make_allocator_factory():
+    assert isinstance(make_allocator("first-fit", POOL), FirstFitAllocator)
+    buddy = make_allocator("buddy", 100_000)
+    assert isinstance(buddy, BuddyAllocator)
+    assert buddy.pool_size == 1 << 16  # rounded down to a power of two
+    with pytest.raises(ValueError):
+        make_allocator("slab", POOL)
+
+
+# -- property-based invariants ---------------------------------------------------
+
+@st.composite
+def alloc_free_script(draw):
+    """A random interleaving of alloc/free operations."""
+    ops = []
+    n = draw(st.integers(1, 60))
+    for _ in range(n):
+        if draw(st.booleans()):
+            ops.append(("alloc", draw(st.integers(1, POOL // 4))))
+        else:
+            ops.append(("free", draw(st.integers(0, 30))))
+    return ops
+
+
+def _run_script(alloc, ops, coalesce_every=0):
+    live = []  # (offset, size)
+    step = 0
+    for op, arg in ops:
+        step += 1
+        if op == "alloc":
+            off = alloc.alloc(arg)
+            if off is not None:
+                live.append((off, arg))
+        elif live:
+            off, _ = live.pop(arg % len(live))
+            alloc.free(off)
+        if coalesce_every and step % coalesce_every == 0:
+            alloc.coalesce()
+    return live
+
+
+@given(alloc_free_script())
+@settings(max_examples=60, deadline=None)
+def test_firstfit_invariants_hold(ops):
+    a = FirstFitAllocator(POOL)
+    live = _run_script(a, ops, coalesce_every=7)
+    # accounting matches the live set exactly
+    assert a.used_bytes == sum(s for _, s in live)
+    assert 0 <= a.free_bytes <= POOL
+    assert a.largest_free() <= a.free_bytes
+    # live allocations are pairwise disjoint and in bounds
+    spans = sorted(live)
+    for (o1, s1), (o2, _) in zip(spans, spans[1:]):
+        assert o1 + s1 <= o2
+    for off, size in spans:
+        assert 0 <= off and off + size <= POOL
+
+
+@given(alloc_free_script())
+@settings(max_examples=60, deadline=None)
+def test_buddy_invariants_hold(ops):
+    b = BuddyAllocator(POOL)
+    live = _run_script(b, ops)
+    # buddy accounting covers at least the requested bytes
+    assert b.used_bytes >= sum(s for _, s in live) if live else True
+    assert 0 <= b.free_bytes <= POOL
+    spans = sorted(live)
+    for (o1, s1), (o2, _) in zip(spans, spans[1:]):
+        assert o1 + s1 <= o2
+
+
+@given(st.lists(st.integers(1, 4096), min_size=1, max_size=50))
+@settings(max_examples=50, deadline=None)
+def test_firstfit_full_free_restores_pool(sizes):
+    a = FirstFitAllocator(POOL)
+    offs = [a.alloc(s) for s in sizes]
+    for off in offs:
+        if off is not None:
+            a.free(off)
+    a.coalesce()
+    assert a.free_bytes == POOL
+    assert a.largest_free() == POOL

@@ -1,0 +1,166 @@
+"""Direct unit tests for the central manager's directories and handlers."""
+
+import pytest
+
+from repro.core import CentralManager, DodoConfig
+from repro.core.manager import IwdEntry, _unwire_key, _wire_key
+from repro.core.descriptors import RegionKey, RegionStruct
+from repro.cluster.workstation import MB, Workstation
+from repro.net import Network
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator(seed=111)
+
+
+@pytest.fixture
+def cmd(sim):
+    net = Network(sim)
+    ws = Workstation(sim, "mgr", net)
+    return CentralManager(sim, ws, DodoConfig(store_payload=False))
+
+
+SRC = ("app", 12345)
+
+
+def test_key_wire_roundtrip():
+    for key in (RegionKey(7, 0), RegionKey(9, 4096, client="a#1")):
+        assert _unwire_key(_wire_key(key)) == key
+
+
+def test_imd_register_updates_iwd(cmd):
+    r = cmd._h_imd_register({"host": "w0", "pool_bytes": 4 * MB,
+                             "epoch": 3, "largest_free": 4 * MB,
+                             "port": 6001}, SRC)
+    assert r["ok"]
+    assert cmd.iwd["w0"].epoch == 3
+    assert cmd.iwd["w0"].largest_free == 4 * MB
+
+
+def test_notify_busy_removes_from_iwd(cmd):
+    cmd._h_imd_register({"host": "w0", "pool_bytes": 1, "epoch": 1,
+                         "largest_free": 1, "port": 6001}, SRC)
+    cmd._h_notify_busy({"host": "w0"}, SRC)
+    assert "w0" not in cmd.iwd
+    # unknown host: harmless
+    cmd._h_notify_busy({"host": "nope"}, SRC)
+
+
+def test_check_alloc_miss(cmd):
+    r = cmd._h_check_alloc({"key": [1, 0, None]}, SRC)
+    assert not r["ok"]
+    assert cmd.stats.count("check.miss") == 1
+
+
+def seed_region(cmd, host="w0", epoch=1, inode=5, offset=0, length=4096,
+                owner="app#1"):
+    from repro.core.manager import RdEntry
+    cmd.iwd[host] = IwdEntry(host=host, epoch=epoch, largest_free=1 * MB,
+                             port=6001)
+    key = RegionKey(inode, offset)
+    cmd.rd[key] = RdEntry(struct=RegionStruct(
+        host=host, pool_offset=0, length=length, epoch=epoch), owner=owner)
+    return key
+
+
+def test_check_alloc_hit(cmd):
+    key = seed_region(cmd)
+    r = cmd._h_check_alloc({"key": [key.inode, key.offset, None]}, SRC)
+    assert r["ok"]
+    assert r["region"]["host"] == "w0"
+    assert cmd.stats.count("check.hit") == 1
+
+
+def test_check_alloc_stale_epoch_deletes(cmd):
+    key = seed_region(cmd, epoch=1)
+    cmd.iwd["w0"].epoch = 2  # imd restarted since the allocation
+    r = cmd._h_check_alloc({"key": [key.inode, key.offset, None]}, SRC)
+    assert not r["ok"]
+    assert key not in cmd.rd
+    assert cmd.stats.count("check.stale") == 1
+
+
+def test_check_alloc_host_gone_deletes(cmd):
+    key = seed_region(cmd)
+    del cmd.iwd["w0"]
+    r = cmd._h_check_alloc({"key": [key.inode, key.offset, None]}, SRC)
+    assert not r["ok"]
+    assert key not in cmd.rd
+
+
+def test_client_tracking_on_calls(cmd):
+    cmd._h_check_alloc({"key": [1, 0, None], "client": "app#9",
+                        "echo_port": 9}, SRC)
+    assert "app#9" in cmd.clients
+    assert cmd.clients["app#9"].addr == "app"
+    assert cmd.clients["app#9"].echo_port == 9
+
+
+def test_alloc_with_no_candidates_is_enomem(sim, cmd):
+    def proc():
+        reply = yield sim.process(
+            cmd._h_alloc({"key": [1, 0, None], "length": 4096}, SRC))
+        return reply
+
+    p = sim.process(proc())
+    reply = sim.run(until=p)
+    assert not reply["ok"]
+    assert cmd.stats.count("alloc.enomem") == 1
+
+
+def test_alloc_skips_hosts_with_small_blocks(sim, cmd):
+    cmd.iwd["tiny"] = IwdEntry(host="tiny", epoch=1, largest_free=100,
+                               port=6001)
+
+    def proc():
+        return (yield sim.process(
+            cmd._h_alloc({"key": [1, 0, None], "length": 4096}, SRC)))
+
+    reply = sim.run(until=sim.process(proc()))
+    assert not reply["ok"]  # only candidate cannot fit the request
+
+
+def test_alloc_reuses_existing_valid_region(sim, cmd):
+    key = seed_region(cmd, length=8192)
+
+    def proc():
+        return (yield sim.process(cmd._h_alloc(
+            {"key": [key.inode, key.offset, None], "length": 4096,
+             "client": "app#2", "echo_port": 2}, SRC)))
+
+    reply = sim.run(until=sim.process(proc()))
+    assert reply["ok"]
+    assert reply["region"]["length"] == 8192  # the existing region
+    assert cmd.stats.count("alloc.reused") == 1
+    assert cmd.rd[key].owner == "app#2"  # ownership follows the caller
+
+
+def test_free_missing_region(sim, cmd):
+    def proc():
+        return (yield sim.process(
+            cmd._h_free({"key": [1, 0, None]}, SRC)))
+
+    reply = sim.run(until=sim.process(proc()))
+    assert not reply["ok"]
+    assert cmd.stats.count("free.miss") == 1
+
+
+def test_detach_persist_orphans_regions(sim, cmd):
+    key = seed_region(cmd, owner="app#1")
+
+    def proc():
+        return (yield sim.process(cmd._h_client_detach(
+            {"client": "app#1", "persist": True}, SRC)))
+
+    reply = sim.run(until=sim.process(proc()))
+    assert reply["ok"] and reply["freed"] == 0
+    assert cmd.rd[key].owner is None  # orphaned, exempt from keep-alive
+    assert "app#1" not in cmd.clients
+
+
+def test_stop_halts_keepalive_and_server(sim, cmd):
+    cmd.stop()
+    sim.run(until=sim.now + 1.0)
+    assert not cmd._keepalive.is_alive

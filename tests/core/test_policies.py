@@ -1,0 +1,69 @@
+"""Unit tests for the replacement-policy modules."""
+
+import pytest
+
+from repro.core.policies import (FirstInPolicy, LruPolicy, MruPolicy,
+                                 make_policy)
+
+
+def test_lru_evicts_least_recent():
+    p = LruPolicy()
+    for crd in (1, 2, 3):
+        p.on_insert(crd)
+    p.on_read(1)  # 2 is now the oldest
+    assert p.select_victim({}) == 2
+
+
+def test_lru_write_also_refreshes():
+    p = LruPolicy()
+    for crd in (1, 2):
+        p.on_insert(crd)
+    p.on_write(1)
+    assert p.select_victim({}) == 2
+
+
+def test_lru_remove_clears_entry():
+    p = LruPolicy()
+    p.on_insert(1)
+    p.on_remove(1)
+    assert p.select_victim({}) is None
+    p.on_remove(1)  # idempotent
+
+
+def test_mru_evicts_most_recent():
+    p = MruPolicy()
+    for crd in (1, 2, 3):
+        p.on_insert(crd)
+    p.on_read(1)
+    assert p.select_victim({}) == 1
+
+
+def test_first_in_never_evicts():
+    p = FirstInPolicy()
+    for crd in (1, 2, 3):
+        p.on_insert(crd)
+    p.on_read(3)
+    p.on_write(2)
+    assert p.select_victim({}) is None
+
+
+def test_first_in_reinsert_keeps_original_order():
+    p = FirstInPolicy()
+    p.on_insert(1)
+    p.on_insert(2)
+    p.on_insert(1)  # no-op
+    assert list(p._order) == [1, 2]
+
+
+def test_touch_of_unknown_crd_is_noop():
+    p = LruPolicy()
+    p.on_read(99)  # never inserted: must not appear in the order
+    assert p.select_victim({}) is None
+
+
+def test_make_policy_factory():
+    assert isinstance(make_policy("lru"), LruPolicy)
+    assert isinstance(make_policy("mru"), MruPolicy)
+    assert isinstance(make_policy("first-in"), FirstInPolicy)
+    with pytest.raises(ValueError):
+        make_policy("random")

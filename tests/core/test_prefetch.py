@@ -1,0 +1,148 @@
+"""Tests for the prefetching extension of the region-management library."""
+
+import pytest
+
+from repro.core.regionlib import RegionCache
+from repro.sim import Simulator
+
+from tests.core.conftest import make_platform, run
+
+KB = 1024
+
+
+@pytest.fixture
+def sim():
+    return Simulator(seed=61)
+
+
+def build(sim, prefetch):
+    platform = make_platform(sim, pool_mb=2, local_cache_kb=512)
+    runtime = platform.runtime()
+    cache = RegionCache(runtime, 512 * KB, policy="lru",
+                        prefetch_regions=prefetch)
+    fs = platform.app.fs
+    fs.create("data", size=2048 * KB)
+    fh = fs.open("data", "r+")
+
+    def fill():
+        yield fs.write(fh, 0, 2048 * KB, b"\xab" * (2048 * KB))
+        yield fs.fsync(fh)
+
+    run(sim, fill())
+    return platform, cache, fh
+
+
+def scan(sim, cache, fh, n_regions, region_kb=64, compute_s=0.01):
+    """Sequential region scan with compute gaps; returns elapsed time."""
+    def proc():
+        crds = []
+        for i in range(n_regions):
+            existing = cache._by_backing.get((fh.fd, i * region_kb * KB))
+            if existing is not None:
+                crds.append(existing)
+                continue
+            crd, err = yield from cache.copen(region_kb * KB, fh.fd,
+                                              i * region_kb * KB)
+            assert err == 0
+            crds.append(crd)
+        t0 = sim.now
+        for crd in crds:
+            yield sim.timeout(compute_s)
+            n, err, _ = yield from cache.cread(crd, 0, region_kb * KB)
+            assert err == 0
+        return sim.now - t0
+
+    return run(sim, proc())
+
+
+def test_prefetch_issues_and_loads(sim):
+    platform, cache, fh = build(sim, prefetch=2)
+    scan(sim, cache, fh, n_regions=8)
+    assert cache.stats.count("prefetch.issued") > 0
+    assert cache.stats.count("prefetch.loaded") > 0
+
+
+def steady_rescan_time(prefetch):
+    """Three cyclic scans: scan 1 populates remote memory, scan 2 settles
+    promotion, scan 3 is the steady state where prefetching overlaps
+    remote pulls with the application's 10 ms compute."""
+    sim = Simulator(seed=62)
+    platform = make_platform(sim, pool_mb=2, local_cache_kb=512)
+    runtime = platform.runtime()
+    cache = RegionCache(runtime, 512 * KB, policy="lru",
+                        prefetch_regions=prefetch)
+    fs = platform.app.fs
+    fs.create("data", size=1024 * KB)
+    fh = fs.open("data", "r+")
+
+    def fill():
+        yield fs.write(fh, 0, 1024 * KB, b"\xcd" * (1024 * KB))
+        yield fs.fsync(fh)
+
+    run(sim, fill())
+    scan(sim, cache, fh, n_regions=16)            # populate remote
+    scan(sim, cache, fh, n_regions=16)            # settle promotions
+    t3 = scan(sim, cache, fh, n_regions=16)       # timed steady scan
+    return t3, cache
+
+
+def test_prefetch_turns_remote_misses_into_local_hits():
+    t3, cache = steady_rescan_time(prefetch=2)
+    assert cache.stats.count("prefetch.loaded") > 0
+    assert cache.stats.count("cread.local_hits") > 8
+
+
+def test_prefetch_speeds_up_steady_rescan():
+    t_off, _ = steady_rescan_time(prefetch=0)
+    t_on, _ = steady_rescan_time(prefetch=2)
+    # remote pulls overlap the 10 ms compute: a clear win
+    assert t_on < t_off * 0.85
+
+
+def test_prefetch_join_avoids_duplicate_transfers():
+    _, cache = steady_rescan_time(prefetch=2)
+    # demand reads that raced a prefetch waited for it instead of
+    # re-transferring
+    assert cache.stats.count("cread.joined_prefetch") > 0
+
+
+def test_prefetch_disabled_by_default(sim):
+    platform = make_platform(sim)
+    cache = platform.region_cache()
+    assert cache.prefetch_regions == 0
+
+
+def test_prefetch_not_triggered_by_random_access(sim):
+    platform, cache, fh = build(sim, prefetch=2)
+
+    def proc():
+        crds = []
+        for i in range(8):
+            crd, _ = yield from cache.copen(64 * KB, fh.fd, i * 64 * KB)
+            crds.append(crd)
+        for crd in (crds[5], crds[1], crds[6], crds[3]):
+            yield from cache.cread(crd, 0, 64 * KB)
+
+    run(sim, proc())
+    assert cache.stats.count("prefetch.issued") == 0
+
+
+def test_prefetch_data_integrity(sim):
+    """Prefetched regions must serve the same bytes as direct reads."""
+    platform, cache, fh = build(sim, prefetch=2)
+
+    def proc():
+        crds = []
+        for i in range(6):
+            crd, _ = yield from cache.copen(64 * KB, fh.fd, i * 64 * KB)
+            crds.append(crd)
+        datas = []
+        for crd in crds:
+            yield sim.timeout(0.01)
+            n, err, data = yield from cache.cread(crd, 0, 64 * KB)
+            assert err == 0
+            datas.append(data)
+        return datas
+
+    for data in run(sim, proc()):
+        assert data == b"\xab" * (64 * KB)

@@ -1,0 +1,300 @@
+"""Tests for libmanage: states, policies, grimReaper, coherence."""
+
+import pytest
+
+from repro.core import EINVAL
+from repro.sim import Simulator
+
+from tests.core.conftest import make_backing_file, make_platform, run
+
+KB = 1024
+
+
+@pytest.fixture
+def sim():
+    return Simulator(seed=31)
+
+
+@pytest.fixture
+def platform(sim):
+    return make_platform(sim, local_cache_kb=256)
+
+
+@pytest.fixture
+def cache(platform):
+    return platform.region_cache(policy="lru")
+
+
+def fill_file(sim, platform, name, blob):
+    fs = platform.app.fs
+    fs.create(name, size=len(blob))
+    fh = fs.open(name, "r+")
+
+    def proc():
+        yield fs.write(fh, 0, len(blob), blob)
+        yield fs.fsync(fh)
+
+    run(sim, proc())
+    return fh.fd
+
+
+def test_copen_validations(sim, platform, cache):
+    fd = make_backing_file(platform)
+
+    def proc():
+        good = yield from cache.copen(1024, fd, 0)
+        bad_len = yield from cache.copen(0, fd, 0)
+        bad_off = yield from cache.copen(1024, fd, -1)
+        bad_fd = yield from cache.copen(1024, 999, 0)
+        return good, bad_len, bad_off, bad_fd
+
+    good, bad_len, bad_off, bad_fd = run(sim, proc())
+    assert good[1] == 0 and good[0] >= 0
+    for ret, err in (bad_len, bad_off, bad_fd):
+        assert ret == -1 and err == EINVAL
+
+
+def test_region_starts_on_disk_then_loads_local(sim, platform, cache):
+    blob = bytes(range(256)) * 16  # 4 KB
+    fd = fill_file(sim, platform, "f", blob)
+
+    def proc():
+        crd, _ = yield from cache.copen(len(blob), fd, 0)
+        assert cache.state(crd) == "disk"
+        n, err, data = yield from cache.cread(crd, 0, len(blob))
+        return crd, n, err, data
+
+    crd, n, err, data = run(sim, proc())
+    assert (n, err) == (len(blob), 0)
+    assert data == blob
+    assert cache.state(crd) == "local"
+
+
+def test_local_hit_faster_than_disk_load(sim, platform, cache):
+    blob = b"x" * (64 * KB)
+    fd = fill_file(sim, platform, "f", blob)
+    # Evict "f" from the OS page cache by streaming a bigger filler file,
+    # so the first cread truly hits the disk.
+    fs = platform.app.fs
+    fs.create("filler", size=2 * 1024 * KB)
+    filler = fs.open("filler")
+
+    def proc():
+        for off in range(0, 2 * 1024 * KB, 64 * KB):
+            yield fs.read(filler, off, 64 * KB)
+        crd, _ = yield from cache.copen(len(blob), fd, 0)
+        t0 = sim.now
+        yield from cache.cread(crd, 0, len(blob))
+        cold = sim.now - t0
+        t0 = sim.now
+        yield from cache.cread(crd, 0, len(blob))
+        warm = sim.now - t0
+        return cold, warm
+
+    cold, warm = run(sim, proc())
+    assert warm < cold / 5
+    assert cache.stats.count("cread.local_hits") == 1
+
+
+def test_eviction_migrates_to_remote_then_served_remotely(sim, platform,
+                                                          cache):
+    """Filling the 256 KB local cache with 64 KB regions forces the LRU
+    victim into remote memory; the next read of it is a remote hit."""
+    blob = bytes(i % 256 for i in range(64 * KB))
+    fds = [fill_file(sim, platform, f"f{i}", blob) for i in range(6)]
+
+    def proc():
+        crds = []
+        for fd in fds:
+            crd, err = yield from cache.copen(len(blob), fd, 0)
+            assert err == 0
+            crds.append(crd)
+            yield from cache.cread(crd, 0, 1024)
+        # 6 x 64 KB > 256 KB local: the first regions were evicted
+        assert cache.state(crds[0]) == "remote"
+        assert cache.state(crds[-1]) == "local"
+        n, err, data = yield from cache.cread(crds[0], 0, len(blob))
+        return n, err, data
+
+    n, err, data = run(sim, proc())
+    assert (n, err) == (len(blob), 0)
+    assert data == blob
+    assert cache.stats.count("clone.ok") >= 1
+    assert cache.stats.count("cread.remote_hits") >= 1
+
+
+def test_dirty_eviction_reaches_disk(sim, platform, cache):
+    """A dirty region evicted to remote memory must also land on disk
+    (remote memory is a read-only cache; disk has the truth)."""
+    blob = b"\x00" * (64 * KB)
+    fds = [fill_file(sim, platform, f"f{i}", blob) for i in range(6)]
+
+    def proc():
+        crd0, _ = yield from cache.copen(64 * KB, fds[0], 0)
+        payload = b"dirty!" * 100
+        yield from cache.cwrite(crd0, 0, len(payload), payload)
+        assert cache.directory[crd0].dirty
+        for fd in fds[1:]:
+            crd, _ = yield from cache.copen(64 * KB, fd, 0)
+            yield from cache.cread(crd, 0, 1024)
+        assert cache.state(crd0) in ("remote", "disk")
+        fh = platform.app.fs.handle(fds[0])
+        _, data = yield platform.app.fs.read(fh, 0, len(payload))
+        return payload, data
+
+    payload, data = run(sim, proc())
+    assert data == payload
+
+
+def test_cwrite_invalidates_stale_remote_copy(sim, platform, cache):
+    blob = bytes(range(256)) * 256  # 64 KB
+    fds = [fill_file(sim, platform, f"f{i}", blob) for i in range(6)]
+
+    def proc():
+        crds = []
+        for fd in fds:
+            crd, _ = yield from cache.copen(len(blob), fd, 0)
+            crds.append(crd)
+            yield from cache.cread(crd, 0, 1024)
+        assert cache.state(crds[0]) == "remote"
+        # write to the remotely cached region: it comes back local-dirty
+        new = b"NEW" * 100
+        n, err = yield from cache.cwrite(crds[0], 0, len(new), new)
+        assert err == 0
+        assert cache.state(crds[0]) == "local"
+        n, err, data = yield from cache.cread(crds[0], 0, len(new))
+        return new, data
+
+    new, data = run(sim, proc())
+    assert data == new
+    assert cache.stats.count("cwrite.remote_invalidated") >= 1
+
+
+def test_csync_pushes_to_remote_and_disk(sim, platform, cache):
+    blob = b"\x00" * (32 * KB)
+    fd = fill_file(sim, platform, "f", blob)
+
+    def proc():
+        crd, _ = yield from cache.copen(len(blob), fd, 0)
+        payload = b"sync-me" * 64
+        yield from cache.cwrite(crd, 0, len(payload), payload)
+        ret, err = yield from cache.csync(crd)
+        assert (ret, err) == (0, 0)
+        assert not cache.directory[crd].dirty
+        assert cache.state(crd) == "both"
+        fh = platform.app.fs.handle(fd)
+        _, data = yield platform.app.fs.read(fh, 0, len(payload))
+        return payload, data
+
+    payload, data = run(sim, proc())
+    assert data == payload
+
+
+def test_cclose_flushes_and_frees_remote(sim, platform, cache):
+    blob = b"\x00" * (32 * KB)
+    fd = fill_file(sim, platform, "f", blob)
+
+    def proc():
+        crd, _ = yield from cache.copen(len(blob), fd, 0)
+        yield from cache.cwrite(crd, 0, 100, b"c" * 100)
+        ret, err = yield from cache.cclose(crd)
+        assert (ret, err) == (0, 0)
+        again = yield from cache.cclose(crd)
+        assert again == (-1, EINVAL)
+        fh = platform.app.fs.handle(fd)
+        _, data = yield platform.app.fs.read(fh, 0, 100)
+        return data
+
+    assert run(sim, proc()) == b"c" * 100
+    assert cache.local_free == cache.local_bytes
+
+
+def test_first_in_policy_never_replaces(sim, platform):
+    cache = platform.region_cache(policy="first-in")
+    blob = b"z" * (64 * KB)
+    fds = [fill_file(sim, platform, f"f{i}", blob) for i in range(6)]
+
+    def proc():
+        crds = []
+        for fd in fds:
+            crd, _ = yield from cache.copen(len(blob), fd, 0)
+            crds.append(crd)
+            yield from cache.cread(crd, 0, 1024)
+        return crds
+
+    crds = run(sim, proc())
+    # the first 4 x 64 KB fit in 256 KB and stay; later ones bypass
+    states = [cache.state(c) for c in crds]
+    assert states[:4] == ["local"] * 4
+    assert all(s != "local" for s in states[4:])
+    assert cache.stats.count("admission_bypass") >= 1
+
+
+def test_oversized_region_bypasses_local_cache(sim, platform, cache):
+    """A region bigger than the local cache is never cached locally; it
+    is served from disk and cloned straight into remote memory."""
+    blob = b"big" * (200 * KB // 3 + 1)
+    fd = fill_file(sim, platform, "big", blob)
+
+    def proc():
+        crd, _ = yield from cache.copen(500 * KB, fd, 0)
+        n, err, data = yield from cache.cread(crd, 0, 1000)
+        state_after_first = cache.state(crd)
+        # second read is served from the remote clone, not the disk
+        ops_before = platform.app.disk.stats.count("read.ops")
+        n2, err2, data2 = yield from cache.cread(crd, 0, 1000)
+        ops_after = platform.app.disk.stats.count("read.ops")
+        return n, err, data, state_after_first, data2, ops_before, ops_after
+
+    n, err, data, state, data2, ops_before, ops_after = run(sim, proc())
+    assert (n, err) == (1000, 0)
+    assert data == blob[:1000]
+    assert state == "remote"
+    assert data2 == blob[:1000]
+    assert ops_after == ops_before  # remote hit: no disk I/O
+
+
+def test_csetpolicy_switch(sim, platform, cache):
+    assert cache.csetPolicy("mru") == 0
+    assert cache.policy.name == "mru"
+    assert cache.csetPolicy("bogus") == -1
+    assert cache.policy.name == "mru"
+
+
+def test_cread_invalid_args(sim, platform, cache):
+    fd = make_backing_file(platform)
+
+    def proc():
+        crd, _ = yield from cache.copen(1024, fd, 0)
+        bad = yield from cache.cread(crd, 2000, 10)
+        missing = yield from cache.cread(999, 0, 10)
+        return bad, missing
+
+    bad, missing = run(sim, proc())
+    assert bad[:2] == (-1, EINVAL)
+    assert missing[:2] == (-1, EINVAL)
+
+
+def test_remote_loss_self_heals_to_disk(sim, platform, cache):
+    """If the hosting imd dies, cread falls back to the backing file."""
+    blob = bytes(i % 256 for i in range(64 * KB))
+    fds = [fill_file(sim, platform, f"f{i}", blob) for i in range(6)]
+
+    def proc():
+        crds = []
+        for fd in fds:
+            crd, _ = yield from cache.copen(len(blob), fd, 0)
+            crds.append(crd)
+            yield from cache.cread(crd, 0, 1024)
+        assert cache.state(crds[0]) == "remote"
+        host = cache.runtime._regions[
+            cache.directory[crds[0]].remote_desc].remote.host
+        imd = next(i for i in platform.imds if i.ws.name == host)
+        yield imd.shutdown()
+        n, err, data = yield from cache.cread(crds[0], 0, len(blob))
+        return n, err, data
+
+    n, err, data = run(sim, proc())
+    assert (n, err) == (len(blob), 0)
+    assert data == blob
+    assert cache.stats.count("cread.remote_lost") == 1

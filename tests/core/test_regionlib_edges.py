@@ -1,0 +1,200 @@
+"""Edge cases of the region-management library not covered elsewhere."""
+
+import pytest
+
+from repro.core import EINVAL
+from repro.sim import Simulator
+
+from tests.core.conftest import make_backing_file, make_platform, run
+
+KB = 1024
+
+
+@pytest.fixture
+def sim():
+    return Simulator(seed=141)
+
+
+def make_cache(sim, policy="first-in", local_kb=128, **kw):
+    platform = make_platform(sim, local_cache_kb=local_kb, **kw)
+    return platform, platform.region_cache(policy=policy,
+                                           local_bytes=local_kb * KB)
+
+
+def fill_local_cache(sim, platform, cache, n=2, size_kb=64):
+    """Open and touch n regions so a first-in cache is full."""
+    fd = make_backing_file(platform, "filler", size=n * size_kb * KB)
+    crds = []
+
+    def proc():
+        for i in range(n):
+            crd, err = yield from cache.copen(size_kb * KB, fd,
+                                              i * size_kb * KB)
+            assert err == 0
+            yield from cache.cread(crd, 0, 1024)
+            crds.append(crd)
+
+    run(sim, proc())
+    return crds
+
+
+def test_cwrite_writes_through_when_cache_refuses(sim):
+    """first-in + full cache: cwrite bypasses to disk (+ remote)."""
+    platform, cache = make_cache(sim)
+    fill_local_cache(sim, platform, cache)
+    fd = make_backing_file(platform, "target", size=256 * KB)
+
+    def proc():
+        crd, _ = yield from cache.copen(64 * KB, fd, 0)
+        n, err = yield from cache.cwrite(crd, 0, 500, b"w" * 500)
+        assert (n, err) == (500, 0)
+        assert cache.state(crd) != "local"
+        fh = platform.app.fs.handle(fd)
+        _, data = yield platform.app.fs.read(fh, 0, 500)
+        return data
+
+    assert run(sim, proc()) == b"w" * 500
+    assert cache.stats.count("cwrite.disk_writethrough") \
+        + cache.stats.count("cread.remote_hits") >= 1
+
+
+def test_cwrite_through_remote_keeps_remote_current(sim):
+    """Write-through via mwrite updates both the remote copy and disk."""
+    platform, cache = make_cache(sim)
+    fill_local_cache(sim, platform, cache)
+    fd = make_backing_file(platform, "target", size=256 * KB)
+
+    def proc():
+        crd, _ = yield from cache.copen(64 * KB, fd, 0)
+        # first read pushes it remote (bypass-clone)
+        yield from cache.cread(crd, 0, 1024)
+        assert cache.state(crd) == "remote"
+        n, err = yield from cache.cwrite(crd, 0, 300, b"r" * 300)
+        assert (n, err) == (300, 0)
+        # still remote, and the remote copy serves the new bytes
+        assert cache.state(crd) == "remote"
+        n, err, data = yield from cache.cread(crd, 0, 300)
+        return data
+
+    assert run(sim, proc()) == b"r" * 300
+
+
+def test_cwrite_clamps_at_region_end(sim):
+    platform, cache = make_cache(sim, local_kb=512)
+    fd = make_backing_file(platform)
+
+    def proc():
+        crd, _ = yield from cache.copen(1000, fd, 0)
+        n, err = yield from cache.cwrite(crd, 900, 500, b"z" * 500)
+        return n, err
+
+    assert run(sim, proc()) == (100, 0)  # short write at region end
+
+
+def test_cwrite_data_shorter_than_length_rejected(sim):
+    platform, cache = make_cache(sim, local_kb=512)
+    fd = make_backing_file(platform)
+
+    def proc():
+        crd, _ = yield from cache.copen(1000, fd, 0)
+        return (yield from cache.cwrite(crd, 0, 100, b"short"))
+
+    assert run(sim, proc()) == (-1, EINVAL)
+
+
+def test_csync_on_clean_region_only_fsyncs(sim):
+    platform, cache = make_cache(sim, local_kb=512)
+    fd = make_backing_file(platform)
+
+    def proc():
+        crd, _ = yield from cache.copen(4096, fd, 0)
+        ret, err = yield from cache.csync(crd)
+        return ret, err
+
+    assert run(sim, proc()) == (0, 0)
+    assert cache.stats.count("clone.ok") == 0  # nothing to push
+
+
+def test_csync_invalid_crd(sim):
+    platform, cache = make_cache(sim)
+
+    def proc():
+        return (yield from cache.csync(999))
+
+    assert run(sim, proc()) == (-1, EINVAL)
+
+
+def test_grim_reaper_empty_cache_refuses(sim):
+    platform, cache = make_cache(sim, policy="lru")
+
+    def proc():
+        return (yield from cache.grim_reaper(64 * KB))
+
+    # empty cache: nothing to evict, but the space IS free
+    assert run(sim, proc()) is True
+
+    def proc2():
+        return (yield from cache.grim_reaper(10 * 1024 * KB))
+
+    # impossible demand: no victims can ever satisfy it
+    assert run(sim, proc2()) is False
+
+
+def test_detach_persist_clones_local_regions(sim):
+    platform, cache = make_cache(sim, policy="lru", local_kb=512)
+    fd = make_backing_file(platform, "d", size=256 * KB)
+
+    def proc():
+        crd, _ = yield from cache.copen(64 * KB, fd, 0)
+        yield from cache.cwrite(crd, 0, 100, b"p" * 100)
+        assert cache.state(crd) == "local"
+        yield from cache.detach(persist=True)
+
+    run(sim, proc())
+    # the dirty local region was flushed and cloned out before detach
+    assert sum(i.allocator.used_bytes for i in platform.imds) == 64 * KB
+
+    # a second run's cache can find it remotely
+    cache2 = platform.region_cache(policy="lru", local_bytes=512 * KB)
+
+    def proc2():
+        crd, _ = yield from cache2.copen(64 * KB, fd, 0)
+        n, err, data = yield from cache2.cread(crd, 0, 100)
+        return data, cache2.stats.count("cread.remote_hits") \
+            + cache2.stats.count("cread.local_hits")
+
+    data, hits = run(sim, proc2())
+    assert data == b"p" * 100
+
+
+def test_nonpersistent_detach_frees_everything(sim):
+    platform, cache = make_cache(sim, policy="lru", local_kb=512)
+    fd = make_backing_file(platform, "d", size=256 * KB)
+
+    def proc():
+        crd, _ = yield from cache.copen(64 * KB, fd, 0)
+        yield from cache.cread(crd, 0, 1024)
+        yield from cache.detach(persist=False)
+
+    run(sim, proc())
+    assert sum(i.allocator.used_bytes for i in platform.imds) == 0
+
+
+def test_mpush_validations(sim):
+    platform = make_platform(sim)
+    lib = platform.runtime()
+    fd = make_backing_file(platform)
+
+    def proc():
+        desc, _ = yield from lib.mopen(1000, fd, 0)
+        bad_desc = yield from lib.mpush(77, 0, 10, b"x" * 10)
+        bad_off = yield from lib.mpush(desc, 5000, 10, b"x" * 10)
+        zero = yield from lib.mpush(desc, 0, 0, b"")
+        clamp = yield from lib.mpush(desc, 990, 100, b"y" * 100)
+        return bad_desc, bad_off, zero, clamp
+
+    bad_desc, bad_off, zero, clamp = run(sim, proc())
+    assert bad_desc[1] != 0
+    assert bad_off == (-1, EINVAL)
+    assert zero == (0, 0)
+    assert clamp == (10, 0)

@@ -1,0 +1,68 @@
+"""Smoke tests for experiment formatters (canned inputs, no simulation)."""
+
+from repro.exp.ablations import (format_allocator_ablation,
+                                 format_policy_ablation,
+                                 format_prefetch_ablation,
+                                 format_pregrant_ablation,
+                                 format_refraction_ablation)
+from repro.exp.fig7 import format_fig7
+from repro.exp.fig8 import Fig8Point, format_fig8
+from repro.exp.nondedicated import format_nondedicated
+
+
+def test_format_fig7():
+    results = {
+        ("lu", "udp"): {"speedup": 1.18, "paper": 1.15,
+                        "dodo_io_fraction": 0.09},
+        ("dmine", "udp"): {"speedup_run1": 1.2, "speedup_run2": 2.1,
+                           "paper": 2.6},
+    }
+    out = format_fig7(results)
+    assert "lu" in out and "dmine" in out
+    assert "1.18" in out and "2.10" in out
+    assert "run1: 1.20" in out
+
+
+def test_format_fig8():
+    point = Fig8Point("random", 8192, 1, "udp")
+    results = {"A (8K, 1GB)": [
+        {"point": point, "speedup": 1.44, "steady_speedup": 1.65,
+         "baseline_s": 10.0, "dodo_s": 7.0}]}
+    out = format_fig8(results)
+    assert "Figure 8A" in out
+    assert "random" in out and "1.44" in out
+
+
+def test_format_nondedicated():
+    results = {
+        "baseline": {"elapsed_s": 76.6},
+        "dodo": {"elapsed_s": 64.8, "recruits": 7, "reclaims": 3,
+                 "mean_reclaim_delay_s": 0.0004,
+                 "max_reclaim_delay_s": 0.0004},
+        "speedup": 1.18,
+    }
+    out = format_nondedicated(results)
+    assert "1.18" in out
+    assert "0.4 ms" in out
+
+
+def test_format_ablations():
+    assert "first-fit" in format_allocator_ablation({
+        "first-fit": {"failures": 1, "mean_fragmentation": 0.5,
+                      "internal_waste_bytes": 0, "live_bytes": 100},
+        "buddy": {"failures": 2, "mean_fragmentation": 0.4,
+                  "internal_waste_bytes": 1 << 20, "live_bytes": 100}})
+    assert "refraction" in format_refraction_ablation({
+        0.0: {"elapsed_s": 10.0, "cmd_enomem_rpcs": 100,
+              "refraction_skips": 0},
+        2.0: {"elapsed_s": 9.9, "cmd_enomem_rpcs": 5,
+              "refraction_skips": 95}})
+    assert "lru" in format_policy_ablation({
+        "lru": {"elapsed_s": 5.0, "local_hits": 0, "remote_hits": 10}})
+    assert "prefetch" in format_prefetch_ablation({
+        0: {"last_scan_s": 3.6, "elapsed_s": 11.0, "prefetches": 0,
+            "local_hits": 100},
+        2: {"last_scan_s": 3.2, "elapsed_s": 10.0, "prefetches": 50,
+            "local_hits": 200}})
+    assert "pre-granted" in format_pregrant_ablation({
+        False: {"mean_latency_s": 0.002}, True: {"mean_latency_s": 0.0016}})

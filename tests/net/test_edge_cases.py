@@ -1,0 +1,144 @@
+"""Edge cases across the network stack: loss corners, crashed endpoints,
+handler failures, loopback."""
+
+import pytest
+
+from repro.net import Chunk, Datagram, RpcClient, RpcRemoteError, RpcServer
+from repro.sim import Simulator
+
+from tests.net.conftest import make_net
+
+
+def test_burst_with_all_chunks_lost_is_dropped_whole():
+    sim = Simulator(seed=1)
+    net = make_net(sim, loss=0.999)  # effectively everything dies
+    rx = net.unet["beta"].socket(port=9)
+    tx = net.unet["alpha"].socket()
+    chunks = tuple(Chunk(i, 100) for i in range(3))
+
+    def sender():
+        yield tx.send(300, payload={"kind": "bulk_data"}, chunks=chunks,
+                      dst=("beta", 9))
+
+    sim.process(sender())
+    sim.run()
+    assert len(rx._queue) == 0
+    assert net.network.stats.count("loss.bursts_total") >= 1
+
+
+def test_partial_burst_loss_delivers_survivors():
+    """Force exactly one chunk loss by probing the rng stream."""
+    # find a seed where, with p=0.5 per chunk, some but not all survive
+    for seed in range(20):
+        sim = Simulator(seed=seed)
+        net = make_net(sim)
+        # craft per-chunk drop decisions through the real path:
+        net.udp["alpha"].params = net.udp["alpha"].params.__class__(
+            **{**net.udp["alpha"].params.__dict__, "frame_loss_prob": 0.5})
+        rx = net.udp["beta"].socket(port=9)
+        tx = net.udp["alpha"].socket()
+        chunks = tuple(Chunk(i, 100) for i in range(4))
+
+        def sender():
+            yield tx.send(400, payload={"kind": "bulk_data"},
+                          chunks=chunks, dst=("beta", 9))
+
+        sim.process(sender())
+        sim.run()
+        if len(rx._queue) == 1:
+            d = rx._queue.get().value
+            if 0 < len(d.lost) < 4:
+                survivors = d.delivered_chunks()
+                assert {c.seq for c in survivors} \
+                    == set(range(4)) - set(d.lost)
+                assert d.size == 100 * len(survivors)
+                return
+    pytest.fail("never produced a partial loss")
+
+
+def test_crashed_sender_drops_transmission():
+    sim = Simulator(seed=2)
+    net = make_net(sim)
+    tx = net.udp["alpha"].socket()
+    net.nics["alpha"].down = True
+
+    def sender():
+        yield tx.send(100, dst=("beta", 9))
+
+    sim.process(sender())
+    sim.run()
+    assert net.network.stats.count("tx.dropped.src_down") == 1
+
+
+def test_loopback_same_host():
+    """A host can message itself through the switch."""
+    sim = Simulator(seed=3)
+    net = make_net(sim)
+    rx = net.udp["alpha"].socket(port=9)
+    tx = net.udp["alpha"].socket()
+
+    def proc():
+        yield tx.send(4, payload=b"self", dst=("alpha", 9))
+        d = yield rx.recv()
+        return d.payload
+
+    assert sim.run(until=sim.process(proc())) == b"self"
+
+
+def test_rpc_generator_handler_failing_after_yield():
+    """An exception after simulated work still becomes an error reply."""
+    sim = Simulator(seed=4)
+    net = make_net(sim)
+
+    def flaky(args, src):
+        yield sim.timeout(0.1)
+        raise RuntimeError("late failure")
+
+    ssock = net.udp["beta"].socket(port=50)
+    server = RpcServer(ssock, {"flaky": flaky})
+    server.start()
+    client = RpcClient(net.udp["alpha"].socket())
+
+    def proc():
+        try:
+            yield from client.call(("beta", 50), "flaky", timeout=1.0)
+        except RpcRemoteError as exc:
+            return str(exc)
+
+    msg = sim.run(until=sim.process(proc()))
+    assert "late failure" in msg
+    assert server.stats.count("handler_errors") == 1
+
+
+def test_datagram_negative_size_rejected():
+    with pytest.raises(ValueError):
+        Datagram(src="a", sport=1, dst="b", dport=2, size=-1)
+
+
+def test_api_bad_fd_send_raises():
+    from repro.net import USocketAPI
+    sim = Simulator(seed=5)
+    net = make_net(sim)
+    api = USocketAPI(net.udp["alpha"])
+    with pytest.raises(ValueError):
+        api.u_send(99, b"x")
+    with pytest.raises(ValueError):
+        api.u_recv(99, 10)
+
+
+def test_send_truncates_to_length_argument():
+    from repro.net import USocketAPI
+    sim = Simulator(seed=6)
+    net = make_net(sim)
+    alpha, beta = USocketAPI(net.udp["alpha"]), USocketAPI(net.udp["beta"])
+    sfd = beta.u_socket(1024, 1024)
+    beta.u_bind(sfd, 60)
+    cfd = alpha.u_socket(1024, 1024)
+    alpha.u_connect(cfd, "beta", 60)
+
+    def proc():
+        yield alpha.u_send(cfd, b"0123456789", length=4)
+        data, _ = yield beta.u_recv(sfd, 100)
+        return data
+
+    assert sim.run(until=sim.process(proc())) == b"0123"

@@ -1,0 +1,204 @@
+"""Tests for the switch/link fabric and NIC demux."""
+
+import pytest
+
+from repro.net import Chunk, Datagram, LinkParams, UDP_PARAMS
+from repro.sim import Simulator
+
+from tests.net.conftest import make_net
+
+
+def run_send(sim, net, src, dst, size, payload=b""):
+    sock_tx = net.udp[src].socket()
+    sock_rx = net.udp[dst].socket(port=9)
+
+    result = {}
+
+    def sender():
+        yield sock_tx.send(size, payload=payload, dst=(dst, 9))
+
+    def receiver():
+        d = yield sock_rx.recv()
+        result["dgram"] = d
+        result["time"] = sim.now
+
+    sim.process(sender())
+    p = sim.process(receiver())
+    sim.run(until=p)
+    return result
+
+
+def test_datagram_delivered_with_payload():
+    sim = Simulator()
+    net = make_net(sim)
+    res = run_send(sim, net, "alpha", "beta", 5, b"hello")
+    assert res["dgram"].payload == b"hello"
+    assert res["dgram"].src == "alpha"
+
+
+def test_delivery_time_scales_with_size():
+    sim1 = Simulator()
+    t_small = run_send(sim1, make_net(sim1), "alpha", "beta", 100)["time"]
+    sim2 = Simulator()
+    t_large = run_send(sim2, make_net(sim2), "alpha", "beta", 60000)["time"]
+    assert t_large > t_small
+    # 60 KB at 100 Mb/s is ~4.8 ms of wire time; delivery must exceed that.
+    assert t_large > 60000 * 8 / 100e6
+
+
+def test_8k_read_latency_in_expected_band():
+    """An 8 KB UDP datagram should take ~1 ms end to end (calibration)."""
+    sim = Simulator()
+    t = run_send(sim, make_net(sim), "alpha", "beta", 8192)["time"]
+    assert 0.7e-3 < t < 1.6e-3
+
+
+def test_unknown_destination_dropped():
+    sim = Simulator()
+    net = make_net(sim)
+    sock = net.udp["alpha"].socket()
+
+    def sender():
+        yield sock.send(10, dst=("nonexistent", 9))
+
+    sim.process(sender())
+    sim.run()
+    assert net.network.stats.count("rx.dropped.dst_down") == 1
+
+
+def test_down_nic_drops_traffic():
+    sim = Simulator()
+    net = make_net(sim)
+    net.nics["beta"].down = True
+    sock = net.udp["alpha"].socket()
+    rx = net.udp["beta"].socket(port=9)
+
+    def sender():
+        yield sock.send(10, dst=("beta", 9))
+
+    sim.process(sender())
+    sim.run()
+    assert len(rx._queue) == 0
+
+
+def test_unbound_port_drops():
+    sim = Simulator()
+    net = make_net(sim)
+    sock = net.udp["alpha"].socket()
+
+    def sender():
+        yield sock.send(10, dst=("beta", 4242))
+
+    sim.process(sender())
+    sim.run()
+    assert net.nics["beta"].stats.count("rx.dropped.no_port") == 1
+
+
+def test_transports_demux_independently():
+    sim = Simulator()
+    net = make_net(sim)
+    udp_rx = net.udp["beta"].socket(port=9)
+    unet_rx = net.unet["beta"].socket(port=9)
+    udp_tx = net.udp["alpha"].socket()
+    unet_tx = net.unet["alpha"].socket()
+
+    def sender():
+        yield udp_tx.send(4, payload=b"udp!", dst=("beta", 9))
+        yield unet_tx.send(5, payload=b"unet!", dst=("beta", 9))
+
+    sim.process(sender())
+    sim.run()
+    assert udp_rx._queue.get().value.payload == b"udp!"
+    assert unet_rx._queue.get().value.payload == b"unet!"
+
+
+def test_sender_tx_serializes_concurrent_sends():
+    """Two large sends from one host must not overlap on the TX link."""
+    sim = Simulator()
+    net = make_net(sim)
+    rx = net.udp["beta"].socket(port=9, recvbuf=1 << 20)
+    tx = net.udp["alpha"].socket()
+    times = []
+
+    def sender():
+        yield tx.send(60000, dst=("beta", 9))
+        yield tx.send(60000, dst=("beta", 9))
+
+    def receiver():
+        for _ in range(2):
+            yield rx.recv()
+            times.append(sim.now)
+
+    sim.process(sender())
+    p = sim.process(receiver())
+    sim.run(until=p)
+    wire = 60000 * 8 / 100e6
+    assert times[1] - times[0] >= wire * 0.9
+
+
+def test_receiver_rx_contention_from_two_senders():
+    sim = Simulator()
+    net = make_net(sim, hosts=("alpha", "beta", "gamma"))
+    rx = net.udp["gamma"].socket(port=9, recvbuf=1 << 20)
+    times = []
+
+    def sender(host):
+        def proc():
+            sock = net.udp[host].socket()
+            yield sock.send(60000, dst=("gamma", 9))
+        return proc()
+
+    def receiver():
+        for _ in range(2):
+            yield rx.recv()
+            times.append(sim.now)
+
+    sim.process(sender("alpha"))
+    sim.process(sender("beta"))
+    p = sim.process(receiver())
+    sim.run(until=p)
+    wire = 60000 * 8 / 100e6
+    # Second arrival must queue behind the first on gamma's RX link.
+    assert times[1] - times[0] >= wire * 0.9
+
+
+def test_burst_datagram_chunk_accounting():
+    chunks = (Chunk(0, 100), Chunk(1, 100), Chunk(2, 50))
+    d = Datagram(src="a", sport=1, dst="b", dport=2, size=250, chunks=chunks)
+    assert d.is_burst and d.count == 3
+    assert [c.seq for c in d.delivered_chunks()] == [0, 1, 2]
+
+
+def test_burst_size_mismatch_rejected():
+    with pytest.raises(ValueError):
+        Datagram(src="a", sport=1, dst="b", dport=2, size=999,
+                 chunks=(Chunk(0, 100),))
+
+
+def test_chunk_data_length_must_match_size():
+    with pytest.raises(ValueError):
+        Chunk(0, 5, b"too long for five")
+
+
+def test_frames_for_respects_mtu():
+    sim = Simulator()
+    net = make_net(sim)
+    assert net.network.frames_for(0) == 1
+    assert net.network.frames_for(1000) == 1
+    assert net.network.frames_for(1500) == 2
+    assert net.network.frames_for(64 * 1024) == 45
+
+
+def test_link_params_wire_time():
+    link = LinkParams()
+    one = link.frame_time(1472)
+    assert one == pytest.approx((1472 + 46) * 8 / 100e6)
+    assert link.wire_time(2944, 2) == pytest.approx(2 * one)
+
+
+def test_attach_duplicate_host_rejected():
+    sim = Simulator()
+    net = make_net(sim)
+    from repro.net import NIC
+    with pytest.raises(ValueError):
+        net.network.attach(NIC(sim, "alpha"))

@@ -1,0 +1,184 @@
+"""Tests for the RPC control-plane layer."""
+
+import pytest
+
+from repro.net import RpcClient, RpcRemoteError, RpcServer, RpcTimeout
+from repro.sim import Simulator
+
+from tests.net.conftest import make_net
+
+
+def make_pair(sim, net, handlers, server_host="beta", port=50):
+    ssock = net.udp[server_host].socket(port=port)
+    server = RpcServer(ssock, handlers, name="test")
+    server.start()
+    csock = net.udp["alpha"].socket()
+    return RpcClient(csock), server, (server_host, port)
+
+
+def test_simple_call_roundtrip():
+    sim = Simulator()
+    net = make_net(sim)
+    client, _, dst = make_pair(sim, net, {
+        "add": lambda args, src: {"sum": args["a"] + args["b"]}})
+
+    def proc():
+        result = yield from client.call(dst, "add", {"a": 2, "b": 3})
+        return result
+
+    assert sim.run(until=sim.process(proc())) == {"sum": 5}
+
+
+def test_unknown_method_raises_remote_error():
+    sim = Simulator()
+    net = make_net(sim)
+    client, _, dst = make_pair(sim, net, {})
+
+    def proc():
+        yield from client.call(dst, "nope")
+
+    with pytest.raises(RpcRemoteError, match="no such method"):
+        sim.run(until=sim.process(proc()))
+
+
+def test_handler_exception_propagates_as_remote_error():
+    sim = Simulator()
+    net = make_net(sim)
+
+    def boom(args, src):
+        raise ValueError("bad input")
+
+    client, server, dst = make_pair(sim, net, {"boom": boom})
+
+    def proc():
+        yield from client.call(dst, "boom")
+
+    with pytest.raises(RpcRemoteError, match="ValueError: bad input"):
+        sim.run(until=sim.process(proc()))
+    assert server.stats.count("handler_errors") == 1
+
+
+def test_generator_handler_does_simulated_io():
+    sim = Simulator()
+    net = make_net(sim)
+
+    def slow(args, src):
+        yield sim.timeout(0.5)
+        return {"when": sim.now}
+
+    client, _, dst = make_pair(sim, net, {"slow": slow})
+
+    def proc():
+        result = yield from client.call(dst, "slow", timeout=2.0)
+        return result
+
+    result = sim.run(until=sim.process(proc()))
+    assert result["when"] >= 0.5
+
+
+def test_call_to_dead_host_times_out():
+    sim = Simulator()
+    net = make_net(sim)
+    csock = net.udp["alpha"].socket()
+    client = RpcClient(csock)
+
+    def proc():
+        yield from client.call(("beta", 50), "x", timeout=0.01, retries=3)
+
+    with pytest.raises(RpcTimeout):
+        sim.run(until=sim.process(proc()))
+    assert client.stats.count("calls.sent") == 3
+
+
+def test_retry_succeeds_under_loss():
+    sim = Simulator(seed=3)
+    net = make_net(sim, loss=0.3)  # drop ~30% of single-frame datagrams
+    calls = []
+
+    def ping(args, src):
+        calls.append(args["n"])
+        return {"pong": args["n"]}
+
+    client, _, dst = make_pair(sim, net, {"ping": ping})
+
+    def proc():
+        results = []
+        for n in range(10):
+            r = yield from client.call(dst, "ping", {"n": n},
+                                       timeout=0.02, retries=30)
+            results.append(r["pong"])
+        return results
+
+    assert sim.run(until=sim.process(proc())) == list(range(10))
+
+
+def test_duplicate_requests_not_reexecuted():
+    """Retried requests must replay the cached reply, not rerun the handler."""
+    sim = Simulator(seed=5)
+    net = make_net(sim, loss=0.4)
+    executions = []
+
+    def alloc(args, src):
+        executions.append(args["n"])
+        return {"ok": True}
+
+    client, server, dst = make_pair(sim, net, {"alloc": alloc})
+
+    def proc():
+        for n in range(8):
+            yield from client.call(dst, "alloc", {"n": n},
+                                   timeout=0.02, retries=50)
+
+    sim.run(until=sim.process(proc()))
+    # Each logical call executed exactly once despite retries.
+    assert executions == list(range(8))
+
+
+def test_server_stop_ends_loop():
+    sim = Simulator()
+    net = make_net(sim)
+    client, server, dst = make_pair(sim, net, {"x": lambda a, s: {}})
+
+    def proc():
+        yield from client.call(dst, "x")
+        server.stop()
+        with pytest.raises(RpcTimeout):
+            yield from client.call(dst, "x", timeout=0.01, retries=2)
+        return True
+
+    assert sim.run(until=sim.process(proc())) is True
+
+
+def test_double_start_rejected():
+    sim = Simulator()
+    net = make_net(sim)
+    _, server, _ = make_pair(sim, net, {})
+    with pytest.raises(RuntimeError):
+        server.start()
+
+
+def test_concurrent_clients():
+    sim = Simulator()
+    net = make_net(sim, hosts=("alpha", "beta", "gamma"))
+
+    def echo(args, src):
+        return {"from": src[0], "v": args["v"]}
+
+    ssock = net.udp["gamma"].socket(port=50)
+    RpcServer(ssock, {"echo": echo}).start()
+
+    results = {}
+
+    def caller(host, v):
+        def proc():
+            client = RpcClient(net.udp[host].socket())
+            r = yield from client.call(("gamma", 50), "echo", {"v": v})
+            results[host] = r
+        return proc()
+
+    pa = sim.process(caller("alpha", 1))
+    pb = sim.process(caller("beta", 2))
+    sim.run(until=pa)
+    sim.run(until=pb)
+    assert results["alpha"] == {"from": "alpha", "v": 1}
+    assert results["beta"] == {"from": "beta", "v": 2}

@@ -1,0 +1,292 @@
+"""Unit tests for processes, interrupts and condition events."""
+
+import pytest
+
+from repro.sim import AllOf, AnyOf, Interrupt, SimulationError, Simulator
+
+
+def test_process_runs_and_returns():
+    sim = Simulator()
+    log = []
+
+    def worker():
+        log.append(("start", sim.now))
+        yield sim.timeout(3.0)
+        log.append(("end", sim.now))
+        return "result"
+
+    p = sim.process(worker())
+    out = sim.run(until=p)
+    assert out == "result"
+    assert log == [("start", 0.0), ("end", 3.0)]
+
+
+def test_process_requires_generator():
+    sim = Simulator()
+    with pytest.raises(TypeError):
+        sim.process(lambda: None)
+
+
+def test_process_receives_event_value():
+    sim = Simulator()
+
+    def worker():
+        got = yield sim.timeout(1.0, value="payload")
+        return got
+
+    assert sim.run(until=sim.process(worker())) == "payload"
+
+
+def test_process_waits_on_process():
+    sim = Simulator()
+
+    def child():
+        yield sim.timeout(2.0)
+        return 99
+
+    def parent():
+        val = yield sim.process(child())
+        return val + 1
+
+    assert sim.run(until=sim.process(parent())) == 100
+
+
+def test_waiting_on_already_finished_process():
+    sim = Simulator()
+
+    def child():
+        yield sim.timeout(1.0)
+        return "early"
+
+    c = sim.process(child())
+
+    def parent():
+        yield sim.timeout(5.0)
+        val = yield c  # already processed by now
+        return val
+
+    assert sim.run(until=sim.process(parent())) == "early"
+    assert sim.now == 5.0
+
+
+def test_exception_propagates_to_waiter():
+    sim = Simulator()
+
+    def child():
+        yield sim.timeout(1.0)
+        raise KeyError("inner")
+
+    def parent():
+        try:
+            yield sim.process(child())
+        except KeyError:
+            return "caught"
+        return "missed"
+
+    assert sim.run(until=sim.process(parent())) == "caught"
+
+
+def test_unwaited_crashed_process_raises_at_run():
+    sim = Simulator()
+
+    def crasher():
+        yield sim.timeout(1.0)
+        raise RuntimeError("unobserved crash")
+
+    sim.process(crasher())
+    with pytest.raises(RuntimeError, match="unobserved crash"):
+        sim.run()
+
+
+def test_yielding_non_event_fails_process():
+    sim = Simulator()
+
+    def bad():
+        yield 42
+
+    p = sim.process(bad())
+    with pytest.raises(SimulationError, match="non-event"):
+        sim.run(until=p)
+
+
+def test_interrupt_wakes_sleeping_process():
+    sim = Simulator()
+    log = []
+
+    def sleeper():
+        try:
+            yield sim.timeout(100.0)
+            log.append("overslept")
+        except Interrupt as intr:
+            log.append(("interrupted", sim.now, intr.cause))
+
+    p = sim.process(sleeper())
+
+    def killer():
+        yield sim.timeout(5.0)
+        p.interrupt("wake up")
+
+    sim.process(killer())
+    sim.run()
+    assert log == [("interrupted", 5.0, "wake up")]
+
+
+def test_interrupted_process_not_resumed_by_stale_event():
+    sim = Simulator()
+    resumes = []
+
+    def sleeper():
+        try:
+            yield sim.timeout(10.0)
+            resumes.append("timeout")
+        except Interrupt:
+            resumes.append("interrupt")
+            yield sim.timeout(50.0)
+            resumes.append("second sleep done")
+
+    p = sim.process(sleeper())
+
+    def killer():
+        yield sim.timeout(1.0)
+        p.interrupt()
+
+    sim.process(killer())
+    sim.run()
+    # The original timeout at t=10 must NOT resume the process again.
+    assert resumes == ["interrupt", "second sleep done"]
+    assert sim.now == 51.0
+
+
+def test_interrupt_terminated_process_is_error():
+    sim = Simulator()
+
+    def quick():
+        yield sim.timeout(1.0)
+
+    p = sim.process(quick())
+    sim.run()
+    with pytest.raises(SimulationError):
+        p.interrupt()
+
+
+def test_interrupt_before_first_resume():
+    sim = Simulator()
+    log = []
+
+    def proc():
+        try:
+            yield sim.timeout(10.0)
+        except Interrupt:
+            log.append("early interrupt")
+
+    p = sim.process(proc())
+    p.interrupt()  # before the process has even started
+    sim.run()
+    assert log == ["early interrupt"] or log == []
+    assert not p.is_alive
+
+
+def test_is_alive_lifecycle():
+    sim = Simulator()
+
+    def proc():
+        yield sim.timeout(2.0)
+
+    p = sim.process(proc())
+    assert p.is_alive
+    sim.run()
+    assert not p.is_alive
+
+
+def test_allof_collects_values_in_order():
+    sim = Simulator()
+
+    def make(delay, val):
+        def proc():
+            yield sim.timeout(delay)
+            return val
+        return sim.process(proc())
+
+    # Deliberately finish out of order.
+    procs = [make(3.0, "a"), make(1.0, "b"), make(2.0, "c")]
+
+    def waiter():
+        vals = yield AllOf(sim, procs)
+        return vals
+
+    assert sim.run(until=sim.process(waiter())) == ["a", "b", "c"]
+    assert sim.now == 3.0
+
+
+def test_allof_empty_fires_immediately():
+    sim = Simulator()
+
+    def waiter():
+        vals = yield AllOf(sim, [])
+        return vals
+
+    assert sim.run(until=sim.process(waiter())) == []
+
+
+def test_allof_fails_if_any_child_fails():
+    sim = Simulator()
+
+    def good():
+        yield sim.timeout(5.0)
+
+    def bad():
+        yield sim.timeout(1.0)
+        raise ValueError("child failed")
+
+    def waiter():
+        try:
+            yield AllOf(sim, [sim.process(good()), sim.process(bad())])
+        except ValueError:
+            return "failed fast"
+        return "no failure"
+
+    assert sim.run(until=sim.process(waiter())) == "failed fast"
+    assert sim.now == 1.0
+
+
+def test_anyof_returns_first_index_and_value():
+    sim = Simulator()
+
+    def make(delay, val):
+        def proc():
+            yield sim.timeout(delay)
+            return val
+        return sim.process(proc())
+
+    def waiter():
+        idx, val = yield AnyOf(sim, [make(9.0, "slow"), make(2.0, "fast")])
+        return idx, val
+
+    assert sim.run(until=sim.process(waiter())) == (1, "fast")
+    assert sim.now == 2.0
+
+
+def test_anyof_with_already_done_child():
+    sim = Simulator()
+    done = sim.event()
+    done.succeed("instant")
+    sim.run()  # process it
+
+    def waiter():
+        idx, val = yield AnyOf(sim, [done, sim.timeout(10.0)])
+        return idx, val
+
+    assert sim.run(until=sim.process(waiter())) == (0, "instant")
+
+
+def test_nested_processes_deep_chain():
+    sim = Simulator()
+
+    def level(n):
+        if n == 0:
+            yield sim.timeout(1.0)
+            return 0
+        val = yield sim.process(level(n - 1))
+        return val + 1
+
+    assert sim.run(until=sim.process(level(20))) == 20

@@ -1,0 +1,111 @@
+"""Tests for the mechanical disk model."""
+
+import pytest
+
+from repro.sim import Simulator
+from repro.storage import Disk, DiskParams
+
+
+@pytest.fixture
+def sim():
+    return Simulator(seed=0)
+
+
+@pytest.fixture
+def disk(sim):
+    return Disk(sim, "d0")
+
+
+def do_io(sim, disk, ops):
+    """Run a list of ('r'|'w', offset, nbytes) ops; return total time."""
+    def proc():
+        for kind, off, n in ops:
+            if kind == "r":
+                yield disk.read(off, n)
+            else:
+                yield disk.write(off, n)
+    p = sim.process(proc())
+    sim.run(until=p)
+    return sim.now
+
+
+def test_single_read_includes_positioning(sim, disk):
+    t = do_io(sim, disk, [("r", 1_000_000_000, 8192)])
+    p = disk.params
+    assert t > p.avg_rotational_latency_s  # seek + rotation dominate
+
+
+def test_sequential_read_skips_positioning(sim, disk):
+    do_io(sim, disk, [("r", 0, 8192)])
+    t0 = sim.now
+    do_io(sim, disk, [("r", 8192, 8192)])
+    t_seq = sim.now - t0
+    # streaming: just overhead + transfer
+    expected = disk.params.overhead_s + 8192 / disk.params.media_rate
+    assert t_seq == pytest.approx(expected)
+
+
+def test_seek_time_monotone_in_distance(disk):
+    d1 = disk.seek_time(1_000_000, write=False)
+    d2 = disk.seek_time(100_000_000, write=False)
+    d3 = disk.seek_time(3_000_000_000, write=False)
+    assert 0 < d1 < d2 <= d3
+
+
+def test_seek_time_capped_at_max(disk):
+    p = disk.params
+    assert disk.seek_time(p.capacity_bytes, write=False) <= p.seek_max_read_s
+    assert disk.seek_time(p.capacity_bytes, write=True) <= p.seek_max_write_s
+
+
+def test_zero_distance_seek_is_free(disk):
+    assert disk.seek_time(0, write=False) == 0.0
+
+
+def test_writes_slower_than_reads_on_average(disk):
+    d = 1_000_000_000
+    assert disk.seek_time(d, write=True) > disk.seek_time(d, write=False)
+
+
+def test_out_of_range_io_rejected(sim, disk):
+    def proc():
+        yield disk.read(disk.params.capacity_bytes - 100, 8192)
+    p = sim.process(proc())
+    with pytest.raises(ValueError):
+        sim.run(until=p)
+
+
+def test_zero_byte_io_rejected(sim, disk):
+    def proc():
+        yield disk.read(0, 0)
+    p = sim.process(proc())
+    with pytest.raises(ValueError):
+        sim.run(until=p)
+
+
+def test_arm_serializes_concurrent_requests(sim, disk):
+    """Two requests issued together must be served one after the other."""
+    times = []
+
+    def proc(off):
+        yield disk.read(off, 8192)
+        times.append(sim.now)
+
+    sim.process(proc(0))
+    sim.process(proc(1_000_000_000))
+    sim.run()
+    assert times[1] > times[0]
+    assert times[1] >= times[0] + disk.params.avg_rotational_latency_s
+
+
+def test_stats_recorded(sim, disk):
+    do_io(sim, disk, [("r", 0, 4096), ("w", 8192, 4096)])
+    assert disk.stats.count("read.ops") == 1
+    assert disk.stats.count("write.ops") == 1
+    assert disk.stats.count("read.bytes") == 4096
+
+
+def test_rotation_time_from_rpm():
+    p = DiskParams(rpm=5400)
+    assert p.rotation_s == pytest.approx(60.0 / 5400)
+    assert p.avg_rotational_latency_s == pytest.approx(60.0 / 5400 / 2)

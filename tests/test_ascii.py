@@ -1,0 +1,63 @@
+"""Tests for the ASCII chart renderer."""
+
+import pytest
+
+from repro.metrics import line_chart, sparkline
+from repro.metrics.ascii import _resample
+
+
+def test_sparkline_monotone_heights():
+    s = sparkline([0, 1, 2, 3, 4, 5, 6, 7])
+    assert s == "▁▂▃▄▅▆▇█"
+
+
+def test_sparkline_flat_series():
+    assert sparkline([5, 5, 5]) == "▁▁▁"
+
+
+def test_sparkline_fixed_bounds():
+    s = sparkline([5.0], lo=0.0, hi=10.0)
+    assert s == "▅"  # midpoint (rounds up)
+
+
+def test_sparkline_resamples_to_width():
+    s = sparkline(list(range(1000)), width=50)
+    assert len(s) == 50
+    assert s[0] == "▁" and s[-1] == "█"
+
+
+def test_resample_preserves_short_series():
+    assert _resample([1, 2, 3], 10) == [1.0, 2.0, 3.0]
+
+
+def test_resample_bucket_averages():
+    out = _resample([0, 10, 20, 30], 2)
+    assert out == [5.0, 25.0]
+
+
+def test_resample_empty_rejected():
+    with pytest.raises(ValueError):
+        _resample([], 10)
+
+
+def test_line_chart_structure():
+    chart = line_chart([0, 5, 10, 5, 0], height=4, title="T")
+    lines = chart.splitlines()
+    assert lines[0] == "T"
+    assert len(lines) == 1 + 4 + 1  # title + rows + axis
+    assert lines[1].lstrip().startswith("10")  # top label
+    assert lines[-2].lstrip().startswith("0")  # bottom label
+    assert lines[-1].strip().startswith("+")
+
+
+def test_line_chart_peak_position():
+    chart = line_chart([0, 0, 10, 0, 0], height=5)
+    top_row = chart.splitlines()[0]
+    body = top_row.split("|", 1)[1]
+    assert body[2] == "█"
+    assert body[0] == " " and body[4] == " "
+
+
+def test_line_chart_height_validation():
+    with pytest.raises(ValueError):
+        line_chart([1, 2], height=1)

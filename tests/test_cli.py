@@ -1,0 +1,47 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import COMMANDS, _scale, build_parser, main
+
+
+def test_scale_parsing():
+    assert _scale("1/64") == pytest.approx(1 / 64)
+    assert _scale("0.25") == 0.25
+    assert _scale("1") == 1.0
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for name in COMMANDS:
+        assert name in out
+
+
+def test_no_command_lists(capsys):
+    assert main([]) == 0
+    assert "fig8" in capsys.readouterr().out
+
+
+def test_parser_accepts_all_commands():
+    parser = build_parser()
+    for argv in (["fig1", "--days", "1"],
+                 ["fig7", "--scale-lu", "1/256"],
+                 ["fig8", "--scale", "1/256", "--iters", "2"],
+                 ["ablations", "--scale", "1/256"],
+                 ["nondedicated", "--iters", "2"],
+                 ["all", "--quick"]):
+        args = parser.parse_args(argv)
+        assert args.command == argv[0]
+
+
+def test_disk_command_runs(capsys):
+    assert main(["disk"]) == 0
+    out = capsys.readouterr().out
+    assert "disk bandwidth" in out
+    assert "seq 8K" in out
+
+
+def test_table1_command_runs(capsys):
+    assert main(["table1", "--days", "0.25"]) == 0
+    assert "Table 1" in capsys.readouterr().out

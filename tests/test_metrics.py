@@ -1,0 +1,126 @@
+"""Tests for the metrics package: Recorder, TimeSeries, report helpers."""
+
+import pytest
+
+from repro.metrics import (Recorder, TimeSeries, format_series, format_table,
+                           speedup)
+
+
+# -- Recorder ----------------------------------------------------------------
+
+def test_recorder_counters():
+    r = Recorder("x")
+    r.add("ops")
+    r.add("ops", 2)
+    r.add("bytes", 100)
+    assert r.count("ops") == 3
+    assert r.count("bytes") == 100
+    assert r.count("missing") == 0
+    assert r.counters == {"ops": 3, "bytes": 100}
+
+
+def test_recorder_samples():
+    r = Recorder()
+    for v in (1.0, 2.0, 3.0):
+        r.sample("lat", v)
+    assert r.samples("lat") == [1.0, 2.0, 3.0]
+    assert r.mean("lat") == pytest.approx(2.0)
+    assert r.maximum("lat") == 3.0
+    assert r.mean("none") == 0.0
+    assert r.maximum("none") == 0.0
+
+
+def test_recorder_clear():
+    r = Recorder()
+    r.add("a")
+    r.sample("b", 1.0)
+    r.clear()
+    assert r.count("a") == 0
+    assert r.samples("b") == []
+
+
+# -- TimeSeries ---------------------------------------------------------------
+
+def test_timeseries_value_at_step_function():
+    ts = TimeSeries()
+    ts.record(0.0, 10.0)
+    ts.record(5.0, 20.0)
+    ts.record(10.0, 5.0)
+    assert ts.value_at(0.0) == 10.0
+    assert ts.value_at(4.99) == 10.0
+    assert ts.value_at(5.0) == 20.0
+    assert ts.value_at(100.0) == 5.0
+
+
+def test_timeseries_before_first_sample_is_error():
+    ts = TimeSeries()
+    ts.record(5.0, 1.0)
+    with pytest.raises(ValueError):
+        ts.value_at(4.0)
+
+
+def test_timeseries_out_of_order_rejected():
+    ts = TimeSeries()
+    ts.record(5.0, 1.0)
+    with pytest.raises(ValueError):
+        ts.record(4.0, 2.0)
+
+
+def test_timeseries_integral_and_average():
+    ts = TimeSeries()
+    ts.record(0.0, 10.0)
+    ts.record(10.0, 20.0)
+    # [0,10): 10, [10,20]: 20 -> integral over [0,20] = 100 + 200
+    assert ts.integral(0.0, 20.0) == pytest.approx(300.0)
+    assert ts.average(0.0, 20.0) == pytest.approx(15.0)
+    assert ts.integral(5.0, 5.0) == 0.0
+    assert ts.average(5.0, 5.0) == 10.0
+    with pytest.raises(ValueError):
+        ts.integral(10.0, 5.0)
+
+
+def test_timeseries_minmax_and_len():
+    ts = TimeSeries()
+    with pytest.raises(ValueError):
+        ts.minimum()
+    ts.record(0.0, 3.0)
+    ts.record(1.0, 7.0)
+    assert ts.minimum() == 3.0
+    assert ts.maximum() == 7.0
+    assert len(ts) == 2
+
+
+def test_timeseries_aggregate():
+    a, b = TimeSeries(), TimeSeries()
+    for t, (va, vb) in enumerate(((1, 10), (2, 20), (3, 30))):
+        a.record(float(t), va)
+        b.record(float(t), vb)
+    agg = TimeSeries.aggregate([a, b], [0.0, 1.0, 2.0])
+    assert agg.values == [11, 22, 33]
+
+
+# -- report --------------------------------------------------------------------
+
+def test_speedup():
+    assert speedup(10.0, 5.0) == 2.0
+    with pytest.raises(ValueError):
+        speedup(10.0, 0.0)
+
+
+def test_format_table_alignment():
+    out = format_table(["name", "value"], [["a", 1], ["long-name", 2.5]],
+                       title="T")
+    lines = out.splitlines()
+    assert lines[0] == "T"
+    assert "name" in lines[1] and "value" in lines[1]
+    assert set(lines[2]) <= {"-", " "}
+    assert "long-name" in lines[4]
+    assert "2.500" in lines[4]  # float formatting
+
+
+def test_format_series():
+    out = format_series({"y1": [1.0, 2.0], "y2": [3.0, 4.0]},
+                        xlabel="x", xs=[10, 20])
+    lines = out.splitlines()
+    assert lines[0].split() == ["x", "y1", "y2"]
+    assert lines[2].split() == ["10", "1.000", "3.000"]

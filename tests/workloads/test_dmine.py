@@ -1,0 +1,142 @@
+"""Tests for the dmine workload: encoding, Apriori correctness, end-to-end."""
+
+import numpy as np
+import pytest
+
+from repro.sim import Simulator
+from repro.workloads import (Apriori, BLOCK_SIZE, DmineParams,
+                             brute_force_frequent, decode_block,
+                             dmine_trace, encode_blocks,
+                             generate_transactions)
+
+SMALL = DmineParams(n_transactions=300, avg_items=8, n_items=60,
+                    n_patterns=5, pattern_len=3, pattern_prob=0.5,
+                    min_support=0.05, max_itemset_len=3)
+
+
+@pytest.fixture(scope="module")
+def txns():
+    return generate_transactions(np.random.default_rng(7), SMALL)
+
+
+def blocks_of(data):
+    return [decode_block(data[off:off + BLOCK_SIZE])
+            for off in range(0, len(data), BLOCK_SIZE)]
+
+
+def test_generator_properties(txns):
+    assert len(txns) == SMALL.n_transactions
+    for t in txns:
+        assert t == sorted(set(t))
+        assert all(0 <= i < SMALL.n_items for i in t)
+    mean = np.mean([len(t) for t in txns])
+    assert 5 < mean < 14  # around avg_items, inflated a bit by patterns
+
+
+def test_encode_decode_roundtrip(txns):
+    data = encode_blocks(txns)
+    assert len(data) % BLOCK_SIZE == 0
+    decoded = [t for blk in blocks_of(data) for t in blk]
+    assert decoded == txns
+
+
+def test_encode_block_self_containment(txns):
+    """Every block decodes independently (the 128 KB read property)."""
+    data = encode_blocks(txns)
+    total = 0
+    for off in range(0, len(data), BLOCK_SIZE):
+        total += len(decode_block(data[off:off + BLOCK_SIZE]))
+    assert total == len(txns)
+
+
+def test_apriori_matches_brute_force(txns):
+    data = encode_blocks(txns)
+    apriori = Apriori(SMALL)
+    result = apriori.run(lambda: iter(blocks_of(data)))
+    expected = brute_force_frequent(txns, SMALL)
+    for k in expected:
+        if expected[k]:
+            assert result.get(k, {}) == expected[k]
+    # the planted patterns guarantee frequent itemsets beyond singletons
+    assert result.get(2), "no frequent pairs found"
+
+
+def test_apriori_min_support_respected(txns):
+    data = encode_blocks(txns)
+    apriori = Apriori(SMALL)
+    result = apriori.run(lambda: iter(blocks_of(data)))
+    for k, sets in result.items():
+        for count in sets.values():
+            assert count >= apriori.min_count
+
+
+def test_dmine_trace_shape():
+    trace = dmine_trace(dataset_bytes=4 * BLOCK_SIZE, n_passes=3)
+    assert len(trace) == 12
+    assert all(t.kind == "read" for t in trace)
+    assert [t.offset for t in trace[:4]] == [0, BLOCK_SIZE, 2 * BLOCK_SIZE,
+                                             3 * BLOCK_SIZE]
+    # pass 2 rewinds to the start: multi-scan
+    assert trace[4].offset == 0
+
+
+def test_dmine_end_to_end_through_dodo():
+    """The full thing: encode to the backing file, mine through the
+    region library, and get the same itemsets as the in-memory run."""
+    from tests.core.conftest import make_platform, run
+
+    sim = Simulator(seed=13)
+    platform = make_platform(sim, pool_mb=2, local_cache_kb=256)
+    data = encode_blocks(generate_transactions(
+        np.random.default_rng(7), SMALL))
+    fs = platform.app.fs
+    fs.create("retail", size=len(data))
+    fh = fs.open("retail", "r+")
+
+    def write_dataset():
+        yield fs.write(fh, 0, len(data), data)
+        yield fs.fsync(fh)
+
+    run(sim, write_dataset())
+    cache = platform.region_cache(policy="first-in",
+                                  local_bytes=256 * 1024)
+
+    apriori = Apriori(SMALL)
+
+    def scan():
+        """One pass over the dataset through cread, 128 KB at a time."""
+        blocks = []
+        for off in range(0, len(data), BLOCK_SIZE):
+            ridx = off // BLOCK_SIZE
+            if ridx not in scan.crds:
+                crd, err = yield from cache.copen(BLOCK_SIZE, fh.fd, off)
+                assert err == 0
+                scan.crds[ridx] = crd
+            n, err, blk = yield from cache.cread(
+                scan.crds[ridx], 0, BLOCK_SIZE)
+            assert err == 0
+            blocks.append(decode_block(blk))
+        return blocks
+
+    scan.crds = {}
+
+    def mine():
+        apriori.frequent[1] = apriori.count_pass((yield from scan()), k=1)
+        k = 2
+        while k <= SMALL.max_itemset_len and apriori.frequent[k - 1]:
+            cands = apriori.gen_candidates(k)
+            if not cands:
+                break
+            apriori.frequent[k] = apriori.count_pass(
+                (yield from scan()), cands, k=k)
+            k += 1
+        return apriori.frequent
+
+    result = run(sim, mine())
+    expected = brute_force_frequent(
+        generate_transactions(np.random.default_rng(7), SMALL), SMALL)
+    assert result[2] == expected[2]
+    assert result.get(3, {}) == expected[3]
+    # later passes hit the caches, not the disk, for most blocks
+    assert cache.stats.count("cread.local_hits") \
+        + cache.stats.count("cread.remote_hits") > 0

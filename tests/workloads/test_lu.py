@@ -1,0 +1,105 @@
+"""Tests for the out-of-core LU workload."""
+
+import numpy as np
+import pytest
+
+from repro.sim import Simulator
+from repro.workloads import (LuParams, OutOfCoreLU, lu_factor_slabs,
+                             lu_trace, make_test_matrix, unpack_lu)
+
+from tests.core.conftest import make_platform, run
+
+
+@pytest.fixture(scope="module")
+def rng():
+    return np.random.default_rng(17)
+
+
+def test_params_validation():
+    with pytest.raises(ValueError):
+        LuParams(n=100, slab_cols=32)
+    p = LuParams(n=128, slab_cols=32)
+    assert p.n_slabs == 4
+    assert p.slab_bytes == 128 * 32 * 8
+    assert p.matrix_bytes == 128 * 128 * 8
+
+
+def test_in_memory_blocked_lu_correct(rng):
+    a = make_test_matrix(rng, 64)
+    lu = lu_factor_slabs(a, 16)
+    l, u = unpack_lu(lu)
+    np.testing.assert_allclose(l @ u, a, rtol=1e-9, atol=1e-9)
+
+
+def test_in_memory_lu_matches_scipy(rng):
+    import scipy.linalg
+    a = make_test_matrix(rng, 48)
+    lu = lu_factor_slabs(a, 12)
+    # diagonally dominant: scipy's pivoted LU picks the identity permutation
+    p, l_ref, u_ref = scipy.linalg.lu(a)
+    np.testing.assert_allclose(p, np.eye(48), atol=1e-12)
+    l, u = unpack_lu(lu)
+    np.testing.assert_allclose(l, l_ref, rtol=1e-8, atol=1e-8)
+    np.testing.assert_allclose(u, u_ref, rtol=1e-8, atol=1e-8)
+
+
+@pytest.mark.parametrize("use_dodo", [False, True],
+                         ids=["baseline", "dodo"])
+def test_out_of_core_lu_end_to_end(rng, use_dodo):
+    """The real out-of-core factorization through the simulated stack."""
+    sim = Simulator(seed=19)
+    platform = make_platform(sim, pool_mb=2, local_cache_kb=128,
+                             dodo=True)  # build daemons either way
+    params = LuParams(n=96, slab_cols=16)
+    a = make_test_matrix(np.random.default_rng(23), params.n)
+    ooc = OutOfCoreLU(platform, params, use_dodo=use_dodo)
+
+    def proc():
+        yield from ooc.load_matrix(a)
+        lu = yield from ooc.factor()
+        return lu
+
+    lu = run(sim, proc())
+    l, u = unpack_lu(lu)
+    np.testing.assert_allclose(l @ u, a, rtol=1e-8, atol=1e-8)
+
+
+def test_out_of_core_matches_in_memory(rng):
+    sim = Simulator(seed=29)
+    platform = make_platform(sim, pool_mb=2, local_cache_kb=128)
+    params = LuParams(n=64, slab_cols=16)
+    a = make_test_matrix(np.random.default_rng(31), params.n)
+    ooc = OutOfCoreLU(platform, params, use_dodo=True)
+
+    def proc():
+        yield from ooc.load_matrix(a)
+        return (yield from ooc.factor())
+
+    lu = run(sim, proc())
+    np.testing.assert_allclose(lu, lu_factor_slabs(a, params.slab_cols),
+                               rtol=1e-9, atol=1e-9)
+
+
+def test_lu_trace_is_triangle_scan():
+    params = LuParams(n=128, slab_cols=32)  # 4 slabs
+    trace = lu_trace(params)
+    reads = [t for t in trace if t.kind == "read"]
+    writes = [t for t in trace if t.kind == "write"]
+    # slab j: 1 self-read + j re-reads => 4 + (0+1+2+3) = 10 reads
+    assert len(reads) == 10
+    assert len(writes) == 4
+    # re-reads of earlier slabs: slab 3's pass touches slabs 0,1,2
+    sb = params.slab_bytes
+    tail = [t.offset // sb for t in reads[-3:]]
+    assert tail == [0, 1, 2]
+    # mostly-read workload, as in the paper
+    assert len(reads) > 2 * len(writes)
+
+
+def test_lu_trace_compute_dominates():
+    """lu is compute-bound: per-trace compute must dwarf request count."""
+    params = LuParams(n=512, slab_cols=64)
+    trace = lu_trace(params)
+    compute = sum(t.compute_s for t in trace)
+    # at 50 Mflop/s, 512^3 * 2/3 flops ~ 1.8 s of compute minimum
+    assert compute > 1.5

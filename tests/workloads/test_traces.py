@@ -1,0 +1,127 @@
+"""Tests for I/O trace recording, persistence and characterization."""
+
+import pytest
+
+from repro.sim import Simulator
+from repro.storage import Disk, FileSystem
+from repro.workloads.app import TraceRequest
+from repro.workloads.traces import (TraceRecorder, characterize, load_trace,
+                                    save_trace)
+
+MB = 1024 * 1024
+
+
+@pytest.fixture
+def sim():
+    return Simulator(seed=71)
+
+
+def test_recorder_captures_kind_offset_length(sim):
+    rec = TraceRecorder(sim)
+    rec.begin("read", 0, 100)
+    rec.end()
+    rec.begin("write", 100, 50)
+    rec.end()
+    assert [(r.kind, r.offset, r.length) for r in rec.requests] == \
+        [("read", 0, 100), ("write", 100, 50)]
+
+
+def test_recorder_compute_gap(sim):
+    rec = TraceRecorder(sim)
+
+    def proc():
+        rec.begin("read", 0, 10)
+        yield sim.timeout(0.5)  # the I/O itself
+        rec.end()
+        yield sim.timeout(2.0)  # compute
+        rec.begin("read", 10, 10)
+        yield sim.timeout(0.5)
+        rec.end()
+
+    p = sim.process(proc())
+    sim.run(until=p)
+    assert rec.requests[0].compute_s == 0.0
+    assert rec.requests[1].compute_s == pytest.approx(2.0)
+
+
+def test_recorder_misuse_raises(sim):
+    rec = TraceRecorder(sim)
+    with pytest.raises(RuntimeError):
+        rec.end()
+    rec.begin("read", 0, 1)
+    with pytest.raises(RuntimeError):
+        rec.begin("read", 1, 1)
+    with pytest.raises(ValueError):
+        TraceRecorder(sim).begin("seek", 0, 1)
+
+
+def test_recording_fs_facade(sim):
+    fs = FileSystem(sim, Disk(sim), cache_bytes=1 * MB)
+    fs.create("f", size=256 * 1024)
+    fh = fs.open("f", "r+")
+    rec = TraceRecorder(sim)
+    facade = rec.recording_fs(fs, fh)
+
+    def proc():
+        yield facade.read(0, 8192)
+        yield sim.timeout(0.01)
+        yield facade.write(8192, 4096)
+        yield facade.read(16384, 8192)
+
+    p = sim.process(proc())
+    sim.run(until=p)
+    kinds = [r.kind for r in rec.requests]
+    assert kinds == ["read", "write", "read"]
+    assert rec.requests[1].compute_s == pytest.approx(0.01)
+    # compute between write-end and next read is zero
+    assert rec.requests[2].compute_s == pytest.approx(0.0)
+
+
+def test_save_load_roundtrip(tmp_path):
+    trace = [TraceRequest("read", 0, 8192, 0.01),
+             TraceRequest("write", 8192, 100, 0.0),
+             TraceRequest("read", 0, 8192, 2.5)]
+    path = tmp_path / "trace.jsonl"
+    save_trace(trace, str(path))
+    assert load_trace(str(path)) == trace
+
+
+def test_characterize_sequential():
+    trace = [TraceRequest("read", i * 8192, 8192, 0.01) for i in range(50)]
+    c = characterize(trace)
+    assert c["pattern"] == "sequential"
+    assert c["read_fraction"] == 1.0
+    assert c["mean_request_bytes"] == 8192
+    assert c["requests"] == 50
+
+
+def test_characterize_multiscan():
+    trace = [TraceRequest("read", (i % 10) * 8192, 8192, 0.01)
+             for i in range(30)]  # three passes
+    assert characterize(trace)["pattern"] == "multi-scan"
+
+
+def test_characterize_random():
+    import numpy as np
+    rng = np.random.default_rng(5)
+    trace = [TraceRequest("read", int(o) * 8192, 8192, 0.0)
+             for o in rng.integers(0, 1000, size=100)]
+    assert characterize(trace)["pattern"] == "random"
+
+
+def test_characterize_real_traces_match_paper_description():
+    """The built-in lu/dmine traces must self-describe as the paper does."""
+    from repro.workloads import LuParams, dmine_trace, lu_trace
+    dm = characterize(dmine_trace(64 * 128 * 1024, 3))
+    assert dm["pattern"] == "multi-scan"
+    assert dm["read_fraction"] == 1.0
+    assert dm["mean_request_bytes"] == 128 * 1024  # "almost all 128 KB"
+
+    lu = characterize(lu_trace(LuParams(n=256, slab_cols=32)))
+    assert lu["read_fraction"] > 0.6  # "most of its I/O requests are reads"
+    assert lu["pattern"] in ("triangle-scan", "multi-scan")
+
+
+def test_characterize_empty_rejected():
+    with pytest.raises(ValueError):
+        characterize([])
