@@ -6,7 +6,14 @@ Examples::
     python -m repro fig1
     python -m repro fig7 --scale-lu 1/64 --scale-dmine 1/16
     python -m repro fig8 --scale 1/128 --iters 3
+    python -m repro fig7 --trace-out fig7.json --metrics-out fig7-metrics.json
+    python -m repro trace fig7 --out fig7.json
     python -m repro all --quick
+
+``--trace-out`` writes a Chrome trace-event JSON (load it in Perfetto or
+``chrome://tracing``); ``--metrics-out`` dumps every Recorder's counters
+and sample summaries.  ``repro trace <exp>`` is shorthand that also
+prints the fetch-path latency breakdown.
 """
 
 from __future__ import annotations
@@ -82,6 +89,12 @@ def cmd_all(args) -> None:
     raise SystemExit(subprocess.call(cmd))
 
 
+def cmd_trace(args) -> None:
+    """Run one experiment with tracing forced on; delegate to its cmd_*."""
+    args.trace_out = args.out
+    COMMANDS[args.experiment][1](args)
+
+
 COMMANDS: dict[str, tuple[str, Callable]] = {
     "fig1": ("Figure 1: cluster memory availability", cmd_fig1),
     "table1": ("Table 1: memory by use per host class", cmd_table1),
@@ -93,6 +106,29 @@ COMMANDS: dict[str, tuple[str, Callable]] = {
     "ablations": ("design-choice ablations", cmd_ablations),
     "all": ("everything (examples/reproduce_paper.py)", cmd_all),
 }
+
+#: subcommands that run simulations and accept the observability options
+#: ("all" shells out to a script, so tracing cannot be injected there)
+_TRACEABLE = ("fig1", "table1", "fig2", "disk", "fig7", "fig8",
+              "nondedicated", "ablations")
+
+
+def _add_experiment_args(p: argparse.ArgumentParser, name: str) -> None:
+    if name in ("fig1", "table1", "fig2"):
+        p.add_argument("--days", type=float, default=4.0,
+                       help="simulated trace length in days")
+    if name == "fig7":
+        p.add_argument("--scale-lu", type=_scale, default=1 / 64)
+        p.add_argument("--scale-dmine", type=_scale, default=1 / 16)
+    if name == "fig8":
+        p.add_argument("--scale", type=_scale, default=1 / 64)
+        p.add_argument("--iters", type=int, default=4)
+    if name == "nondedicated":
+        p.add_argument("--iters", type=int, default=4)
+    if name == "ablations":
+        p.add_argument("--scale", type=_scale, default=1 / 128)
+    if name == "all":
+        p.add_argument("--quick", action="store_true")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -107,22 +143,46 @@ def build_parser() -> argparse.ArgumentParser:
     for name, (help_text, func) in COMMANDS.items():
         p = sub.add_parser(name, help=help_text)
         p.set_defaults(func=func)
-        if name in ("fig1", "table1", "fig2"):
-            p.add_argument("--days", type=float, default=4.0,
-                           help="simulated trace length in days")
-        if name == "fig7":
-            p.add_argument("--scale-lu", type=_scale, default=1 / 64)
-            p.add_argument("--scale-dmine", type=_scale, default=1 / 16)
-        if name == "fig8":
-            p.add_argument("--scale", type=_scale, default=1 / 64)
-            p.add_argument("--iters", type=int, default=4)
-        if name == "nondedicated":
-            p.add_argument("--iters", type=int, default=4)
-        if name == "ablations":
-            p.add_argument("--scale", type=_scale, default=1 / 128)
-        if name == "all":
-            p.add_argument("--quick", action="store_true")
+        _add_experiment_args(p, name)
+        if name in _TRACEABLE:
+            p.add_argument("--trace-out", metavar="FILE", default=None,
+                           help="write a Chrome trace-event JSON of the run")
+            p.add_argument("--metrics-out", metavar="FILE", default=None,
+                           help="write a JSON snapshot of all recorders")
+            p.add_argument("--kernel-events", action="store_true",
+                           help="include per-event kernel dispatch instants "
+                                "in the trace (verbose)")
+
+    tracep = sub.add_parser(
+        "trace", help="run one experiment with tracing on and report "
+                      "the fetch-path latency breakdown")
+    tracep.add_argument("experiment", choices=_TRACEABLE)
+    tracep.add_argument("--out", metavar="FILE", default="trace.json",
+                        help="trace file to write (default: trace.json)")
+    tracep.add_argument("--metrics-out", metavar="FILE", default=None)
+    tracep.add_argument("--kernel-events", action="store_true")
+    tracep.set_defaults(func=cmd_trace, _trace_shorthand=True)
     return parser
+
+
+def _finish_observability(args, tracer) -> None:
+    from repro.obs.breakdown import fetch_breakdown, format_fetch_breakdown
+    from repro.obs.export import write_chrome_trace
+    from repro.obs.snapshot import write_snapshot
+
+    if getattr(args, "trace_out", None):
+        n = write_chrome_trace(tracer, args.trace_out)
+        print(f"\nwrote {n} trace events to {args.trace_out}",
+              file=sys.stderr)
+        breakdown = fetch_breakdown(tracer.spans)
+        if breakdown["count"]:
+            print()
+            print(format_fetch_breakdown(breakdown))
+    if getattr(args, "metrics_out", None):
+        n = write_snapshot(args.metrics_out,
+                           meta={"command": args.command})
+        print(f"wrote {n} recorder snapshots to {args.metrics_out}",
+              file=sys.stderr)
 
 
 def main(argv=None) -> int:
@@ -133,5 +193,30 @@ def main(argv=None) -> int:
         for name, (help_text, _) in COMMANDS.items():
             print(f"  {name:14s} {help_text}")
         return 0
-    args.func(args)
+
+    if getattr(args, "_trace_shorthand", False):
+        # "repro trace <exp>": reuse the experiment's own arg defaults
+        exp_parser = argparse.ArgumentParser()
+        _add_experiment_args(exp_parser, args.experiment)
+        for key, value in vars(exp_parser.parse_args([])).items():
+            setattr(args, key, value)
+
+    wants_trace = bool(getattr(args, "trace_out", None)
+                       or getattr(args, "metrics_out", None)
+                       or getattr(args, "_trace_shorthand", False))
+    if not wants_trace:
+        args.func(args)
+        return 0
+
+    from repro.metrics.recorder import start_collection, stop_collection
+    from repro.obs.tracer import Tracer, install
+    tracer = Tracer(kernel_events=getattr(args, "kernel_events", False))
+    previous = install(tracer)
+    collected = start_collection()  # keep recorders alive for the snapshot
+    try:
+        args.func(args)
+        _finish_observability(args, tracer)
+    finally:
+        stop_collection(collected)
+        install(previous)
     return 0

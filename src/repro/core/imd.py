@@ -67,7 +67,7 @@ class IdleMemoryDaemon:
             "read": self._h_read,
             "write": self._h_write,
             "ping": self._h_ping,
-        }, name=f"imd.{ws.name}")
+        }, name=f"imd.{ws.name}", component="imd")
         self._server.start()
         #: logical (requested) size of each hosted region, by pool offset
         self._regions: dict[int, int] = {}
@@ -115,8 +115,14 @@ class IdleMemoryDaemon:
             return 0.0
         start = self.sim.now
         self.stopping = True
+        tracer = self.sim.tracer
+        span = tracer.begin(self.sim, "imd.drain", "imd",
+                            {"host": self.ws.name,
+                             "in_flight": self.active_transfers}) \
+            if tracer.enabled else None
         if self.active_transfers > 0:
             yield self._drained
+        tracer.end(self.sim, span)
         self._server.stop()
         if self._coalescer.is_alive:
             self._coalescer.interrupt("imd-exit")
@@ -243,6 +249,10 @@ class IdleMemoryDaemon:
 
     def _write_receiver(self, sock, region_id: int, offset: int,
                         length: int):
+        tracer = self.sim.tracer
+        span = tracer.begin(self.sim, "imd.write_recv", "imd",
+                            {"host": self.ws.name, "bytes": length}) \
+            if tracer.enabled else None
         try:
             result = yield self.sim.process(recv_bulk(
                 sock, first_timeout=2.0, params=self.config.bulk,
@@ -258,4 +268,5 @@ class IdleMemoryDaemon:
                 self.pool[base:base + n] = data[:n]
             self.stats.add("bytes_written", total)
         finally:
+            tracer.end(self.sim, span)
             self._end_transfer()

@@ -90,7 +90,7 @@ class CentralManager:
             "imd_register": self._h_imd_register,
             "notify_busy": self._h_notify_busy,
             "client_detach": self._h_client_detach,
-        }, name="cmd")
+        }, name="cmd", component="manager")
         self._server.start()
         self._keepalive = sim.process(self._keepalive_loop())
 
@@ -242,17 +242,23 @@ class CentralManager:
     def _reclaim_client(self, client: Optional[str]):
         """Free every region owned by ``client`` (keep-alive expiry or
         non-persistent detach)."""
+        tracer = self.sim.tracer
+        span = tracer.begin(self.sim, "cmd.reclaim", "manager",
+                            {"client": client}) if tracer.enabled else None
         doomed = [k for k, e in self.rd.items() if e.owner == client]
         freed = 0
-        for key in doomed:
-            entry = self.rd.pop(key, None)
-            if entry is None:
-                continue
-            iwd = self.iwd.get(entry.struct.host)
-            if iwd is not None and iwd.epoch == entry.struct.epoch:
-                yield from self._imd_call(
-                    iwd, "free", {"region_id": entry.struct.pool_offset})
-            freed += 1
+        try:
+            for key in doomed:
+                entry = self.rd.pop(key, None)
+                if entry is None:
+                    continue
+                iwd = self.iwd.get(entry.struct.host)
+                if iwd is not None and iwd.epoch == entry.struct.epoch:
+                    yield from self._imd_call(
+                        iwd, "free", {"region_id": entry.struct.pool_offset})
+                freed += 1
+        finally:
+            tracer.end(self.sim, span, {"freed": freed})
         if freed:
             self.stats.add("reclaimed_regions", freed)
         return freed
@@ -261,9 +267,14 @@ class CentralManager:
         """Echo every attached client; reclaim those that stay silent past
         the threshold (Section 3.1 fault handling)."""
         cfg = self.config
+        tracer = self.sim.tracer
         try:
             while True:
                 yield self.sim.timeout(cfg.keepalive_interval_s)
+                sweep = tracer.begin(
+                    self.sim, "cmd.keepalive", "manager",
+                    {"clients": len(self.clients)}) \
+                    if tracer.enabled and self.clients else None
                 for cid in list(self.clients):
                     state = self.clients.get(cid)
                     if state is None:
@@ -287,6 +298,8 @@ class CentralManager:
                                 self._drain_reclaim(cid))
                     finally:
                         sock.close()
+                if sweep is not None:
+                    tracer.end(self.sim, sweep)
         except Interrupt:
             return
 

@@ -98,6 +98,16 @@ class RegionCache:
         self._local_used = 0
         self.stats = Recorder(f"regionlib.{self.ws.name}")
 
+    # -- tracing ----------------------------------------------------------------------
+    def _span(self, name: str, tags: Optional[dict] = None):
+        tracer = self.sim.tracer
+        if not tracer.enabled:
+            return None
+        return tracer.begin(self.sim, name, "regionlib", tags)
+
+    def _end_span(self, span, tags: Optional[dict] = None) -> None:
+        self.sim.tracer.end(self.sim, span, tags)
+
     # -- policy ----------------------------------------------------------------------
     def csetPolicy(self, policy: str) -> int:
         """Switch replacement policy (Figure 4); returns 0 or -1."""
@@ -149,7 +159,12 @@ class RegionCache:
         if offset < 0 or offset > region.length or length < 0:
             return -1, EINVAL, None
         sequential = self._track_sequence(region)
-        result = yield from self._cread_inner(region, offset, length)
+        span = self._span("cread", {"crd": crd, "bytes": length,
+                                    "state": region.state})
+        try:
+            result = yield from self._cread_inner(region, offset, length)
+        finally:
+            self._end_span(span)
         if sequential:
             # issue prefetches only after the demand request has been
             # served, so they never queue ahead of it on the disk arm
@@ -224,24 +239,29 @@ class RegionCache:
             return -1, EINVAL
         self.policy.on_write(crd)
 
-        if not region.is_local:
-            loaded = yield from self._load_local(region)
-            if not loaded:
-                # No local space: write through to disk + remote directly.
-                return (yield from self._write_through(
-                    region, offset, length, data))
-        yield self.sim.timeout(length / LOCAL_COPY_BW)
-        if isinstance(region.local, bytearray) and data is not None:
-            region.local[offset:offset + length] = data[:length]
-        region.dirty = True
-        if region.is_remote:
-            # remote copy is now stale; deallocate it (it will be
-            # re-cloned with fresh contents at eviction or csync)
-            yield from self.runtime.mclose(region.remote_desc)
-            region.remote_desc = None
-            self.stats.add("cwrite.remote_invalidated")
-        self.stats.add("cwrite.ok")
-        return length, 0
+        span = self._span("cwrite", {"crd": crd, "bytes": length,
+                                     "state": region.state})
+        try:
+            if not region.is_local:
+                loaded = yield from self._load_local(region)
+                if not loaded:
+                    # No local space: write through to disk + remote.
+                    return (yield from self._write_through(
+                        region, offset, length, data))
+            yield self.sim.timeout(length / LOCAL_COPY_BW)
+            if isinstance(region.local, bytearray) and data is not None:
+                region.local[offset:offset + length] = data[:length]
+            region.dirty = True
+            if region.is_remote:
+                # remote copy is now stale; deallocate it (it will be
+                # re-cloned with fresh contents at eviction or csync)
+                yield from self.runtime.mclose(region.remote_desc)
+                region.remote_desc = None
+                self.stats.add("cwrite.remote_invalidated")
+            self.stats.add("cwrite.ok")
+            return length, 0
+        finally:
+            self._end_span(span)
 
     def _write_through(self, region: CRegion, offset: int, length: int,
                        data: Optional[bytes]):
@@ -348,13 +368,19 @@ class RegionCache:
 
     def _evict(self, victim: CRegion):
         self.stats.add("evictions")
-        cloned = yield from self._clone_remote(victim)
-        if not cloned and victim.dirty:
-            # no remote home: the dirty data must reach the disk before
-            # the local copy is dropped
-            yield from self._flush(victim, also_remote=False)
-        self._drop_local(victim)
-        self.policy.on_remove(victim.crd)
+        span = self._span("reaper.evict", {"crd": victim.crd,
+                                           "dirty": victim.dirty})
+        cloned = False
+        try:
+            cloned = yield from self._clone_remote(victim)
+            if not cloned and victim.dirty:
+                # no remote home: the dirty data must reach the disk before
+                # the local copy is dropped
+                yield from self._flush(victim, also_remote=False)
+            self._drop_local(victim)
+            self.policy.on_remove(victim.crd)
+        finally:
+            self._end_span(span, {"cloned": cloned})
 
     def _clone_remote(self, region: CRegion):
         """cloneRemoteRegion: allocate remote space and push the bytes.

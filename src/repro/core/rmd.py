@@ -114,6 +114,10 @@ class ResourceMonitor:
         if self.ws.recruitable_memory(self.config.headroom_fraction) <= 0:
             self.stats.add("recruit.no_memory")
             return
+        tracer = self.sim.tracer
+        span = tracer.begin(self.sim, "rmd.recruit", "rmd",
+                            {"host": self.ws.name}) \
+            if tracer.enabled else None
         self.epoch += 1
         # imd CPU presence shows up in raw load but is excluded by rmd
         self.ws.daemon_load += 0.05
@@ -123,10 +127,15 @@ class ResourceMonitor:
         yield self.imd.register()
         self.recruited = True
         self.stats.add("recruits")
+        tracer.end(self.sim, span, {"epoch": self.epoch})
 
     def _reclaim(self):
         """Owner is back: notify the manager, signal the imd, time it."""
         start = self.sim.now
+        tracer = self.sim.tracer
+        span = tracer.begin(self.sim, "rmd.reclaim", "rmd",
+                            {"host": self.ws.name}) \
+            if tracer.enabled else None
         yield from self._notify_busy()
         if self.imd is not None:
             yield self.imd.shutdown()
@@ -137,6 +146,7 @@ class ResourceMonitor:
         delay = self.sim.now - start
         self.stats.add("reclaims")
         self.stats.sample("reclaim_delay_s", delay)
+        tracer.end(self.sim, span, {"delay_s": delay})
 
     def _notify_busy(self):
         sock = self.endpoint.socket()

@@ -66,6 +66,16 @@ class DodoRuntime:
         self.stats = Recorder(f"lib.{ws.name}")
 
     # -- helpers --------------------------------------------------------------------
+    def _span(self, name: str, tags: Optional[dict] = None):
+        """Open a library-layer span (None when tracing is off)."""
+        tracer = self.sim.tracer
+        if not tracer.enabled:
+            return None
+        return tracer.begin(self.sim, name, "lib", tags)
+
+    def _end_span(self, span, tags: Optional[dict] = None) -> None:
+        self.sim.tracer.end(self.sim, span, tags)
+
     def _key_for(self, inode: int, offset: int) -> RegionKey:
         client = self.client_id if self.config.multi_client_keys else None
         return RegionKey(inode=inode, offset=offset, client=client)
@@ -114,34 +124,40 @@ class DodoRuntime:
             return -1, ENOMEM
         key = self._key_for(fh.inode, offset)
 
+        span = self._span("mopen", {"len": length, "inode": fh.inode,
+                                    "offset": offset})
         try:
-            # An identically-keyed region may already exist (e.g. left by
-            # a previous run against the same backing file — the dmine
-            # pattern).  checkAlloc both finds and validates it.
-            reply = yield from self._cmd_call(
-                "check_alloc", {"key": [key.inode, key.offset, key.client]})
-            if reply.get("ok") and reply["region"]["length"] < length:
-                reply = {"ok": False}  # too small: allocate a replacement
-            if not reply.get("ok"):
+            try:
+                # An identically-keyed region may already exist (e.g. left
+                # by a previous run against the same backing file — the
+                # dmine pattern).  checkAlloc both finds and validates it.
                 reply = yield from self._cmd_call(
-                    "alloc", {"key": [key.inode, key.offset, key.client],
-                              "length": length})
-        except (RpcTimeout, RpcRemoteError):
-            self.stats.add("mopen.cmd_unreachable")
-            return -1, ENOMEM
-        if not reply.get("ok"):
-            self._refraction_until = \
-                self.sim.now + self.config.refraction_period_s
-            self.stats.add("mopen.enomem")
-            return -1, ENOMEM
-        struct = RegionStruct.from_wire(reply["region"])
-        desc = self._next_desc
-        self._next_desc += 1
-        self._regions[desc] = RegionTableEntry(
-            descriptor=desc, key=key, length=length, backing_fd=fd,
-            backing_offset=offset, remote=struct)
-        self.stats.add("mopen.ok")
-        return desc, 0
+                    "check_alloc",
+                    {"key": [key.inode, key.offset, key.client]})
+                if reply.get("ok") and reply["region"]["length"] < length:
+                    reply = {"ok": False}  # too small: allocate replacement
+                if not reply.get("ok"):
+                    reply = yield from self._cmd_call(
+                        "alloc", {"key": [key.inode, key.offset, key.client],
+                                  "length": length})
+            except (RpcTimeout, RpcRemoteError):
+                self.stats.add("mopen.cmd_unreachable")
+                return -1, ENOMEM
+            if not reply.get("ok"):
+                self._refraction_until = \
+                    self.sim.now + self.config.refraction_period_s
+                self.stats.add("mopen.enomem")
+                return -1, ENOMEM
+            struct = RegionStruct.from_wire(reply["region"])
+            desc = self._next_desc
+            self._next_desc += 1
+            self._regions[desc] = RegionTableEntry(
+                descriptor=desc, key=key, length=length, backing_fd=fd,
+                backing_offset=offset, remote=struct)
+            self.stats.add("mopen.ok")
+            return desc, 0
+        finally:
+            self._end_span(span)
 
     def mlookup(self, length: int, fd: int, offset: int):
         """Generator: find an *existing* region for (fd, offset) without
@@ -157,21 +173,27 @@ class DodoRuntime:
         if fh is None or not fh.writable or length < 1 or offset < 0:
             return -1, EINVAL
         key = self._key_for(fh.inode, offset)
+        span = self._span("mlookup", {"len": length, "inode": fh.inode,
+                                      "offset": offset})
         try:
-            reply = yield from self._cmd_call(
-                "check_alloc", {"key": [key.inode, key.offset, key.client]})
-        except (RpcTimeout, RpcRemoteError):
-            return -1, ENOMEM
-        if not reply.get("ok") or reply["region"]["length"] < length:
-            return -1, ENOMEM
-        struct = RegionStruct.from_wire(reply["region"])
-        desc = self._next_desc
-        self._next_desc += 1
-        self._regions[desc] = RegionTableEntry(
-            descriptor=desc, key=key, length=length, backing_fd=fd,
-            backing_offset=offset, remote=struct)
-        self.stats.add("mlookup.hit")
-        return desc, 0
+            try:
+                reply = yield from self._cmd_call(
+                    "check_alloc",
+                    {"key": [key.inode, key.offset, key.client]})
+            except (RpcTimeout, RpcRemoteError):
+                return -1, ENOMEM
+            if not reply.get("ok") or reply["region"]["length"] < length:
+                return -1, ENOMEM
+            struct = RegionStruct.from_wire(reply["region"])
+            desc = self._next_desc
+            self._next_desc += 1
+            self._regions[desc] = RegionTableEntry(
+                descriptor=desc, key=key, length=length, backing_fd=fd,
+                backing_offset=offset, remote=struct)
+            self.stats.add("mlookup.hit")
+            return desc, 0
+        finally:
+            self._end_span(span)
 
     # -- API: mread -----------------------------------------------------------------
     def mread(self, desc: int, offset: int, length: int):
@@ -191,44 +213,49 @@ class DodoRuntime:
             return 0, 0, b"" if self.config.store_payload else None
         struct = entry.remote
 
-        reply_sock = self.endpoint.socket(
-            recvbuf=self.config.data_recvbuf_bytes)
-        receiver = self.sim.process(recv_bulk(
-            reply_sock, first_timeout=self._transfer_timeout(length),
-            params=self.config.bulk, close_socket=True, pregranted=True))
-        # The read request carries our receive-buffer grant, so the imd
-        # blasts without a separate negotiation round-trip.  The RPC reply
-        # only matters on the failure path (bad region / daemon exiting):
-        # the moment the data is complete the read is done, so race the
-        # receiver against the RPC instead of waiting for both.
-        rpc_proc = self.sim.process(self._imd_call_quiet(
-            struct, "read",
-            {"region_id": struct.pool_offset, "offset": offset,
-             "length": length, "reply_port": reply_sock.port,
-             "window": reply_sock.recvbuf},
-            data_bytes=length))
-        idx, val = yield AnyOf(self.sim, [receiver, rpc_proc])
-        if idx == 0 or receiver.processed:
-            result = receiver.value
-            failed = result is None
-        elif val is None or not val.get("ok"):
-            # RPC failed first: tear the receiver down.
-            reply_sock.close()
-            yield receiver  # drains to None once the socket closes
-            result, failed = None, True
-        else:
-            # RPC confirmed but the blast is still landing (e.g. a lost
-            # chunk being NACKed): wait for the data.
-            result = yield receiver
-            failed = result is None
-        if failed:
-            self.drop_host(struct.host)
-            self.stats.add("mread.enomem")
-            return -1, ENOMEM, None
-        data, total, _src = result
-        self.stats.add("mread.ok")
-        self.stats.add("mread.bytes", total)
-        return total, 0, data
+        span = self._span("mread", {"desc": desc, "bytes": length,
+                                    "host": struct.host})
+        try:
+            reply_sock = self.endpoint.socket(
+                recvbuf=self.config.data_recvbuf_bytes)
+            receiver = self.sim.process(recv_bulk(
+                reply_sock, first_timeout=self._transfer_timeout(length),
+                params=self.config.bulk, close_socket=True, pregranted=True))
+            # The read request carries our receive-buffer grant, so the imd
+            # blasts without a separate negotiation round-trip.  The RPC
+            # reply only matters on the failure path (bad region / daemon
+            # exiting): the moment the data is complete the read is done, so
+            # race the receiver against the RPC instead of waiting for both.
+            rpc_proc = self.sim.process(self._imd_call_quiet(
+                struct, "read",
+                {"region_id": struct.pool_offset, "offset": offset,
+                 "length": length, "reply_port": reply_sock.port,
+                 "window": reply_sock.recvbuf},
+                data_bytes=length))
+            idx, val = yield AnyOf(self.sim, [receiver, rpc_proc])
+            if idx == 0 or receiver.processed:
+                result = receiver.value
+                failed = result is None
+            elif val is None or not val.get("ok"):
+                # RPC failed first: tear the receiver down.
+                reply_sock.close()
+                yield receiver  # drains to None once the socket closes
+                result, failed = None, True
+            else:
+                # RPC confirmed but the blast is still landing (e.g. a lost
+                # chunk being NACKed): wait for the data.
+                result = yield receiver
+                failed = result is None
+            if failed:
+                self.drop_host(struct.host)
+                self.stats.add("mread.enomem")
+                return -1, ENOMEM, None
+            data, total, _src = result
+            self.stats.add("mread.ok")
+            self.stats.add("mread.bytes", total)
+            return total, 0, data
+        finally:
+            self._end_span(span)
 
     # -- API: mwrite ----------------------------------------------------------------
     def mwrite(self, desc: int, offset: int, length: int,
@@ -257,22 +284,28 @@ class DodoRuntime:
         if fh is None:
             self.stats.add("mwrite.eio")
             return -1, EIO
-        disk_proc = self.sim.process(self._backing_write(
-            fh, entry.backing_offset + offset, length, data))
-        remote_proc = self.sim.process(self._remote_write(
-            entry.remote, offset, length, data))
-        disk_ok, remote_ok = yield AllOf(self.sim, [disk_proc, remote_proc])
-        if not disk_ok:
-            # the paper passes through the backing write()'s errno
-            self.stats.add("mwrite.eio")
-            return -1, EIO
-        if not remote_ok:
-            self.drop_host(entry.remote.host)
-            self.stats.add("mwrite.enomem")
-            return -1, ENOMEM
-        self.stats.add("mwrite.ok")
-        self.stats.add("mwrite.bytes", length)
-        return length, 0
+        span = self._span("mwrite", {"desc": desc, "bytes": length,
+                                     "host": entry.remote.host})
+        try:
+            disk_proc = self.sim.process(self._backing_write(
+                fh, entry.backing_offset + offset, length, data))
+            remote_proc = self.sim.process(self._remote_write(
+                entry.remote, offset, length, data))
+            disk_ok, remote_ok = yield AllOf(self.sim,
+                                             [disk_proc, remote_proc])
+            if not disk_ok:
+                # the paper passes through the backing write()'s errno
+                self.stats.add("mwrite.eio")
+                return -1, EIO
+            if not remote_ok:
+                self.drop_host(entry.remote.host)
+                self.stats.add("mwrite.enomem")
+                return -1, ENOMEM
+            self.stats.add("mwrite.ok")
+            self.stats.add("mwrite.bytes", length)
+            return length, 0
+        finally:
+            self._end_span(span)
 
     def _backing_write(self, fh, offset: int, length: int,
                        data: Optional[bytes]):
@@ -321,13 +354,18 @@ class DodoRuntime:
             data = bytes(data[:length])
         if length == 0:
             return 0, 0
-        ok = yield self.sim.process(self._remote_write(
-            entry.remote, offset, length, data))
-        if not ok:
-            self.drop_host(entry.remote.host)
-            return -1, ENOMEM
-        self.stats.add("mpush.bytes", length)
-        return length, 0
+        span = self._span("mpush", {"desc": desc, "bytes": length,
+                                    "host": entry.remote.host})
+        try:
+            ok = yield self.sim.process(self._remote_write(
+                entry.remote, offset, length, data))
+            if not ok:
+                self.drop_host(entry.remote.host)
+                return -1, ENOMEM
+            self.stats.add("mpush.bytes", length)
+            return length, 0
+        finally:
+            self._end_span(span)
 
     # -- API: msync / mclose ---------------------------------------------------------
     def msync(self, desc: int):
@@ -338,7 +376,11 @@ class DodoRuntime:
         fh = self.ws.fs.handle(entry.backing_fd)
         if fh is None:
             return -1, EINVAL
-        yield self.ws.fs.fsync(fh)
+        span = self._span("msync", {"desc": desc})
+        try:
+            yield self.ws.fs.fsync(fh)
+        finally:
+            self._end_span(span)
         self.stats.add("msync.ok")
         return 0, 0
 
@@ -351,17 +393,21 @@ class DodoRuntime:
         if entry is None:
             return -1, EINVAL
         key = entry.key
+        span = self._span("mclose", {"desc": desc})
         try:
-            reply = yield from self._cmd_call(
-                "free", {"key": [key.inode, key.offset, key.client]})
-        except (RpcTimeout, RpcRemoteError):
-            return -1, EINVAL
-        del self._regions[desc]
-        if not reply.get("ok"):
-            self.stats.add("mclose.stale")
-            return -1, EINVAL
-        self.stats.add("mclose.ok")
-        return 0, 0
+            try:
+                reply = yield from self._cmd_call(
+                    "free", {"key": [key.inode, key.offset, key.client]})
+            except (RpcTimeout, RpcRemoteError):
+                return -1, EINVAL
+            del self._regions[desc]
+            if not reply.get("ok"):
+                self.stats.add("mclose.stale")
+                return -1, EINVAL
+            self.stats.add("mclose.ok")
+            return 0, 0
+        finally:
+            self._end_span(span)
 
     # -- lifecycle --------------------------------------------------------------------
     def detach(self, persist: bool = False):

@@ -7,8 +7,47 @@ cheap enough to leave on unconditionally.
 
 from __future__ import annotations
 
+import weakref
 from collections import defaultdict
-from typing import Iterable
+from typing import Iterable, Sequence
+
+#: weak references to every Recorder ever created, in creation order —
+#: the observability snapshot (:mod:`repro.obs.snapshot`) walks this to
+#: collect the whole system's counters without a wiring pass
+_REGISTRY: list[weakref.ref] = []
+
+#: active strong-reference collections (see :func:`start_collection`)
+_COLLECTORS: list[list] = []
+
+
+def iter_recorders() -> Iterable["Recorder"]:
+    """All live recorders in creation order (dead ones are skipped)."""
+    for ref in _REGISTRY:
+        rec = ref()
+        if rec is not None:
+            yield rec
+
+
+def start_collection() -> list:
+    """Keep every Recorder created from now on alive (strong refs).
+
+    The registry itself is weak so experiments don't leak; a snapshot
+    taken *after* a run would then see nothing.  The CLI brackets a run
+    with ``start_collection()`` / ``stop_collection()`` so the run's
+    recorders survive until the snapshot is written.  Returns the list
+    holding the references.
+    """
+    collected: list = []
+    _COLLECTORS.append(collected)
+    return collected
+
+
+def stop_collection(collected: list) -> None:
+    """Stop collecting into (and release) a :func:`start_collection` list."""
+    try:
+        _COLLECTORS.remove(collected)
+    except ValueError:
+        pass
 
 
 class Recorder:
@@ -18,6 +57,11 @@ class Recorder:
         self.name = name
         self._counters: defaultdict[str, float] = defaultdict(float)
         self._samples: defaultdict[str, list[float]] = defaultdict(list)
+        if len(_REGISTRY) % 4096 == 0:  # amortized pruning of dead refs
+            _REGISTRY[:] = [r for r in _REGISTRY if r() is not None]
+        _REGISTRY.append(weakref.ref(self))
+        for collected in _COLLECTORS:
+            collected.append(self)
 
     # -- counters -----------------------------------------------------------
     def add(self, key: str, amount: float = 1.0) -> None:
@@ -49,6 +93,65 @@ class Recorder:
     def maximum(self, key: str) -> float:
         vals = self._samples.get(key)
         return max(vals) if vals else 0.0
+
+    def percentile(self, key: str, q: float) -> float:
+        """The ``q``-quantile (0 <= q <= 1) of the samples for ``key``,
+        with linear interpolation between order statistics (numpy's
+        default method).  Returns 0.0 when no samples exist, matching
+        :meth:`mean`/:meth:`maximum`."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        vals = self._samples.get(key)
+        if not vals:
+            return 0.0
+        ordered = sorted(vals)
+        pos = q * (len(ordered) - 1)
+        lo = int(pos)
+        frac = pos - lo
+        if frac == 0.0 or lo + 1 >= len(ordered):
+            return ordered[lo]
+        return ordered[lo] * (1.0 - frac) + ordered[lo + 1] * frac
+
+    def histogram(self, key: str,
+                  bins: int | Sequence[float] = 10
+                  ) -> tuple[list[int], list[float]]:
+        """Histogram of the samples for ``key``.
+
+        ``bins`` is either a bin count (equal-width bins spanning
+        [min, max]) or an explicit increasing edge sequence.  Returns
+        ``(counts, edges)`` with ``len(edges) == len(counts) + 1``; the
+        last bin is closed on both sides, like numpy.  Empty sample
+        lists yield all-zero counts (edges [0, 1] when ``bins`` is a
+        count).
+        """
+        vals = self._samples.get(key, [])
+        if isinstance(bins, int):
+            if bins < 1:
+                raise ValueError(f"need at least 1 bin, got {bins}")
+            lo = min(vals) if vals else 0.0
+            hi = max(vals) if vals else 1.0
+            if hi == lo:
+                hi = lo + 1.0
+            width = (hi - lo) / bins
+            edges = [lo + i * width for i in range(bins)] + [hi]
+        else:
+            edges = [float(e) for e in bins]
+            if len(edges) < 2 or any(a >= b for a, b in
+                                     zip(edges, edges[1:])):
+                raise ValueError("bin edges must be increasing, >= 2")
+        counts = [0] * (len(edges) - 1)
+        for v in vals:
+            if v < edges[0] or v > edges[-1]:
+                continue
+            lo_i, hi_i = 0, len(counts) - 1
+            while lo_i < hi_i:
+                mid = (lo_i + hi_i + 1) // 2
+                if edges[mid] <= v:
+                    lo_i = mid
+                else:
+                    hi_i = mid - 1
+            counts[min(lo_i, len(counts) - 1)] += 1
+        return counts, edges
 
     def clear(self) -> None:
         self._counters.clear()

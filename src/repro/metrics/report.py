@@ -36,7 +36,17 @@ def format_table(headers: Sequence[str], rows: Iterable[Sequence],
 
 def format_series(series: Mapping[str, Sequence[float]], xlabel: str,
                   xs: Sequence, title: str = "") -> str:
-    """Render named y-series over a shared x axis, one x per row."""
+    """Render named y-series over a shared x axis, one x per row.
+
+    Every series must have exactly one value per x; a mismatched series
+    raises :class:`ValueError` naming the offender instead of failing
+    mid-render with an opaque ``IndexError``.
+    """
+    for name, ys in series.items():
+        if len(ys) != len(xs):
+            raise ValueError(
+                f"series {name!r} has {len(ys)} values but the x axis "
+                f"{xlabel!r} has {len(xs)}")
     headers = [xlabel] + list(series.keys())
     rows = []
     for i, x in enumerate(xs):

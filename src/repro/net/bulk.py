@@ -40,7 +40,13 @@ from repro.net.usocket import USocket
 #: wire size charged for each control message (offer/window/ack/nack/probe)
 CTRL_SIZE = 64
 
-_xfer_ids = itertools.count(1)
+def _next_xfer_id(sim) -> int:
+    """Per-simulation transfer id (ids only need to be unique per sim;
+    a process-global counter would leak run ordering into traces)."""
+    counter = getattr(sim, "_bulk_xfer_ids", None)
+    if counter is None:
+        counter = sim._bulk_xfer_ids = itertools.count(1)
+    return next(counter)
 
 
 class BulkError(Exception):
@@ -93,10 +99,26 @@ def send_bulk(sock: USocket, dst: tuple[str, int], size: int,
     :class:`BulkError` if the receiver never responds.
     """
     sim = sock.sim
-    xfer = next(_xfer_ids)
+    xfer = _next_xfer_id(sim)
     chunk_size = sock.endpoint.params.max_payload
     chunks = _partition(size, data, chunk_size)
     nchunks = len(chunks)
+    tracer = sim.tracer
+    span = tracer.begin(sim, "bulk.send", "net",
+                        {"xfer": xfer, "bytes": size, "chunks": nchunks,
+                         "dst": f"{dst[0]}:{dst[1]}"}) \
+        if tracer.enabled else None
+    try:
+        result = yield from _send_bulk(sock, dst, size, params, window,
+                                       xfer, chunk_size, chunks, nchunks)
+        return result
+    finally:
+        tracer.end(sim, span)
+
+
+def _send_bulk(sock, dst, size, params, window, xfer, chunk_size, chunks,
+               nchunks):
+    sim = sock.sim
     #: transfer metadata rides on every data burst and probe so a
     #: pre-granted receiver can latch onto the transfer without an offer
     meta = {"xfer": xfer, "total": size, "nchunks": nchunks,
@@ -179,6 +201,19 @@ def recv_bulk(sock: USocket, first_timeout: Optional[float] = None,
     closes the socket when it finishes.
     """
     sim = sock.sim
+    tracer = sim.tracer
+    span = tracer.begin(sim, "bulk.recv", "net") \
+        if tracer.enabled else None
+    try:
+        result = yield from _recv_bulk(sock, first_timeout, params,
+                                       close_socket, pregranted, span)
+        return result
+    finally:
+        tracer.end(sim, span)
+
+
+def _recv_bulk(sock, first_timeout, params, close_socket, pregranted, span):
+    sim = sock.sim
 
     # -- latch onto a transfer ----------------------------------------------------
     first = None
@@ -195,6 +230,9 @@ def recv_bulk(sock: USocket, first_timeout: Optional[float] = None,
     total, nchunks = msg["total"], msg["nchunks"]
     chunk_size = msg["chunk_size"]
     sender = (first.src, first.sport)
+    if span is not None:
+        span.tag("xfer", xfer)
+        span.tag("bytes", total)
     window = sock.recvbuf
     per_blast = max(1, window // max(chunk_size, 1))
 
@@ -230,6 +268,10 @@ def recv_bulk(sock: USocket, first_timeout: Optional[float] = None,
                 if attempts > params.max_attempts:
                     return None
                 missing = sorted(expected - received.keys())
+                if sim.tracer.enabled:
+                    sim.tracer.instant(sim, "bulk.nack", "net",
+                                       {"xfer": xfer,
+                                        "missing": len(missing)})
                 yield sock.send(CTRL_SIZE, payload={
                     "kind": "bulk_nack", "xfer": xfer,
                     "missing": missing}, dst=sender)

@@ -58,30 +58,52 @@ class RpcClient:
         call_id = next(self._ids)
         request = {"kind": "rpc_req", "id": call_id, "method": method,
                    "args": args or {}}
-        for _attempt in range(retries):
-            self.stats.add("calls.sent")
-            yield self.sock.send(RPC_HEADER_SIZE + size, payload=request,
-                                 dst=dst)
-            deadline = self.sim.now + timeout
-            while True:
-                remaining = deadline - self.sim.now
-                if remaining <= 0:
-                    break
-                reply = yield self.sock.recv(timeout=remaining)
-                if reply is None:
-                    break
-                msg = reply.payload
-                if not isinstance(msg, dict) or msg.get("kind") != "rpc_rep":
-                    continue
-                if msg.get("id") != call_id:
-                    continue  # stale reply from a retried earlier call
-                if "error" in msg:
-                    raise RpcRemoteError(msg["error"])
-                self.stats.add("calls.ok")
-                return msg.get("result")
-            self.stats.add("calls.retried")
-        self.stats.add("calls.timeout")
-        raise RpcTimeout(f"{method} to {dst}: no reply after {retries} tries")
+        tracer = self.sim.tracer
+        span = tracer.begin(
+            self.sim, f"rpc.{method}", "rpc",
+            {"dst": f"{dst[0]}:{dst[1]}", "id": call_id}) \
+            if tracer.enabled else None
+        if span is not None:
+            # ride the causal link on the request so the server-side
+            # handler span becomes this span's child (pure metadata: the
+            # charged wire size does not depend on the payload dict)
+            request["trace"] = span.span_id
+        try:
+            for _attempt in range(retries):
+                self.stats.add("calls.sent")
+                if span is not None and _attempt:
+                    tracer.instant(self.sim, f"rpc.retry.{method}", "rpc",
+                                   {"attempt": _attempt + 1, "id": call_id})
+                yield self.sock.send(RPC_HEADER_SIZE + size, payload=request,
+                                     dst=dst)
+                deadline = self.sim.now + timeout
+                while True:
+                    remaining = deadline - self.sim.now
+                    if remaining <= 0:
+                        break
+                    reply = yield self.sock.recv(timeout=remaining)
+                    if reply is None:
+                        break
+                    msg = reply.payload
+                    if not isinstance(msg, dict) \
+                            or msg.get("kind") != "rpc_rep":
+                        continue
+                    if msg.get("id") != call_id:
+                        continue  # stale reply from a retried earlier call
+                    if "error" in msg:
+                        raise RpcRemoteError(msg["error"])
+                    self.stats.add("calls.ok")
+                    if span is not None:
+                        span.tag("attempts", _attempt + 1)
+                    return msg.get("result")
+                self.stats.add("calls.retried")
+            self.stats.add("calls.timeout")
+            if span is not None:
+                span.tag("timeout", True)
+            raise RpcTimeout(
+                f"{method} to {dst}: no reply after {retries} tries")
+        finally:
+            tracer.end(self.sim, span)
 
 
 class RpcServer:
@@ -97,11 +119,15 @@ class RpcServer:
     DEDUP_CACHE = 128
 
     def __init__(self, sock: USocket, handlers: dict[str, Callable],
-                 name: str = "rpc"):
+                 name: str = "rpc", component: Optional[str] = None):
         self.sock = sock
         self.sim = sock.sim
         self.handlers = dict(handlers)
         self.name = name
+        #: trace component label; daemons pass their layer name
+        #: ("manager", "imd", ...) so breakdowns attribute handler time
+        #: to the right row.  Defaults to the name's first dotted part.
+        self.component = component or name.split(".", 1)[0]
         self.stats = Recorder(f"rpc.server.{name}")
         self._seen: OrderedDict[tuple, dict] = OrderedDict()
         self._proc = None
@@ -136,6 +162,11 @@ class RpcServer:
         if key in self._seen:
             cached = self._seen[key]
             self.stats.add("duplicates")
+            if self.sim.tracer.enabled:
+                self.sim.tracer.instant(
+                    self.sim, f"serve.duplicate.{msg['method']}",
+                    self.component, {"id": msg["id"],
+                                     "replayed": cached is not None})
             if cached is None:
                 # Original request still executing: drop the retry; the
                 # client's next retry will find the cached reply.
@@ -145,20 +176,31 @@ class RpcServer:
         self._seen[key] = None  # mark in-flight
         handler = self.handlers.get(msg["method"])
         reply = {"kind": "rpc_rep", "id": msg["id"]}
-        if handler is None:
-            reply["error"] = f"no such method: {msg['method']}"
-        else:
-            try:
-                result = handler(msg.get("args", {}), src)
-                if hasattr(result, "send"):  # generator handler
-                    result = yield self.sim.process(result)
-                reply["result"] = result
-                self.stats.add("served")
-            except Exception as exc:  # noqa: BLE001 - reported to caller
-                reply["error"] = f"{type(exc).__name__}: {exc}"
-                self.stats.add("handler_errors")
-        self._seen[key] = reply
-        while len(self._seen) > self.DEDUP_CACHE:
-            self._seen.popitem(last=False)
-        if not self.sock.closed:
-            yield self.sock.send(RPC_HEADER_SIZE, payload=reply, dst=src)
+        tracer = self.sim.tracer
+        span = tracer.begin(
+            self.sim, f"serve.{msg['method']}", self.component,
+            {"src": f"{src[0]}:{src[1]}", "id": msg["id"]}) \
+            if tracer.enabled else None
+        if span is not None and msg.get("trace"):
+            span.parent_id = msg["trace"]  # wire-carried causal link
+        try:
+            if handler is None:
+                reply["error"] = f"no such method: {msg['method']}"
+            else:
+                try:
+                    result = handler(msg.get("args", {}), src)
+                    if hasattr(result, "send"):  # generator handler
+                        result = yield self.sim.process(result)
+                    reply["result"] = result
+                    self.stats.add("served")
+                except Exception as exc:  # noqa: BLE001 - reported to caller
+                    reply["error"] = f"{type(exc).__name__}: {exc}"
+                    self.stats.add("handler_errors")
+            self._seen[key] = reply
+            while len(self._seen) > self.DEDUP_CACHE:
+                self._seen.popitem(last=False)
+            if not self.sock.closed:
+                yield self.sock.send(RPC_HEADER_SIZE, payload=reply, dst=src)
+        finally:
+            tracer.end(self.sim, span,
+                       {"error": True} if "error" in reply else None)

@@ -1,0 +1,44 @@
+"""Observability: span tracing, trace export, latency breakdowns, snapshots.
+
+See ``docs/OBSERVABILITY.md`` for the span taxonomy and workflows.  The
+usual entry points:
+
+* :func:`install` / :class:`Tracer` — turn tracing on for subsequently
+  created simulators (the CLI's ``--trace-out`` and ``repro trace``).
+* :func:`write_chrome_trace` — Perfetto-viewable trace-event JSON.
+* :func:`fetch_breakdown` / :func:`format_fetch_breakdown` — per-layer
+  latency decomposition of ``mread``/``mwrite`` (the paper's Tables 3/4).
+* :func:`snapshot` / :func:`write_snapshot` — diffable per-run metrics.
+"""
+
+from repro.obs.breakdown import (COMPONENT_LAYER, LAYER_ORDER,
+                                 fetch_breakdown, format_fetch_breakdown,
+                                 layer_of)
+from repro.obs.export import chrome_trace, dump_chrome_trace, \
+    write_chrome_trace
+from repro.obs.snapshot import dump_snapshot, group_name, merged_snapshot, \
+    recorder_snapshot, snapshot, write_snapshot
+from repro.obs.tracer import NULL_TRACER, Span, Tracer, default_tracer, \
+    install
+
+__all__ = [
+    "COMPONENT_LAYER",
+    "LAYER_ORDER",
+    "NULL_TRACER",
+    "Span",
+    "Tracer",
+    "chrome_trace",
+    "default_tracer",
+    "dump_chrome_trace",
+    "dump_snapshot",
+    "fetch_breakdown",
+    "format_fetch_breakdown",
+    "group_name",
+    "install",
+    "layer_of",
+    "merged_snapshot",
+    "recorder_snapshot",
+    "snapshot",
+    "write_chrome_trace",
+    "write_snapshot",
+]

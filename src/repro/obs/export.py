@@ -1,0 +1,79 @@
+"""Chrome trace-event JSON export, viewable in Perfetto.
+
+Maps the tracer's model onto the trace-event format: each *component*
+becomes a Chrome "process" (pid) named by a metadata event, each
+simulated process becomes a thread (tid), finished spans become complete
+("X") events and zero-duration spans become instant ("i") events.
+Virtual seconds are exported as microseconds, the unit Perfetto expects.
+
+The export is fully deterministic for a deterministic trace: events are
+emitted in span-begin order, pids are assigned in first-appearance
+order, and the JSON is serialized with sorted keys and fixed
+separators — two runs of the same seeded experiment produce
+byte-identical files (see ``tests/obs/test_trace_determinism.py``).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO
+
+from repro.obs.tracer import Tracer
+
+
+def chrome_trace(tracer: Tracer) -> dict:
+    """Build the trace-event JSON object for ``tracer``'s spans.
+
+    Unfinished spans (a component crashed mid-request or the run was cut
+    short) are exported as instant events tagged ``unfinished`` so they
+    remain visible rather than silently vanishing.
+    """
+    pids: dict[str, int] = {}
+    events: list[dict] = []
+    for span in tracer.spans:
+        pid = pids.get(span.component)
+        if pid is None:
+            pid = len(pids) + 1
+            pids[span.component] = pid
+        args = dict(span.tags) if span.tags else {}
+        args["span_id"] = span.span_id
+        if span.parent_id:
+            args["parent_id"] = span.parent_id
+        event = {
+            "name": span.name,
+            "cat": span.component,
+            "pid": pid,
+            "tid": span.track,
+            "ts": span.start * 1e6,
+            "args": args,
+        }
+        if span.end is None:
+            event["ph"] = "i"
+            event["s"] = "t"
+            args["unfinished"] = True
+        elif span.end == span.start:
+            event["ph"] = "i"
+            event["s"] = "t"
+        else:
+            event["ph"] = "X"
+            event["dur"] = (span.end - span.start) * 1e6
+        events.append(event)
+    metadata = [
+        {"name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+         "args": {"name": component}}
+        for component, pid in pids.items()
+    ]
+    return {"traceEvents": metadata + events, "displayTimeUnit": "ms"}
+
+
+def dump_chrome_trace(tracer: Tracer, fp: IO[str]) -> None:
+    json.dump(chrome_trace(tracer), fp, sort_keys=True,
+              separators=(",", ":"))
+
+
+def write_chrome_trace(tracer: Tracer, path: str) -> int:
+    """Write the trace to ``path``; returns the number of events."""
+    obj = chrome_trace(tracer)
+    with open(path, "w") as fp:
+        json.dump(obj, fp, sort_keys=True, separators=(",", ":"))
+    return len(obj["traceEvents"])

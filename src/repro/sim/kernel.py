@@ -11,6 +11,7 @@ from __future__ import annotations
 import heapq
 from typing import Any, Callable, Iterable, Optional
 
+from repro.obs.tracer import default_tracer
 from repro.sim.errors import SimulationError, StopSimulation
 from repro.sim.rng import RngRegistry
 
@@ -128,6 +129,18 @@ class Simulator:
         self.rng = RngRegistry(seed)
         #: number of events processed so far (exposed for perf reporting)
         self.events_processed: int = 0
+        #: the observability tracer; the shared NULL_TRACER unless one
+        #: was installed (repro.obs.install) before this sim was built.
+        #: Instrumentation guards every use with ``tracer.enabled``.
+        self.tracer = default_tracer()
+        #: the process currently being resumed (tracks span ownership)
+        self.active_process = None
+        self._pid_counter: int = 0
+
+    def _next_pid(self) -> int:
+        """Deterministic serial number for a new process (trace track)."""
+        self._pid_counter += 1
+        return self._pid_counter
 
     @property
     def now(self) -> float:
@@ -174,6 +187,10 @@ class Simulator:
             raise SimulationError("step() on an empty event queue")
         when, _, event = heapq.heappop(self._heap)
         self._now = when
+        tracer = self.tracer
+        if tracer.enabled and tracer.kernel_events:
+            tracer.instant(self, "dispatch", "kernel",
+                           {"event": type(event).__name__})
         callbacks, event.callbacks = event.callbacks, None
         for cb in callbacks:
             cb(event)

@@ -23,13 +23,19 @@ class Process(Event):
     loop raises the exception, so component crashes are never silent.
     """
 
-    __slots__ = ("_generator", "_target")
+    __slots__ = ("_generator", "_target", "pid", "trace_parent")
 
     def __init__(self, sim: Simulator, generator: Generator[Event, Any, Any]):
         if not hasattr(generator, "send"):
             raise TypeError(f"Process needs a generator, got {generator!r}")
         super().__init__(sim)
         self._generator: Optional[Generator] = generator
+        #: deterministic serial number; doubles as the trace track (tid)
+        self.pid: int = sim._next_pid()
+        #: span open in the spawning process at creation time — the
+        #: causal parent for this process's own root spans
+        self.trace_parent: int = (
+            sim.tracer.current_parent(sim) if sim.tracer.enabled else 0)
         # Bootstrap: resume the generator at time now (after the caller's
         # current callback finishes), mirroring SimPy's Initialize event.
         init = Event(sim)
@@ -83,6 +89,11 @@ class Process(Event):
         if self._generator is None:
             return  # raced with termination (e.g. double interrupt)
         self._target = None
+        sim = self.sim
+        prev_active = sim.active_process
+        sim.active_process = self
+        if sim.tracer.enabled and sim.tracer.kernel_events:
+            sim.tracer.instant(sim, "wakeup", "kernel", {"pid": self.pid})
         try:
             if event._ok:
                 nxt = self._generator.send(event._value)
@@ -96,6 +107,8 @@ class Process(Event):
             self._generator = None
             self.fail(exc)
             return
+        finally:
+            sim.active_process = prev_active
 
         if not isinstance(nxt, Event):
             self._generator = None

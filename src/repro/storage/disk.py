@@ -110,16 +110,27 @@ class Disk:
             raise ValueError(
                 f"I/O [{offset}, {offset + nbytes}) beyond disk capacity "
                 f"{self.params.capacity_bytes}")
-        yield self.arm.acquire()
-        try:
-            service = self.service_time(offset, nbytes, write)
-            sequential = offset == self._last_end
-            yield self.sim.timeout(service)
-            self._head = offset + nbytes
-            self._last_end = offset + nbytes
-        finally:
-            self.arm.release()
         kind = "write" if write else "read"
+        tracer = self.sim.tracer
+        #: span covers arm queueing + service, so trace gaps show contention
+        span = tracer.begin(self.sim, f"disk.{kind}", "disk",
+                            {"disk": self.name, "bytes": nbytes}) \
+            if tracer.enabled else None
+        service = 0.0
+        sequential = False
+        try:
+            yield self.arm.acquire()
+            try:
+                service = self.service_time(offset, nbytes, write)
+                sequential = offset == self._last_end
+                yield self.sim.timeout(service)
+                self._head = offset + nbytes
+                self._last_end = offset + nbytes
+            finally:
+                self.arm.release()
+        finally:
+            tracer.end(self.sim, span, {"service_s": service,
+                                        "sequential": sequential})
         self.stats.add(f"{kind}.ops")
         self.stats.add(f"{kind}.bytes", nbytes)
         if sequential:

@@ -262,13 +262,27 @@ class FileSystem:
         first_page = offset // ps
         last_page = math.ceil(fetch_end / ps)  # exclusive
 
-        # Collect missing pages, then fetch contiguous runs in single I/Os.
-        missing = [pg for pg in range(first_page, last_page)
-                   if not self.cache.touch((f.inode, pg))]
-        yield from self._fetch_pages(f, missing)
-        self.stats.add("read.ops")
-        self.stats.add("read.bytes", n)
-        yield self.sim.timeout(n / p.copy_bandwidth)
+        tracer = self.sim.tracer
+        span = tracer.begin(self.sim, "fs.read", "fs",
+                            {"inode": f.inode, "bytes": n}) \
+            if tracer.enabled else None
+        try:
+            # Collect missing pages; fetch contiguous runs in single I/Os.
+            missing = [pg for pg in range(first_page, last_page)
+                       if not self.cache.touch((f.inode, pg))]
+            if span is not None:
+                span.tag("pages", last_page - first_page)
+                span.tag("misses", len(missing))
+            yield from self._fetch_pages(f, missing)
+            self.stats.add("read.ops")
+            self.stats.add("read.bytes", n)
+            copy = tracer.begin(self.sim, "pagecache.copy", "pagecache",
+                                {"bytes": n, "hit": not missing}) \
+                if tracer.enabled else None
+            yield self.sim.timeout(n / p.copy_bandwidth)
+            tracer.end(self.sim, copy)
+        finally:
+            tracer.end(self.sim, span)
         data = bytes(f.data[offset:offset + n]) if f.data is not None else None
         return n, data
 
@@ -313,24 +327,39 @@ class FileSystem:
 
         first_page = offset // ps
         last_page = math.ceil((offset + n) / ps)
-        # Partially-covered edge pages need a read-modify-write if absent.
-        rmw = []
-        for pg in (first_page, last_page - 1):
-            pg_start, pg_end = pg * ps, (pg + 1) * ps
-            partial = offset > pg_start or (offset + n) < min(pg_end, f.size)
-            if partial and (f.inode, pg) not in self.cache:
-                rmw.append(pg)
-        yield from self._fetch_pages(f, sorted(set(rmw)))
+        tracer = self.sim.tracer
+        span = tracer.begin(self.sim, "fs.write", "fs",
+                            {"inode": f.inode, "bytes": n}) \
+            if tracer.enabled else None
+        try:
+            # Partially-covered edge pages need read-modify-write if absent.
+            rmw = []
+            for pg in (first_page, last_page - 1):
+                pg_start, pg_end = pg * ps, (pg + 1) * ps
+                partial = offset > pg_start \
+                    or (offset + n) < min(pg_end, f.size)
+                if partial and (f.inode, pg) not in self.cache:
+                    rmw.append(pg)
+            yield from self._fetch_pages(f, sorted(set(rmw)))
 
-        writeback: list = []
-        for pg in range(first_page, last_page):
-            writeback.extend(self.cache.insert((f.inode, pg), dirty=True))
-        yield from self._writeback(writeback)
-        if f.data is not None and data is not None:
-            f.data[offset:offset + n] = data
-        self.stats.add("write.ops")
-        self.stats.add("write.bytes", n)
-        yield self.sim.timeout(n / self.params.copy_bandwidth)
+            writeback: list = []
+            for pg in range(first_page, last_page):
+                writeback.extend(self.cache.insert((f.inode, pg), dirty=True))
+            if span is not None:
+                span.tag("rmw", len(rmw))
+                span.tag("writeback", len(writeback))
+            yield from self._writeback(writeback)
+            if f.data is not None and data is not None:
+                f.data[offset:offset + n] = data
+            self.stats.add("write.ops")
+            self.stats.add("write.bytes", n)
+            copy = tracer.begin(self.sim, "pagecache.copy", "pagecache",
+                                {"bytes": n, "hit": not rmw}) \
+                if tracer.enabled else None
+            yield self.sim.timeout(n / self.params.copy_bandwidth)
+            tracer.end(self.sim, copy)
+        finally:
+            tracer.end(self.sim, span)
         return n
 
     def _writeback(self, keys: list) -> object:

@@ -112,3 +112,17 @@ class PageCache:
         hits = self.stats.count("hits")
         total = hits + self.stats.count("misses")
         return hits / total if total else 0.0
+
+    def summary(self) -> dict:
+        """One-shot counters for metrics snapshots and trace tooling."""
+        return {
+            "resident_pages": len(self._pages),
+            "resident_bytes": self.resident_bytes,
+            "capacity_pages": self.capacity_pages,
+            "hits": self.stats.count("hits"),
+            "misses": self.stats.count("misses"),
+            "insertions": self.stats.count("insertions"),
+            "evictions": self.stats.count("evictions"),
+            "dirty_evictions": self.stats.count("evictions.dirty"),
+            "hit_ratio": self.hit_ratio(),
+        }

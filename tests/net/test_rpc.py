@@ -132,6 +132,61 @@ def test_duplicate_requests_not_reexecuted():
     sim.run(until=sim.process(proc()))
     # Each logical call executed exactly once despite retries.
     assert executions == list(range(8))
+    # The server observed those retries as duplicates and counted them,
+    # while every logical call still produced exactly one execution.
+    assert server.stats.count("served") == 8
+    assert server.stats.count("duplicates") > 0
+    assert client.stats.count("calls.ok") == 8
+    # With 40% loss at least one attempt went unanswered.
+    assert client.stats.count("calls.retried") > 0
+    assert client.stats.count("calls.sent") \
+        == 8 + client.stats.count("calls.retried")
+
+
+def test_retry_counters_without_loss_stay_zero():
+    sim = Simulator()
+    net = make_net(sim)
+    client, server, dst = make_pair(sim, net, {
+        "ping": lambda args, src: {}})
+
+    def proc():
+        for _ in range(3):
+            yield from client.call(dst, "ping")
+
+    sim.run(until=sim.process(proc()))
+    assert client.stats.count("calls.sent") == 3
+    assert client.stats.count("calls.ok") == 3
+    assert client.stats.count("calls.retried") == 0
+    assert client.stats.count("calls.timeout") == 0
+    assert server.stats.count("duplicates") == 0
+
+
+def test_duplicate_of_inflight_request_is_dropped():
+    """A retry that lands while the original is still executing must not
+    produce a second reply; the client's later retry replays the cache."""
+    sim = Simulator()
+    net = make_net(sim)
+    executions = []
+
+    def slow(args, src):
+        executions.append(sim.now)
+        yield sim.timeout(0.5)  # much longer than the client timeout
+        return {"done": True}
+
+    client, server, dst = make_pair(sim, net, {"slow": slow})
+
+    def proc():
+        result = yield from client.call(dst, "slow", timeout=0.05,
+                                        retries=20)
+        return result
+
+    assert sim.run(until=sim.process(proc())) == {"done": True}
+    assert len(executions) == 1
+    assert server.stats.count("served") == 1
+    # Every retry beyond the first send was suppressed as a duplicate.
+    assert server.stats.count("duplicates") \
+        == client.stats.count("calls.sent") - 1
+    assert client.stats.count("calls.retried") > 0
 
 
 def test_server_stop_ends_loop():

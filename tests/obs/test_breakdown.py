@@ -1,0 +1,125 @@
+"""Tests for the fetch-path latency breakdown (Tables 3/4 shape)."""
+
+import pytest
+
+from repro.obs.breakdown import (fetch_breakdown, format_fetch_breakdown,
+                                 layer_of)
+from repro.obs.tracer import Span
+
+
+def make_span(span_id, parent_id, name, component, start, end, track=1):
+    s = Span(span_id, parent_id, name, component, track, start)
+    s.end = end
+    return s
+
+
+def test_layer_mapping():
+    assert layer_of("lib") == "library"
+    assert layer_of("regionlib") == "library"
+    assert layer_of("rpc") == "network"
+    assert layer_of("net") == "network"
+    assert layer_of("cmd") == "manager"
+    assert layer_of("imd") == "daemon"
+    assert layer_of("fs") == "disk"
+    assert layer_of("pagecache") == "disk"
+    assert layer_of("something-new") == "something-new"  # passes through
+
+
+def test_simple_decomposition_sums_to_total():
+    spans = [
+        make_span(1, 0, "mread", "lib", 0.0, 10.0),
+        make_span(2, 1, "rpc.read", "rpc", 1.0, 9.0),
+        make_span(3, 2, "serve.read", "imd", 3.0, 5.0, track=2),
+    ]
+    b = fetch_breakdown(spans)
+    assert b["count"] == 1
+    assert b["mean_s"] == pytest.approx(10.0)
+    assert b["layers"]["library"] == pytest.approx(2.0)  # [0,1) + [9,10]
+    assert b["layers"]["network"] == pytest.approx(6.0)  # [1,3) + [5,9)
+    assert b["layers"]["daemon"] == pytest.approx(2.0)   # [3,5)
+    assert sum(b["layers"].values()) == pytest.approx(b["mean_s"])
+
+
+def test_innermost_span_wins_with_shorter_tiebreak():
+    spans = [
+        make_span(1, 0, "mread", "lib", 0.0, 10.0),
+        make_span(2, 1, "rpc.read", "rpc", 0.0, 10.0),
+        make_span(3, 1, "serve.read", "imd", 0.0, 4.0, track=2),
+    ]
+    b = fetch_breakdown(spans)
+    # Both children start with the root; the shorter one is innermost.
+    assert b["layers"]["daemon"] == pytest.approx(4.0)
+    assert b["layers"]["network"] == pytest.approx(6.0)
+    assert "library" not in b["layers"]
+
+
+def test_only_causal_descendants_are_attributed():
+    spans = [
+        make_span(1, 0, "mread", "lib", 0.0, 10.0),
+        make_span(2, 1, "rpc.read", "rpc", 2.0, 8.0),
+        # overlaps in time but belongs to an unrelated causal tree
+        make_span(3, 0, "disk.read", "disk", 1.0, 9.0, track=9),
+    ]
+    b = fetch_breakdown(spans)
+    assert "disk" not in b["layers"]
+    assert b["layers"]["network"] == pytest.approx(6.0)
+    assert b["layers"]["library"] == pytest.approx(4.0)
+
+
+def test_descendants_found_across_generations():
+    spans = [
+        make_span(1, 0, "mread", "lib", 0.0, 8.0),
+        make_span(2, 1, "rpc.read", "rpc", 1.0, 7.0),
+        make_span(3, 2, "serve.read", "imd", 2.0, 6.0, track=2),
+        make_span(4, 3, "disk.read", "disk", 3.0, 5.0, track=3),
+    ]
+    b = fetch_breakdown(spans)
+    assert b["layers"]["disk"] == pytest.approx(2.0)
+    assert b["layers"]["daemon"] == pytest.approx(2.0)
+    assert b["layers"]["network"] == pytest.approx(2.0)
+    assert b["layers"]["library"] == pytest.approx(2.0)
+
+
+def test_mean_over_multiple_roots():
+    spans = [
+        make_span(1, 0, "mread", "lib", 0.0, 4.0),
+        make_span(2, 0, "mread", "lib", 10.0, 16.0),
+        make_span(3, 2, "rpc.read", "rpc", 11.0, 15.0),
+    ]
+    b = fetch_breakdown(spans)
+    assert b["count"] == 2
+    assert b["mean_s"] == pytest.approx(5.0)
+    assert b["layers"]["network"] == pytest.approx(2.0)
+    assert b["layers"]["library"] == pytest.approx(3.0)
+    assert sum(b["layers"].values()) == pytest.approx(b["mean_s"])
+
+
+def test_unfinished_and_missing_roots():
+    open_span = Span(1, 0, "mread", "lib", 1, 0.0)  # never ended
+    b = fetch_breakdown([open_span])
+    assert b["count"] == 0
+    assert b["mean_s"] == 0.0
+    assert b["layers"] == {}
+
+
+def test_alternate_root_name():
+    spans = [
+        make_span(1, 0, "mwrite", "lib", 0.0, 2.0),
+        make_span(2, 1, "rpc.write", "rpc", 0.5, 1.5),
+    ]
+    b = fetch_breakdown(spans, root_name="mwrite")
+    assert b["count"] == 1
+    assert b["layers"]["network"] == pytest.approx(1.0)
+
+
+def test_format_has_layer_rows_and_total():
+    spans = [
+        make_span(1, 0, "mread", "lib", 0.0, 10.0),
+        make_span(2, 1, "rpc.read", "rpc", 1.0, 9.0),
+    ]
+    out = format_fetch_breakdown(fetch_breakdown(spans))
+    assert "library" in out and "network" in out
+    assert "total" in out
+    assert "100.0%" in out
+    # library 2 ms of 10 ms = 20%
+    assert "20.0%" in out

@@ -1,0 +1,90 @@
+"""Tests for the Chrome trace-event export."""
+
+import io
+import json
+
+from repro.obs.export import chrome_trace, dump_chrome_trace, \
+    write_chrome_trace
+from repro.obs.tracer import Tracer
+from repro.sim import Simulator
+
+
+def build_trace():
+    sim = Simulator()
+    sim.tracer = Tracer()
+
+    def proc():
+        span = sim.tracer.begin(sim, "mread", "lib", {"bytes": 4096})
+        yield sim.timeout(0.002)
+        sim.tracer.instant(sim, "retry", "rpc")
+        yield sim.timeout(0.001)
+        sim.tracer.end(sim, span)
+        sim.tracer.begin(sim, "dangling", "lib")  # left open on purpose
+
+    sim.run(until=sim.process(proc()))
+    return sim.tracer
+
+
+def test_chrome_trace_structure():
+    obj = chrome_trace(build_trace())
+    assert obj["displayTimeUnit"] == "ms"
+    events = obj["traceEvents"]
+    meta = [e for e in events if e["ph"] == "M"]
+    assert {e["args"]["name"] for e in meta} == {"lib", "rpc"}
+    assert all(e["name"] == "process_name" for e in meta)
+
+    complete = [e for e in events if e["ph"] == "X"]
+    (mread,) = complete
+    assert mread["name"] == "mread"
+    assert mread["ts"] == 0.0
+    assert mread["dur"] == 3000.0  # 0.003 s in microseconds
+    assert mread["args"]["bytes"] == 4096
+    assert "span_id" in mread["args"]
+
+
+def test_instants_and_unfinished_spans_export_as_instants():
+    obj = chrome_trace(build_trace())
+    instants = {e["name"]: e for e in obj["traceEvents"] if e["ph"] == "i"}
+    assert set(instants) == {"retry", "dangling"}
+    assert instants["dangling"]["args"]["unfinished"] is True
+    assert "unfinished" not in instants["retry"]["args"]
+
+
+def test_parent_ids_exported():
+    sim = Simulator()
+    sim.tracer = Tracer()
+
+    def proc():
+        outer = sim.tracer.begin(sim, "outer", "lib")
+        inner = sim.tracer.begin(sim, "inner", "lib")
+        yield sim.timeout(1.0)
+        sim.tracer.end(sim, inner)
+        sim.tracer.end(sim, outer)
+
+    sim.run(until=sim.process(proc()))
+    events = [e for e in chrome_trace(sim.tracer)["traceEvents"]
+              if e["ph"] == "X"]
+    by_name = {e["name"]: e for e in events}
+    assert "parent_id" not in by_name["outer"]["args"]  # root: omitted
+    assert by_name["inner"]["args"]["parent_id"] \
+        == by_name["outer"]["args"]["span_id"]
+
+
+def test_dump_is_valid_json_and_repeatable():
+    tracer = build_trace()
+    a, b = io.StringIO(), io.StringIO()
+    dump_chrome_trace(tracer, a)
+    dump_chrome_trace(tracer, b)
+    assert a.getvalue() == b.getvalue()
+    parsed = json.loads(a.getvalue())
+    assert "traceEvents" in parsed
+
+
+def test_write_chrome_trace_returns_event_count(tmp_path):
+    tracer = build_trace()
+    path = tmp_path / "trace.json"
+    n = write_chrome_trace(tracer, str(path))
+    parsed = json.loads(path.read_text())
+    assert n == len(parsed["traceEvents"])
+    # 2 metadata (lib, rpc) + 3 spans (mread, retry, dangling)
+    assert n == 5

@@ -45,3 +45,58 @@ def test_disk_command_runs(capsys):
 def test_table1_command_runs(capsys):
     assert main(["table1", "--days", "0.25"]) == 0
     assert "Table 1" in capsys.readouterr().out
+
+
+# -- observability options ----------------------------------------------------
+
+def test_parser_accepts_observability_flags():
+    parser = build_parser()
+    args = parser.parse_args(["fig7", "--trace-out", "t.json",
+                              "--metrics-out", "m.json", "--kernel-events"])
+    assert args.trace_out == "t.json"
+    assert args.metrics_out == "m.json"
+    assert args.kernel_events is True
+    # default: disabled
+    args = parser.parse_args(["fig7"])
+    assert args.trace_out is None and args.metrics_out is None
+    assert args.kernel_events is False
+
+
+def test_parser_accepts_trace_shorthand():
+    parser = build_parser()
+    args = parser.parse_args(["trace", "fig8", "--out", "f8.json"])
+    assert args.command == "trace"
+    assert args.experiment == "fig8"
+    assert args.out == "f8.json"
+    args = parser.parse_args(["trace", "disk"])
+    assert args.out == "trace.json"
+
+
+def test_trace_rejects_untraceable_experiment():
+    parser = build_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args(["trace", "all"])  # shells out: cannot trace
+
+
+def test_traced_run_writes_trace_and_metrics(tmp_path, capsys):
+    import json
+    trace_path = tmp_path / "t.json"
+    metrics_path = tmp_path / "m.json"
+    assert main(["disk",
+                 "--trace-out", str(trace_path),
+                 "--metrics-out", str(metrics_path)]) == 0
+    assert "disk bandwidth" in capsys.readouterr().out
+    trace = json.loads(trace_path.read_text())
+    events = trace["traceEvents"]
+    assert any(e.get("ph") == "X" and e["name"].startswith("disk.")
+               for e in events)
+    metrics = json.loads(metrics_path.read_text())
+    assert metrics["meta"]["command"] == "disk"
+    assert metrics["recorders"]
+
+
+def test_untraced_run_leaves_default_tracer(capsys):
+    from repro.obs.tracer import NULL_TRACER, default_tracer
+    assert main(["table1", "--days", "0.25"]) == 0
+    capsys.readouterr()
+    assert default_tracer() is NULL_TRACER

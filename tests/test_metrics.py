@@ -30,6 +30,69 @@ def test_recorder_samples():
     assert r.maximum("none") == 0.0
 
 
+def test_recorder_percentile_interpolates():
+    r = Recorder()
+    for v in (1.0, 2.0, 3.0, 4.0):
+        r.sample("lat", v)
+    assert r.percentile("lat", 0.0) == 1.0
+    assert r.percentile("lat", 1.0) == 4.0
+    assert r.percentile("lat", 0.5) == pytest.approx(2.5)
+    assert r.percentile("lat", 0.9) == pytest.approx(3.7)
+    # order of recording must not matter
+    r2 = Recorder()
+    for v in (4.0, 1.0, 3.0, 2.0):
+        r2.sample("lat", v)
+    assert r2.percentile("lat", 0.9) == pytest.approx(3.7)
+
+
+def test_recorder_percentile_edge_cases():
+    r = Recorder()
+    assert r.percentile("missing", 0.5) == 0.0
+    r.sample("one", 7.0)
+    assert r.percentile("one", 0.25) == 7.0
+    with pytest.raises(ValueError):
+        r.percentile("one", 1.5)
+    with pytest.raises(ValueError):
+        r.percentile("one", -0.1)
+
+
+def test_recorder_histogram_equal_width_bins():
+    r = Recorder()
+    for v in (0.0, 1.0, 2.0, 3.0, 4.0):
+        r.sample("v", v)
+    counts, edges = r.histogram("v", bins=4)
+    assert edges == [0.0, 1.0, 2.0, 3.0, 4.0]
+    # last bin is closed on both sides: 3.0 and 4.0 both land in it
+    assert counts == [1, 1, 1, 2]
+    assert sum(counts) == 5
+
+
+def test_recorder_histogram_explicit_edges_and_outliers():
+    r = Recorder()
+    for v in (-1.0, 0.5, 1.5, 2.5, 99.0):
+        r.sample("v", v)
+    counts, edges = r.histogram("v", bins=[0.0, 1.0, 2.0, 3.0])
+    assert counts == [1, 1, 1]  # -1 and 99 fall outside and are dropped
+    assert edges == [0.0, 1.0, 2.0, 3.0]
+
+
+def test_recorder_histogram_degenerate_inputs():
+    r = Recorder()
+    counts, edges = r.histogram("empty", bins=2)
+    assert counts == [0, 0]
+    assert edges == [0.0, 0.5, 1.0]
+    r.sample("flat", 5.0)
+    r.sample("flat", 5.0)
+    counts, edges = r.histogram("flat", bins=2)
+    assert sum(counts) == 2
+    with pytest.raises(ValueError):
+        r.histogram("flat", bins=0)
+    with pytest.raises(ValueError):
+        r.histogram("flat", bins=[3.0, 2.0, 1.0])  # not increasing
+    with pytest.raises(ValueError):
+        r.histogram("flat", bins=[1.0])  # fewer than two edges
+
+
 def test_recorder_clear():
     r = Recorder()
     r.add("a")
@@ -124,3 +187,9 @@ def test_format_series():
     lines = out.splitlines()
     assert lines[0].split() == ["x", "y1", "y2"]
     assert lines[2].split() == ["10", "1.000", "3.000"]
+
+
+def test_format_series_rejects_mismatched_lengths():
+    with pytest.raises(ValueError, match="'short'.*2 values.*has 3"):
+        format_series({"ok": [1.0, 2.0, 3.0], "short": [1.0, 2.0]},
+                      xlabel="x", xs=[1, 2, 3])
