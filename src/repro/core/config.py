@@ -7,7 +7,7 @@ threshold, five-minute idle window, 100 MB imd pools in the evaluation,
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.cluster.idleness import IdlePolicy
 from repro.net.bulk import BulkParams
@@ -69,3 +69,14 @@ class DodoConfig:
 
     # -- bulk transfer ---------------------------------------------------------------
     bulk: BulkParams = field(default_factory=BulkParams)
+    #: master switch for the flow-level bulk fast path (see
+    #: docs/PERFORMANCE.md); simulated timing is identical either way,
+    #: only the number of simulator events spent computing it changes
+    bulk_fastpath: bool = True
+
+    def bulk_params(self) -> BulkParams:
+        """Effective bulk parameters: ``bulk`` with the system-wide
+        ``bulk_fastpath`` switch applied."""
+        if self.bulk.fastpath == self.bulk_fastpath:
+            return self.bulk
+        return replace(self.bulk, fastpath=self.bulk_fastpath)

@@ -218,7 +218,7 @@ class IdleMemoryDaemon:
             try:
                 yield self.sim.process(send_bulk(
                     sock, (src[0], int(args["reply_port"])), length,
-                    data=data, params=self.config.bulk,
+                    data=data, params=self.config.bulk_params(),
                     window=args.get("window")))
             finally:
                 sock.close()
@@ -255,7 +255,7 @@ class IdleMemoryDaemon:
             if tracer.enabled else None
         try:
             result = yield self.sim.process(recv_bulk(
-                sock, first_timeout=2.0, params=self.config.bulk,
+                sock, first_timeout=2.0, params=self.config.bulk_params(),
                 close_socket=True, pregranted=True))
             if result is None:
                 self.stats.add("write_aborts")

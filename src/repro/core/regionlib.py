@@ -395,8 +395,11 @@ class RegionCache:
         if err != 0:
             self.stats.add("clone.enomem")
             return False
-        data = bytes(region.local) if isinstance(region.local, bytearray) \
-            else None
+        # Zero-copy: mwrite/mpush snapshot bytes(data[:length]) before
+        # their first yield, so handing them a view of the live buffer is
+        # safe and skips one full-region copy here.
+        data = memoryview(region.local) \
+            if isinstance(region.local, bytearray) else None
         if region.dirty:
             n, err = yield from self.runtime.mwrite(
                 desc, 0, region.length, data)

@@ -54,8 +54,14 @@ def lu_params_for_scale(scale: float) -> LuParams:
     return LuParams(n=n, slab_cols=slab_cols)
 
 
-def run_lu(transport: str, scale: float = 1 / 64, seed: int = 7) -> dict:
-    """One lu bar: calibrate compute, run baseline and Dodo."""
+def run_lu(transport: str, scale: float = 1 / 64, seed: int = 7,
+           bulk_fastpath: bool = True) -> dict:
+    """One lu bar: calibrate compute, run baseline and Dodo.
+
+    ``bulk_fastpath=False`` forces every region transfer through the
+    packet-by-packet path — simulated results are identical either way
+    (the perf-smoke harness uses the pair to measure wall-clock gain).
+    """
     params = lu_params_for_scale(scale)
 
     def build(dodo: bool) -> Platform:
@@ -65,6 +71,7 @@ def run_lu(transport: str, scale: float = 1 / 64, seed: int = 7) -> dict:
         # that striping as slab-granular extents scattered over the disk.
         p = PlatformParams(
             transport=transport, store_payload=False,
+            bulk_fastpath=bulk_fastpath,
             fs_params=FsParams(extent_bytes=params.slab_bytes,
                                scatter=True)).scaled(scale)
         return Platform(sim, p, dodo=dodo)

@@ -54,6 +54,9 @@ class PlatformParams:
     frame_loss_prob: float = 0.0
     fs_params: Optional[FsParams] = None
     allocator_kind: str = "first-fit"
+    #: engage the flow-level bulk fast path (timing-identical; False
+    #: forces every transfer through the packet-by-packet simulation)
+    bulk_fastpath: bool = True
 
     def scaled(self, scale: float) -> "PlatformParams":
         """Shrink every size by ``scale``, preserving ratios."""
@@ -80,7 +83,8 @@ class Platform:
         self.dodo_enabled = dodo
         self.config = config or DodoConfig(
             transport=p.transport, store_payload=p.store_payload,
-            dedicated=True, max_pool_bytes=p.imd_pool_bytes)
+            dedicated=True, max_pool_bytes=p.imd_pool_bytes,
+            bulk_fastpath=p.bulk_fastpath)
 
         app_cache = p.app_fs_cache_dodo if dodo else p.app_fs_cache_baseline
         hosts = [

@@ -26,16 +26,47 @@ probes the receiver instead of re-blasting data.
 
 Each transfer runs on a dedicated ephemeral socket pair, which is how the
 runtime library and the idle memory daemons use it.
+
+Flow-level fast path
+--------------------
+
+On the common lossless, uncontended configuration the packet-by-packet
+simulation spends all its wall-clock time proving that nothing interesting
+happened: no chunk is lost, no NACK fires, no engine is contended.  When a
+transfer's conditions make it analytically tractable — zero
+``frame_loss_prob`` on both endpoints, both NICs up, the receiver parked
+on its socket in the matching wait mode, and no competing bulk transfer or
+engine holder on either host — the sender computes the whole blast
+schedule in closed form from the same :class:`~repro.net.params.LinkParams`
+/ :class:`~repro.net.params.TransportParams` cost model the packet path
+uses, replaying the exact sequence of float additions the event loop would
+perform, and completes the transfer with O(1) simulator events instead of
+O(chunks).  The receiver gets one synthetic ``bulk_fast`` datagram at the
+exact virtual time it would have latched the transfer, sleeps to the exact
+completion time (scheduled with :meth:`Simulator.at` so no float drift
+creeps in), and returns the same bytes.
+
+The plan *validates* itself: any blast whose arrival would not strictly
+beat the receiver's NACK deadline, any ACK that would not strictly beat
+the sender's probe deadline, any blast that would overflow the receive
+buffer — and the planner refuses, falling back to the packet path.  Loss,
+contention, a missing or mismatched receiver, or a downed NIC likewise
+disengage it (``Network.bulk_active`` and the NIC engine states are
+consulted at engage time).  Mid-transfer host failures are caught by the
+abort event armed on the transfer's :class:`~repro.net.network.BulkToken`:
+a NIC going down fires it, and both ends then emulate the packet path's
+retry-exhaustion failure.  See ``docs/PERFORMANCE.md``.
 """
 
 from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Union
 
-from repro.net.packet import Chunk
+from repro.net.packet import Chunk, Datagram
 from repro.net.usocket import USocket
+from repro.sim import AnyOf
 
 #: wire size charged for each control message (offer/window/ack/nack/probe)
 CTRL_SIZE = 64
@@ -65,19 +96,37 @@ class BulkParams:
     #: how long the receiver lingers after completion to answer probes
     #: whose ACK was lost
     linger_s: float = 0.1
+    #: engage the flow-level fast path when a transfer qualifies (lossless,
+    #: uncontended, receiver ready); never changes simulated timing — only
+    #: how many events it takes to compute it
+    fastpath: bool = True
 
 
 DEFAULT_BULK = BulkParams()
 
 
-def _partition(size: int, data: Optional[bytes], chunk_size: int) -> list[Chunk]:
-    """Split ``size`` bytes into sequence-numbered chunks."""
+def _nchunks_for(size: int, chunk_size: int) -> int:
+    """Chunk count for ``size`` bytes (a zero-length transfer still moves
+    one empty chunk through the handshake)."""
+    if size <= 0:
+        return 1
+    return -(-size // chunk_size)
+
+
+def _partition(size: int, data: Optional[Union[bytes, memoryview]],
+               chunk_size: int) -> list[Chunk]:
+    """Split ``size`` bytes into sequence-numbered chunks.
+
+    Chunk payloads are zero-copy ``memoryview`` slices of ``data``; bytes
+    are only materialized at reassembly on the receiver.
+    """
     chunks = []
+    view = None if data is None else memoryview(data)
     seq = 0
     off = 0
     while off < size:
         n = min(chunk_size, size - off)
-        payload = None if data is None else bytes(data[off:off + n])
+        payload = None if view is None else view[off:off + n]
         chunks.append(Chunk(seq=seq, size=n, data=payload))
         seq += 1
         off += n
@@ -86,8 +135,291 @@ def _partition(size: int, data: Optional[bytes], chunk_size: int) -> list[Chunk]
     return chunks
 
 
+# ---------------------------------------------------------------------------
+# Flow-level fast path: closed-form timing
+# ---------------------------------------------------------------------------
+
+class _FastPlan:
+    """The precomputed timeline of one analytically-completed transfer."""
+
+    __slots__ = ("t_latch", "t_recv_done", "t_send_done", "nchunks")
+
+    def __init__(self, t_latch: float, t_recv_done: float,
+                 t_send_done: float, nchunks: int):
+        self.t_latch = t_latch
+        self.t_recv_done = t_recv_done
+        self.t_send_done = t_send_done
+        self.nchunks = nchunks
+
+
+def _leg(link, p, size, frames, count, c0, f0, cl, fl):
+    """Exact event-time deltas for one datagram (or burst) leg.
+
+    Mirrors ``USocket._send_proc`` → ``Network._transmit`` →
+    ``Network._rx_side`` float for float: the same cost-model methods are
+    called with the same integer inputs, and the same intermediate sums
+    are formed in the same order, so accumulating these deltas reproduces
+    the packet path's event times bit-identically.
+
+    Returns ``(cpu_first, switch_first, hold_rx, tail)``: the sender
+    resumes ``cpu_first`` after initiating the send, and the datagram is
+    delivered ``cpu_first + switch_first + hold_rx + tail`` after it
+    (added one term at a time, exactly like the chained timeouts).
+    """
+    cpu_total = p.cpu_time(size, frames, count, p.send_overhead_s)
+    if count > 1:
+        cpu_first = min(cpu_total, p.cpu_time(c0, f0, 1, p.send_overhead_s))
+        residual = cpu_total - cpu_first
+    else:
+        cpu_first, residual = cpu_total, 0.0
+    wire = link.wire_time(size, frames)
+    hold = max(wire, residual)
+    switch_first = link.switch_latency_s + link.frame_time(
+        min(size, link.mtu_bytes - 28))
+    cpu_total_r = p.cpu_time(size, frames, count, p.recv_overhead_s)
+    if count > 1:
+        tail = min(cpu_total_r, p.cpu_time(cl, fl, 1, p.recv_overhead_s))
+        hold_rx = max(hold, cpu_total_r - tail)
+    else:
+        tail = cpu_total_r
+        hold_rx = hold
+    return cpu_first, switch_first, hold_rx, tail
+
+
+def _fast_clearance(sock: USocket, dst: tuple[str, int],
+                    window: Optional[int],
+                    params: BulkParams) -> Optional[USocket]:
+    """Is this transfer analytically tractable *right now*?
+
+    Returns the receiver's socket when every engage condition holds, None
+    to fall back to the packet path.  Conditions: lossless transport on
+    both ends, retry budget available, both NICs present and up with all
+    four serialization engines idle, no other registered bulk transfer
+    touching either host, clean socket queues on both ends, and a
+    receiver parked in ``recv_bulk`` on the destination socket in the
+    matching wait mode (pregranted windows must equal its recvbuf).
+    """
+    ep = sock.endpoint
+    net = ep.network
+    p = ep.params
+    if p.frame_loss_prob > 0.0 or params.max_attempts < 1:
+        return None
+    if sock.closed or sock._queued_bytes or sock.recvbuf < CTRL_SIZE:
+        return None
+    src_nic = ep.nic
+    dst_nic = net.host_nic(dst[0])
+    if src_nic.down or dst_nic is None or dst_nic.down:
+        return None
+    dst_ep = dst_nic.endpoints.get(p.name)
+    if dst_ep is None or dst_ep.params.frame_loss_prob > 0.0:
+        return None
+    dst_sock = dst_ep.socket_for_port(dst[1])
+    if dst_sock is None or dst_sock.closed or dst_sock._queued_bytes:
+        return None
+    mode = dst_sock._bulk_wait_mode
+    if window is None:
+        if mode != "handshake":
+            return None
+    elif mode != "pregranted" or window != dst_sock.recvbuf:
+        return None
+    for nic in (src_nic, dst_nic):
+        if nic.tx.in_use or nic.rx.in_use \
+                or nic.tx.queue_length or nic.rx.queue_length:
+            return None
+    # This transfer already registered itself on both hosts, so a count
+    # above one means somebody else's transfer is in flight there.
+    for host in {ep.addr, dst[0]}:
+        if net.bulk_active(host) != 1:
+            return None
+    return dst_sock
+
+
+def _plan_fast(sock: USocket, dst_sock: USocket, size: int,
+               window: Optional[int],
+               params: BulkParams) -> Optional[_FastPlan]:
+    """Compute the transfer's full timeline in closed form, or refuse.
+
+    Walks the blast schedule blast by blast (O(blasts) float arithmetic,
+    zero simulator events), accumulating absolute event times from
+    ``sim.now`` with the exact additions the packet path would perform.
+    Refuses (returns None) whenever the lossless packet path would *not*
+    be NACK/probe-free: a blast overflowing the receive buffer, an
+    arrival not strictly beating the receiver's ack deadline, an ACK not
+    strictly beating the sender's, or a latch that would miss the
+    receiver's ``first_timeout``.  Ties lose to timeouts in the event
+    heap, hence the strict comparisons.
+    """
+    ep = sock.endpoint
+    link = ep.network.link
+    p = ep.params
+    rp = dst_sock.endpoint.params
+    chunk_size = p.max_payload
+    nchunks = _nchunks_for(size, chunk_size)
+    c_tail = size - (nchunks - 1) * chunk_size if size > 0 else 0
+    f_c = link.frames_for(chunk_size)
+    f_tail = link.frames_for(c_tail)
+    pregranted = window is not None
+    window_bytes = window if pregranted else dst_sock.recvbuf
+    per_blast = max(1, window_bytes // max(chunk_size, 1))
+    recvbuf = dst_sock.recvbuf
+    ack_to = params.ack_timeout_s
+    r_ack_to = dst_sock._bulk_ack_timeout
+    if r_ack_to is None:
+        return None
+
+    f_ctrl = link.frames_for(CTRL_SIZE)
+    #: control legs: sender-initiated (offer/probe) use the sender's
+    #: transport params, receiver-initiated (window/ack) the receiver's —
+    #: Network._rx_side charges receiver CPU with the *initiator's* params
+    ctrl_s = _leg(link, p, CTRL_SIZE, f_ctrl, 1, 0, 0, 0, 0)
+    ctrl_r = _leg(link, rp, CTRL_SIZE, f_ctrl, 1, 0, 0, 0, 0)
+
+    t = sock.sim.now
+    t_latch = None
+    r_wait_from = None  # when the receiver's current ack-timeout started
+    if not pregranted:
+        # offer (sender -> receiver), then window grant back
+        d_send = t + ctrl_s[0]
+        t_offer = ((d_send + ctrl_s[1]) + ctrl_s[2]) + ctrl_s[3]
+        t_latch = t_offer
+        tr = t_offer + ctrl_r[0]
+        t_win = ((tr + ctrl_r[1]) + ctrl_r[2]) + ctrl_r[3]
+        if not t_win < d_send + ack_to:
+            return None
+        t = t_win
+        r_wait_from = tr
+
+    full_leg = None  # cached: every non-final blast has the same shape
+    tr = None
+    blast_start = 0
+    while blast_start < nchunks:
+        k = min(per_blast, nchunks - blast_start)
+        if blast_start + k == nchunks:
+            blast_bytes = (k - 1) * chunk_size + c_tail
+            frames = (k - 1) * f_c + f_tail
+            c0 = chunk_size if k > 1 else c_tail
+            f0 = f_c if k > 1 else f_tail
+            leg = _leg(link, p, blast_bytes, frames, k, c0, f0,
+                       c_tail, f_tail)
+        else:
+            if full_leg is None:
+                blast_bytes = k * chunk_size
+                if blast_bytes > recvbuf:
+                    return None
+                full_leg = _leg(link, p, blast_bytes, k * f_c, k,
+                                chunk_size, f_c, chunk_size, f_c)
+            leg = full_leg
+            blast_bytes = k * chunk_size
+        if blast_bytes > recvbuf:
+            return None
+        d_send = t + leg[0]
+        arrival = ((d_send + leg[1]) + leg[2]) + leg[3]
+        if r_wait_from is not None and not arrival < r_wait_from + r_ack_to:
+            return None
+        if t_latch is None:
+            t_latch = arrival
+        # the receiver ACKs the completed blast and resumes after its
+        # control-send CPU charge; the ACK lands back at the sender
+        tr = arrival + ctrl_r[0]
+        t_ack = ((tr + ctrl_r[1]) + ctrl_r[2]) + ctrl_r[3]
+        if not t_ack < d_send + ack_to:
+            return None
+        t = t_ack
+        r_wait_from = tr
+        blast_start += k
+
+    deadline = dst_sock._bulk_wait_deadline
+    if deadline is not None and not t_latch < deadline:
+        return None  # receiver would have given up before we latch
+    return _FastPlan(t_latch, tr, t, nchunks)
+
+
+def _fast_deliver(sim, net, dst_sock: USocket, dgram: Datagram,
+                  t_latch: float, abort):
+    """Detached process: land the synthetic ``bulk_fast`` datagram on the
+    receiver at the exact virtual time the packet path would have latched
+    the transfer — unless the transfer aborted or the receiver vanished."""
+    yield sim.at(t_latch)
+    if abort.triggered or dst_sock.closed:
+        return
+    nic = net.host_nic(dgram.dst)
+    if nic is None or nic.down:
+        return
+    dst_sock._enqueue(dgram)
+
+
+def _send_bulk_fast(sock, dst, size, data, params, xfer, plan, dst_sock,
+                    token):
+    sim = sock.sim
+    ep = sock.endpoint
+    net = ep.network
+    abort = net.fast_arm(token)
+    net.stats.add("fastpath.transfers")
+    net.stats.add("fastpath.bytes", size)
+    # data-plane parity for the socket counters (control messages and
+    # per-frame network counters are not simulated on the fast path)
+    sock.stats.add("tx.datagrams", plan.nchunks)
+    sock.stats.add("tx.bytes", size)
+    dgram = Datagram(
+        src=ep.addr, sport=sock.port, dst=dst[0], dport=dst[1],
+        size=0, transport=ep.params.name,
+        payload={"kind": "bulk_fast", "xfer": xfer, "total": size,
+                 "nchunks": plan.nchunks, "t_done": plan.t_recv_done,
+                 "abort": abort, "data": data})
+    sim.process(_fast_deliver(sim, net, dst_sock, dgram, plan.t_latch,
+                              abort))
+    done = sim.at(plan.t_send_done)
+    idx, _ = yield AnyOf(sim, [done, abort])
+    if idx != 0:
+        # A NIC on either end went down mid-flight: emulate the packet
+        # path's death, which burns the retry budget probing before it
+        # gives up.
+        yield sim.timeout(params.max_attempts * params.ack_timeout_s)
+        raise BulkError(
+            f"xfer {xfer}: transfer to {dst} aborted (host down)")
+    return size
+
+
+def _recv_bulk_fast(sock, first: Datagram, params, close_socket, span):
+    sim = sock.sim
+    msg = first.payload
+    xfer, total = msg["xfer"], msg["total"]
+    sender = (first.src, first.sport)
+    if span is not None:
+        span.tag("xfer", xfer)
+        span.tag("bytes", total)
+        span.tag("mode", "fast")
+    sock.stats.add("rx.datagrams", msg["nchunks"] - 1)
+    sock.stats.add("rx.bytes", total)
+    done = sim.at(msg["t_done"])
+    abort = msg.get("abort")
+    idx, _ = yield AnyOf(sim, [done, abort] if abort is not None else [done])
+    if idx != 0:
+        # Sender's host died mid-flight: the packet path would NACK into
+        # the void until its retry budget ran out, then give up.
+        yield sim.timeout(params.max_attempts * params.ack_timeout_s)
+        return None
+    sim.process(_fast_linger(sock, params, close_socket))
+    raw = msg["data"]
+    data = None if raw is None else \
+        (raw if type(raw) is bytes else bytes(raw))
+    return data, total, sender
+
+
+def _fast_linger(sock: USocket, params: BulkParams, close_socket: bool):
+    """Fast-path linger: nothing can arrive (the sender is analytic), so
+    just hold the socket open for the linger window before closing."""
+    yield sock.sim.timeout(params.linger_s)
+    if close_socket:
+        sock.close()
+
+
+# ---------------------------------------------------------------------------
+# Sender
+# ---------------------------------------------------------------------------
+
 def send_bulk(sock: USocket, dst: tuple[str, int], size: int,
-              data: Optional[bytes] = None,
+              data: Optional[Union[bytes, memoryview]] = None,
               params: BulkParams = DEFAULT_BULK,
               window: Optional[int] = None):
     """Generator process: push ``size`` bytes to ``dst`` via blast protocol.
@@ -101,24 +433,52 @@ def send_bulk(sock: USocket, dst: tuple[str, int], size: int,
     sim = sock.sim
     xfer = _next_xfer_id(sim)
     chunk_size = sock.endpoint.params.max_payload
-    chunks = _partition(size, data, chunk_size)
-    nchunks = len(chunks)
+    nchunks = _nchunks_for(size, chunk_size)
     tracer = sim.tracer
     span = tracer.begin(sim, "bulk.send", "net",
                         {"xfer": xfer, "bytes": size, "chunks": nchunks,
                          "dst": f"{dst[0]}:{dst[1]}"}) \
         if tracer.enabled else None
     try:
-        result = yield from _send_bulk(sock, dst, size, params, window,
-                                       xfer, chunk_size, chunks, nchunks)
+        result = yield from _send_bulk(sock, dst, size, data, params,
+                                       window, xfer, chunk_size, nchunks)
         return result
     finally:
         tracer.end(sim, span)
 
 
-def _send_bulk(sock, dst, size, params, window, xfer, chunk_size, chunks,
+def _send_bulk(sock, dst, size, data, params, window, xfer, chunk_size,
                nchunks):
     sim = sock.sim
+    net = sock.endpoint.network
+    token = net.bulk_begin(sock.endpoint.addr, dst[0])
+    try:
+        if params.fastpath:
+            # Zero-delay hop: lets a receiver spawned at this same instant
+            # park on its socket before eligibility is judged (costs no
+            # virtual time either way).
+            yield sim.timeout(0.0)
+            dst_sock = _fast_clearance(sock, dst, window, params)
+            plan = None if dst_sock is None else \
+                _plan_fast(sock, dst_sock, size, window, params)
+            if plan is not None:
+                result = yield from _send_bulk_fast(
+                    sock, dst, size, data, params, xfer, plan, dst_sock,
+                    token)
+                return result
+            net.stats.add("fastpath.fallbacks")
+        result = yield from _send_bulk_packet(
+            sock, dst, size, data, params, window, xfer, chunk_size,
+            nchunks)
+        return result
+    finally:
+        net.bulk_end(token)
+
+
+def _send_bulk_packet(sock, dst, size, data, params, window, xfer,
+                      chunk_size, nchunks):
+    sim = sock.sim
+    chunks = _partition(size, data, chunk_size)
     #: transfer metadata rides on every data burst and probe so a
     #: pre-granted receiver can latch onto the transfer without an offer
     meta = {"xfer": xfer, "total": size, "nchunks": nchunks,
@@ -181,6 +541,10 @@ def _send_bulk(sock, dst, size, params, window, xfer, chunk_size, chunks,
     return size
 
 
+# ---------------------------------------------------------------------------
+# Receiver
+# ---------------------------------------------------------------------------
+
 def recv_bulk(sock: USocket, first_timeout: Optional[float] = None,
               params: BulkParams = DEFAULT_BULK, close_socket: bool = False,
               pregranted: bool = False):
@@ -204,11 +568,21 @@ def recv_bulk(sock: USocket, first_timeout: Optional[float] = None,
     tracer = sim.tracer
     span = tracer.begin(sim, "bulk.recv", "net") \
         if tracer.enabled else None
+    # Advertise readiness so an eligible sender can engage the fast path;
+    # mode stays None when this receiver opted out of it.
+    if params.fastpath:
+        sock._bulk_wait_mode = "pregranted" if pregranted else "handshake"
+    sock._bulk_ack_timeout = params.ack_timeout_s
+    sock._bulk_wait_deadline = None if first_timeout is None \
+        else sim.now + first_timeout
     try:
         result = yield from _recv_bulk(sock, first_timeout, params,
                                        close_socket, pregranted, span)
         return result
     finally:
+        sock._bulk_wait_mode = None
+        sock._bulk_ack_timeout = None
+        sock._bulk_wait_deadline = None
         tracer.end(sim, span)
 
 
@@ -217,7 +591,8 @@ def _recv_bulk(sock, first_timeout, params, close_socket, pregranted, span):
 
     # -- latch onto a transfer ----------------------------------------------------
     first = None
-    wanted = {"bulk_data", "bulk_probe"} if pregranted else {"bulk_offer"}
+    wanted = {"bulk_data", "bulk_probe", "bulk_fast"} if pregranted \
+        else {"bulk_offer", "bulk_fast"}
     while first is None:
         d = yield sock.recv(timeout=first_timeout)
         if d is None:
@@ -226,6 +601,10 @@ def _recv_bulk(sock, first_timeout, params, close_socket, pregranted, span):
         if isinstance(msg, dict) and msg.get("kind") in wanted:
             first = d
     msg = first.payload
+    if msg["kind"] == "bulk_fast":
+        result = yield from _recv_bulk_fast(sock, first, params,
+                                            close_socket, span)
+        return result
     xfer = msg["xfer"]
     total, nchunks = msg["total"], msg["nchunks"]
     chunk_size = msg["chunk_size"]
@@ -258,23 +637,26 @@ def _recv_bulk(sock, first_timeout, params, close_socket, pregranted, span):
 
     blast_start = 0
     while blast_start < nchunks:
-        expected = set(range(blast_start, min(blast_start + per_blast, nchunks)))
+        blast_end = min(blast_start + per_blast, nchunks)
+        # One set difference per blast; each arriving chunk then costs a
+        # single discard instead of a full issubset/key-view rebuild.
+        missing = set(range(blast_start, blast_end))
+        missing.difference_update(received)
         attempts = 0
-        while not expected.issubset(received.keys()):
+        while missing:
             d = yield sock.recv(timeout=params.ack_timeout_s)
             if d is None:
                 # Timeout: selective NACK for what is still missing.
                 attempts += 1
                 if attempts > params.max_attempts:
                     return None
-                missing = sorted(expected - received.keys())
                 if sim.tracer.enabled:
                     sim.tracer.instant(sim, "bulk.nack", "net",
                                        {"xfer": xfer,
                                         "missing": len(missing)})
                 yield sock.send(CTRL_SIZE, payload={
                     "kind": "bulk_nack", "xfer": xfer,
-                    "missing": missing}, dst=sender)
+                    "missing": sorted(missing)}, dst=sender)
                 continue
             m = d.payload
             if not isinstance(m, dict) or m.get("xfer") != xfer:
@@ -285,15 +667,21 @@ def _recv_bulk(sock, first_timeout, params, close_socket, pregranted, span):
             elif kind == "bulk_data":
                 attempts = 0
                 for chunk in d.delivered_chunks():
-                    received.setdefault(chunk.seq, chunk)  # dedup by seq
+                    seq = chunk.seq
+                    if seq not in received:  # dedup by seq
+                        received[seq] = chunk
+                        missing.discard(seq)
             elif kind == "bulk_probe":
                 start = m["blast_start"]
-                exp = set(range(start, min(start + per_blast, nchunks)))
-                missing = sorted(exp - received.keys())
-                if missing:
+                if start == blast_start:
+                    still = sorted(missing)
+                else:
+                    exp = range(start, min(start + per_blast, nchunks))
+                    still = [s for s in exp if s not in received]
+                if still:
                     yield sock.send(CTRL_SIZE, payload={
                         "kind": "bulk_nack", "xfer": xfer,
-                        "missing": missing}, dst=sender)
+                        "missing": still}, dst=sender)
                 else:
                     yield sock.send(CTRL_SIZE, payload={
                         "kind": "bulk_ack", "xfer": xfer,

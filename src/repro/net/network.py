@@ -19,13 +19,28 @@ full-duplex 100 Mb/s link to one store-and-forward switch.  A transmission
 
 from __future__ import annotations
 
-import math
+from typing import Optional
 
 from repro.metrics.recorder import Recorder
 from repro.net.nic import NIC
 from repro.net.packet import Datagram
 from repro.net.params import LinkParams, TransportParams
 from repro.sim import Simulator
+
+
+class BulkToken:
+    """Registration of one in-flight bulk transfer (see ``bulk_begin``).
+
+    ``abort`` is armed only by the flow-level fast path: it fires when a
+    NIC on either end goes down mid-transfer, so an analytically-completed
+    transfer can notice failures it no longer observes packet by packet.
+    """
+
+    __slots__ = ("hosts", "abort")
+
+    def __init__(self, hosts: tuple[str, ...]):
+        self.hosts = hosts
+        self.abort = None
 
 
 class Network:
@@ -37,26 +52,72 @@ class Network:
         self._nics: dict[str, NIC] = {}
         self.stats = Recorder("network")
         self._loss_rng = sim.rng("net.loss")
+        #: in-flight bulk transfers, for fast-path contention clearance
+        self._bulk_tokens: list[BulkToken] = []
+        self._bulk_counts: dict[str, int] = {}
 
     def attach(self, nic: NIC) -> None:
         if nic.addr in self._nics:
             raise ValueError(f"host {nic.addr!r} already attached")
         self._nics[nic.addr] = nic
+        nic.network = self
 
     def nic(self, addr: str) -> NIC:
         return self._nics[addr]
+
+    def host_nic(self, addr: str) -> Optional[NIC]:
+        """Like :meth:`nic` but returns None for unknown hosts."""
+        return self._nics.get(addr)
 
     @property
     def hosts(self) -> list[str]:
         return list(self._nics)
 
+    # -- bulk-transfer registry ------------------------------------------------
+    # Every bulk transfer (packet or fast path) registers the hosts it
+    # touches for its duration.  The fast path consults these counts to
+    # detect competing transfers and falls back to the packet path when a
+    # host is already busy; it also arms the token's abort event so a NIC
+    # going down mid-flight cancels the analytic completion.
+
+    def bulk_begin(self, src: str, dst: str) -> BulkToken:
+        token = BulkToken((src,) if src == dst else (src, dst))
+        counts = self._bulk_counts
+        for h in token.hosts:
+            counts[h] = counts.get(h, 0) + 1
+        self._bulk_tokens.append(token)
+        return token
+
+    def bulk_end(self, token: BulkToken) -> None:
+        counts = self._bulk_counts
+        for h in token.hosts:
+            counts[h] -= 1
+        self._bulk_tokens.remove(token)
+
+    def bulk_active(self, host: str) -> int:
+        """Number of registered bulk transfers touching ``host``."""
+        return self._bulk_counts.get(host, 0)
+
+    def fast_arm(self, token: BulkToken):
+        """Arm (and return) the token's mid-transfer abort event."""
+        if token.abort is None:
+            from repro.sim import Event
+            token.abort = Event(self.sim)
+        return token.abort
+
+    def notify_nic_down(self, addr: str) -> None:
+        """Called by a NIC's ``down`` setter: abort in-flight fast
+        transfers that touch the failed host."""
+        for token in self._bulk_tokens:
+            if token.abort is not None and addr in token.hosts \
+                    and not token.abort.triggered:
+                token.abort.succeed()
+                self.stats.add("fastpath.aborts")
+
     # -- framing -------------------------------------------------------------
     def frames_for(self, payload_bytes: int) -> int:
         """Ethernet frames needed for one datagram of ``payload_bytes``."""
-        if payload_bytes <= 0:
-            return 1
-        per_frame = self.link.mtu_bytes - 28  # IP fragment payload
-        return max(1, math.ceil(payload_bytes / per_frame))
+        return self.link.frames_for(payload_bytes)
 
     def burst_frames(self, dgram: Datagram) -> int:
         if dgram.is_burst:

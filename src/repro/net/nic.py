@@ -16,6 +16,7 @@ from repro.metrics.recorder import Recorder
 from repro.sim import Resource, Simulator
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.network import Network
     from repro.net.packet import Datagram
     from repro.net.usocket import TransportEndpoint
 
@@ -30,9 +31,25 @@ class NIC:
         self.rx = Resource(sim, capacity=1)
         #: transport endpoints keyed by transport name ("udp" / "unet")
         self.endpoints: dict[str, "TransportEndpoint"] = {}
-        #: a downed NIC (crashed / powered-off host) drops all traffic
-        self.down = False
+        self._down = False
+        #: back-reference set by :meth:`Network.attach`
+        self.network: Optional["Network"] = None
         self.stats = Recorder(f"nic.{addr}")
+
+    @property
+    def down(self) -> bool:
+        """A downed NIC (crashed / powered-off host) drops all traffic."""
+        return self._down
+
+    @down.setter
+    def down(self, value: bool) -> None:
+        value = bool(value)
+        was = self._down
+        self._down = value
+        if value and not was and self.network is not None:
+            # fast-path transfers in flight across this host must notice
+            # the failure they would otherwise never observe on the wire
+            self.network.notify_nic_down(self.addr)
 
     def register_endpoint(self, endpoint: "TransportEndpoint") -> None:
         name = endpoint.params.name

@@ -20,13 +20,15 @@ from typing import Any, Optional, Sequence
 class Chunk:
     """One protocol chunk inside a burst: a sequence number plus payload.
 
-    ``data`` is real bytes in functional mode or ``None`` in metadata-only
-    (performance) mode; ``size`` is authoritative either way.
+    ``data`` is a buffer (``bytes`` or a zero-copy ``memoryview`` slice of
+    the sender's region) in functional mode or ``None`` in metadata-only
+    (performance) mode; ``size`` is authoritative either way.  Receivers
+    materialize ``bytes`` only at reassembly.
     """
 
     seq: int
     size: int
-    data: Optional[bytes] = None
+    data: Optional[bytes | memoryview] = None
 
     def __post_init__(self) -> None:
         if self.data is not None and len(self.data) != self.size:

@@ -45,6 +45,14 @@ class LinkParams:
         total = payload_bytes + frames * self.frame_overhead_bytes
         return total * 8.0 / self.bandwidth_bps
 
+    def frames_for(self, payload_bytes: int) -> int:
+        """Ethernet frames needed for one datagram of ``payload_bytes``
+        (IP fragmentation: 28 header bytes per fragment)."""
+        if payload_bytes <= 0:
+            return 1
+        per_frame = self.mtu_bytes - 28
+        return max(1, -(-payload_bytes // per_frame))
+
 
 @dataclass(frozen=True)
 class TransportParams:

@@ -88,6 +88,16 @@ class USocket:
         self._queue: Store = Store(self.sim)
         self._queued_bytes = 0
         self._pending_recvs = 0
+        #: set by recv_bulk while waiting for a transfer ("pregranted" /
+        #: "handshake"); lets a fast-path sender verify the receiver is
+        #: parked on this socket in the matching mode before engaging
+        self._bulk_wait_mode: Optional[str] = None
+        #: the receiver-side ack timeout recv_bulk is running with
+        self._bulk_ack_timeout: Optional[float] = None
+        #: absolute time at which recv_bulk's first_timeout expires (None
+        #: when it waits forever); the fast path refuses to engage if the
+        #: transfer would latch after this instant
+        self._bulk_wait_deadline: Optional[float] = None
         self.stats = Recorder(f"sock.{endpoint.addr}:{port}")
 
     # -- connection-style convenience -----------------------------------------
@@ -172,7 +182,10 @@ class USocket:
     def _recv_proc(self, timeout: Optional[float]):
         get = self._queue.get()
         try:
-            if timeout is None:
+            if timeout is None or get.triggered:
+                # An already-queued datagram resolves the get immediately;
+                # skip the timeout + AnyOf machinery (two events and a
+                # callback fan-in) on this hot path.
                 dgram = yield get
             else:
                 idx, value = yield AnyOf(self.sim, [get, self.sim.timeout(timeout)])

@@ -9,6 +9,7 @@ identity.
 from __future__ import annotations
 
 import heapq
+from heapq import heappop, heappush
 from typing import Any, Callable, Iterable, Optional
 
 from repro.obs.tracer import default_tracer
@@ -67,7 +68,7 @@ class Event:
     # -- triggering -------------------------------------------------------
     def succeed(self, value: Any = None) -> "Event":
         """Trigger the event successfully with ``value``."""
-        if self.triggered:
+        if self._value is not _PENDING:
             raise SimulationError(f"{self!r} already triggered")
         self._ok = True
         self._value = value
@@ -83,7 +84,7 @@ class Event:
         """
         if not isinstance(exc, BaseException):
             raise TypeError(f"fail() needs an exception, got {exc!r}")
-        if self.triggered:
+        if self._value is not _PENDING:
             raise SimulationError(f"{self!r} already triggered")
         self._ok = False
         self._value = exc
@@ -156,6 +157,25 @@ class Simulator:
         """An event firing ``delay`` seconds from now."""
         return Timeout(self, delay, value)
 
+    def at(self, when: float, value: Any = None) -> Event:
+        """An event firing at the *absolute* virtual time ``when``.
+
+        The absolute counterpart of :meth:`timeout`.  The flow-level bulk
+        fast path uses it to complete transfers at analytically computed
+        instants that are bit-identical to the packet path's event times —
+        ``timeout(when - now)`` cannot guarantee that under float rounding
+        (``now + (when - now) != when`` in general).
+        """
+        if when < self._now:
+            raise SimulationError(
+                f"at({when}) is in the past (now={self._now})")
+        evt = Event(self)
+        evt._ok = True
+        evt._value = value
+        self._counter = count = self._counter + 1
+        heappush(self._heap, (when, count, evt))
+        return evt
+
     def process(self, generator) -> "Process":
         """Start a new process from a generator; see :class:`Process`."""
         from repro.sim.process import Process
@@ -174,8 +194,8 @@ class Simulator:
 
     # -- scheduling --------------------------------------------------------
     def _enqueue(self, delay: float, event: Event) -> None:
-        self._counter += 1
-        heapq.heappush(self._heap, (self._now + delay, self._counter, event))
+        self._counter = count = self._counter + 1
+        heappush(self._heap, (self._now + delay, count, event))
 
     def peek(self) -> float:
         """Time of the next event, or ``inf`` if none are queued."""
@@ -227,11 +247,34 @@ class Simulator:
                 raise SimulationError(
                     f"run(until={horizon}) is in the past (now={self._now})")
 
+        # The dispatch loop is the simulator's hottest code: it inlines
+        # step() with the heap, pop function, tracer flags and event
+        # counter held in locals, so the common iteration costs one heap
+        # pop, one callback sweep and two attribute-free flag checks.
+        # step()/peek() remain for external single-stepping.
+        heap = self._heap
+        pop = heappop
+        tracer = self.tracer
+        kernel_trace = tracer.enabled and tracer.kernel_events
+        processed = 0
         try:
-            while self._heap and self.peek() <= horizon:
-                self.step()
+            while heap and heap[0][0] <= horizon:
+                when, _, event = pop(heap)
+                self._now = when
+                if kernel_trace:
+                    tracer.instant(self, "dispatch", "kernel",
+                                   {"event": type(event).__name__})
+                callbacks, event.callbacks = event.callbacks, None
+                for cb in callbacks:
+                    cb(event)
+                processed += 1
+                if not event._ok and not event.defused:
+                    # An unhandled failure: surface it rather than losing it.
+                    raise event._value
         except StopSimulation:
             pass
+        finally:
+            self.events_processed += processed
         if horizon != float("inf") and self._now < horizon:
             self._now = horizon
         if stop_evt is not None:

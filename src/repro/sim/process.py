@@ -86,19 +86,21 @@ class Process(Event):
     def _resume(self, event: Event) -> None:
         if not event._ok:
             event.defused = True  # this process consumes the exception
-        if self._generator is None:
+        generator = self._generator
+        if generator is None:
             return  # raced with termination (e.g. double interrupt)
         self._target = None
         sim = self.sim
         prev_active = sim.active_process
         sim.active_process = self
-        if sim.tracer.enabled and sim.tracer.kernel_events:
-            sim.tracer.instant(sim, "wakeup", "kernel", {"pid": self.pid})
+        tracer = sim.tracer
+        if tracer.enabled and tracer.kernel_events:
+            tracer.instant(sim, "wakeup", "kernel", {"pid": self.pid})
         try:
             if event._ok:
-                nxt = self._generator.send(event._value)
+                nxt = generator.send(event._value)
             else:
-                nxt = self._generator.throw(event._value)
+                nxt = generator.throw(event._value)
         except StopIteration as stop:
             self._generator = None
             self.succeed(stop.value)
@@ -110,7 +112,7 @@ class Process(Event):
         finally:
             sim.active_process = prev_active
 
-        if not isinstance(nxt, Event):
+        if nxt.__class__ is not Event and not isinstance(nxt, Event):
             self._generator = None
             self.fail(SimulationError(
                 f"process yielded a non-event: {nxt!r}"))
@@ -118,10 +120,10 @@ class Process(Event):
         if nxt.callbacks is None:
             # Already processed: redeliver its outcome on a fresh event so
             # the process resumes on the next scheduler step.
-            proxy = Event(self.sim)
+            proxy = Event(sim)
             proxy._ok = nxt._ok
             proxy._value = nxt._value
-            self.sim._enqueue(0.0, proxy)
+            sim._enqueue(0.0, proxy)
             nxt = proxy
         nxt.callbacks.append(self._resume)
         self._target = nxt
