@@ -8,12 +8,19 @@ Examples::
     python -m repro fig8 --scale 1/128 --iters 3
     python -m repro fig7 --trace-out fig7.json --metrics-out fig7-metrics.json
     python -m repro trace fig7 --out fig7.json
+    python -m repro top fig7
+    python -m repro fig7 --telemetry-out fig7.csv --events-out fig7.jsonl \\
+        --audit raise
     python -m repro all --quick
 
 ``--trace-out`` writes a Chrome trace-event JSON (load it in Perfetto or
 ``chrome://tracing``); ``--metrics-out`` dumps every Recorder's counters
 and sample summaries.  ``repro trace <exp>`` is shorthand that also
-prints the fetch-path latency breakdown.
+prints the fetch-path latency breakdown.  ``--telemetry-out`` /
+``--events-out`` sample cluster state over virtual time and record
+lifecycle events; ``--audit`` cross-checks directory/allocator/network
+invariants while the run executes; ``repro top <exp>`` renders the
+sampled series as an ASCII dashboard.  See docs/OBSERVABILITY.md.
 """
 
 from __future__ import annotations
@@ -95,6 +102,12 @@ def cmd_trace(args) -> None:
     COMMANDS[args.experiment][1](args)
 
 
+def cmd_top(args) -> None:
+    """Run one experiment with telemetry forced on; delegate to its
+    cmd_*.  The dashboard itself renders in :func:`main` afterwards."""
+    COMMANDS[args.experiment][1](args)
+
+
 COMMANDS: dict[str, tuple[str, Callable]] = {
     "fig1": ("Figure 1: cluster memory availability", cmd_fig1),
     "table1": ("Table 1: memory by use per host class", cmd_table1),
@@ -152,6 +165,7 @@ def build_parser() -> argparse.ArgumentParser:
             p.add_argument("--kernel-events", action="store_true",
                            help="include per-event kernel dispatch instants "
                                 "in the trace (verbose)")
+            _add_telemetry_args(p)
 
     tracep = sub.add_parser(
         "trace", help="run one experiment with tracing on and report "
@@ -161,8 +175,36 @@ def build_parser() -> argparse.ArgumentParser:
                         help="trace file to write (default: trace.json)")
     tracep.add_argument("--metrics-out", metavar="FILE", default=None)
     tracep.add_argument("--kernel-events", action="store_true")
+    _add_telemetry_args(tracep)
     tracep.set_defaults(func=cmd_trace, _trace_shorthand=True)
+
+    topp = sub.add_parser(
+        "top", help="run one experiment with telemetry on and render an "
+                    "ASCII dashboard of cluster memory/idleness over "
+                    "virtual time")
+    topp.add_argument("experiment", choices=_TRACEABLE)
+    _add_telemetry_args(topp)
+    topp.set_defaults(func=cmd_top, _top_shorthand=True)
     return parser
+
+
+def _add_telemetry_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--telemetry-out", metavar="FILE", default=None,
+                   help="write sampled time series as long-format CSV")
+    p.add_argument("--telemetry-json", metavar="FILE", default=None,
+                   help="write sampled time series as JSON")
+    p.add_argument("--telemetry-interval", type=float, default=1.0,
+                   metavar="SECONDS",
+                   help="virtual-time sampling period (default: 1.0)")
+    p.add_argument("--events-out", metavar="FILE", default=None,
+                   help="write the structured event log as JSONL")
+    p.add_argument("--events-level", default="info",
+                   choices=("debug", "info", "warn", "error"),
+                   help="minimum event severity recorded (default: info)")
+    p.add_argument("--audit", default="off",
+                   choices=("off", "warn", "raise"), dest="audit_mode",
+                   help="cross-check cluster invariants at sample points "
+                        "and teardown (warn: report; raise: fail the run)")
 
 
 def _finish_observability(args, tracer) -> None:
@@ -185,6 +227,28 @@ def _finish_observability(args, tracer) -> None:
               file=sys.stderr)
 
 
+def _finish_telemetry(args, telemetry, eventlog, auditor) -> None:
+    if getattr(args, "telemetry_out", None):
+        n = telemetry.write_csv(args.telemetry_out)
+        print(f"wrote {n} time-series rows to {args.telemetry_out}",
+              file=sys.stderr)
+    if getattr(args, "telemetry_json", None):
+        n = telemetry.write_json(args.telemetry_json,
+                                 meta={"command": args.command})
+        print(f"wrote {n} time series to {args.telemetry_json}",
+              file=sys.stderr)
+    if getattr(args, "events_out", None):
+        n = eventlog.write_jsonl(args.events_out)
+        print(f"wrote {n} events to {args.events_out}", file=sys.stderr)
+    if getattr(args, "_top_shorthand", False):
+        from repro.obs.dashboard import render_dashboard
+        print()
+        print(render_dashboard(telemetry, eventlog=eventlog,
+                               auditor=auditor, title=args.experiment))
+    elif auditor is not None:
+        print(auditor.format_report(), file=sys.stderr)
+
+
 def main(argv=None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -194,8 +258,9 @@ def main(argv=None) -> int:
             print(f"  {name:14s} {help_text}")
         return 0
 
-    if getattr(args, "_trace_shorthand", False):
-        # "repro trace <exp>": reuse the experiment's own arg defaults
+    if getattr(args, "_trace_shorthand", False) \
+            or getattr(args, "_top_shorthand", False):
+        # "repro trace/top <exp>": reuse the experiment's own arg defaults
         exp_parser = argparse.ArgumentParser()
         _add_experiment_args(exp_parser, args.experiment)
         for key, value in vars(exp_parser.parse_args([])).items():
@@ -204,19 +269,54 @@ def main(argv=None) -> int:
     wants_trace = bool(getattr(args, "trace_out", None)
                        or getattr(args, "metrics_out", None)
                        or getattr(args, "_trace_shorthand", False))
-    if not wants_trace:
+    wants_telemetry = bool(getattr(args, "telemetry_out", None)
+                           or getattr(args, "telemetry_json", None)
+                           or getattr(args, "events_out", None)
+                           or getattr(args, "audit_mode", "off") != "off"
+                           or getattr(args, "_top_shorthand", False))
+    if not wants_trace and not wants_telemetry:
         args.func(args)
         return 0
 
     from repro.metrics.recorder import start_collection, stop_collection
-    from repro.obs.tracer import Tracer, install
-    tracer = Tracer(kernel_events=getattr(args, "kernel_events", False))
-    previous = install(tracer)
+    tracer = telemetry = eventlog = auditor = None
+    prev_tracer = prev_telemetry = prev_eventlog = None
+    if wants_trace:
+        from repro.obs.tracer import Tracer, install
+        tracer = Tracer(kernel_events=getattr(args, "kernel_events", False))
+        prev_tracer = install(tracer)
+    if wants_telemetry:
+        from repro.core.config import ObsConfig
+        from repro.obs.audit import make_auditor
+        from repro.obs.eventlog import EventLog, install_eventlog
+        from repro.obs.timeseries import Telemetry, install_telemetry
+        obs = ObsConfig(
+            telemetry_interval_s=getattr(args, "telemetry_interval", 1.0),
+            eventlog_level=getattr(args, "events_level", "info"),
+            audit_mode=getattr(args, "audit_mode", "off"))
+        eventlog = EventLog(level=obs.eventlog_level)
+        auditor = make_auditor(obs.audit_mode, eventlog=eventlog)
+        telemetry = Telemetry(interval_s=obs.telemetry_interval_s,
+                              max_samples=obs.telemetry_max_samples,
+                              auditor=auditor, audit_every=obs.audit_every)
+        eventlog.telemetry = telemetry  # shared run numbering
+        prev_telemetry = install_telemetry(telemetry)
+        prev_eventlog = install_eventlog(eventlog)
     collected = start_collection()  # keep recorders alive for the snapshot
     try:
         args.func(args)
-        _finish_observability(args, tracer)
+        if telemetry is not None:
+            telemetry.finalize()  # may raise AuditError in --audit raise
+        if tracer is not None:
+            _finish_observability(args, tracer)
+        if telemetry is not None:
+            _finish_telemetry(args, telemetry, eventlog, auditor)
     finally:
         stop_collection(collected)
-        install(previous)
+        if wants_trace:
+            from repro.obs.tracer import install
+            install(prev_tracer)
+        if wants_telemetry:
+            install_telemetry(prev_telemetry)
+            install_eventlog(prev_eventlog)
     return 0

@@ -28,6 +28,19 @@ class IdlePolicy:
     sample_interval_s: float = 1.0
 
 
+#: numeric idleness codes recorded by the telemetry `idle_state` gauge
+IDLE_STATE_BUSY = 0
+IDLE_STATE_QUIET = 1     # quiet, accumulating toward the window
+IDLE_STATE_RECRUITED = 2
+
+
+def classify_idleness(quiet_s: float, recruited: bool) -> int:
+    """Map a monitor's incremental state to the telemetry code above."""
+    if recruited:
+        return IDLE_STATE_RECRUITED
+    return IDLE_STATE_QUIET if quiet_s > 0 else IDLE_STATE_BUSY
+
+
 def instant_quiet(ws: Workstation, policy: IdlePolicy) -> bool:
     """One sample of the predicate: console untouched this instant and
     owner load below threshold.  The five-minute persistence requirement

@@ -78,6 +78,10 @@ class Owner:
         self.ws.owner_load = p.active_load
         self.ws.mem.process += p.active_process_mem
         self.ws.stats.add("owner.sessions")
+        if self.sim.eventlog.enabled:
+            self.sim.eventlog.debug(self.sim, "owner", "owner.active",
+                                    host=self.ws.name,
+                                    duration_s=round(duration, 3))
         end = self.sim.now + duration
         while self.sim.now < end:
             self.ws.touch_console()
@@ -97,6 +101,10 @@ class Owner:
 
     def _away_period(self, duration: float):
         p = self.params
+        if self.sim.eventlog.enabled:
+            self.sim.eventlog.debug(self.sim, "owner", "owner.away",
+                                    host=self.ws.name,
+                                    duration_s=round(duration, 3))
         if self.rng.random() < p.background_job_prob:
             self.ws.owner_load = p.background_load
             self.ws.stats.add("owner.background_jobs")

@@ -93,6 +93,8 @@ class Workstation:
         self.guest_memory: int = 0
         self.crashed = False
         self.stats = Recorder(f"ws.{name}")
+        if sim.telemetry.enabled:
+            sim.telemetry.register(sim, "workstation", name, self)
 
     # -- console / load signals ------------------------------------------------
     def touch_console(self) -> None:
@@ -136,10 +138,16 @@ class Workstation:
         self.crashed = True
         self.nic.down = True
         self.stats.add("crashes")
+        if self.sim.eventlog.enabled:
+            self.sim.eventlog.warn(self.sim, "workstation", "host.crash",
+                                   host=self.name)
 
     def recover(self) -> None:
         self.crashed = False
         self.nic.down = False
+        if self.sim.eventlog.enabled:
+            self.sim.eventlog.info(self.sim, "workstation", "host.recover",
+                                   host=self.name)
 
     def endpoint(self, transport: str) -> TransportEndpoint:
         if transport == "udp":

@@ -53,6 +53,16 @@ class PoolAllocator:
             return 0.0
         return 1.0 - self.largest_free() / free
 
+    def allocated_size(self, offset: int) -> Optional[int]:
+        """Size of the live allocation starting at ``offset``, or None."""
+        raise NotImplementedError
+
+    def check(self) -> list[str]:
+        """Self-audit: return a list of internal-consistency problems
+        (empty when the allocator's books balance).  Used by the
+        invariant auditor (:mod:`repro.obs.audit`)."""
+        raise NotImplementedError
+
 
 class FirstFitAllocator(PoolAllocator):
     """First fit over an address-ordered free list, lazy coalescing.
@@ -113,6 +123,29 @@ class FirstFitAllocator(PoolAllocator):
 
     def allocated_size(self, offset: int) -> Optional[int]:
         return self._allocated.get(offset)
+
+    def check(self) -> list[str]:
+        problems = []
+        spans = sorted([(o, s, "free") for o, s in self._free]
+                       + [(o, s, "used") for o, s in self._allocated.items()])
+        if list(self._free) != sorted(self._free):
+            problems.append("free list is not address-ordered")
+        cursor = 0
+        for off, size, state in spans:
+            if size <= 0:
+                problems.append(f"{state} block at {off} has size {size}")
+            if off < cursor:
+                problems.append(f"{state} block at {off} overlaps the "
+                                f"previous block ending at {cursor}")
+            cursor = max(cursor, off + size)
+        if cursor > self.pool_size:
+            problems.append(f"blocks extend to {cursor}, past the "
+                            f"{self.pool_size}-byte pool")
+        total = sum(s for _, s, _ in spans)
+        if total != self.pool_size:
+            problems.append(f"free + allocated bytes sum to {total}, "
+                            f"expected the full {self.pool_size}-byte pool")
+        return problems
 
 
 class BuddyAllocator(PoolAllocator):
@@ -186,6 +219,39 @@ class BuddyAllocator(PoolAllocator):
     def largest_free(self) -> int:
         orders = [o for o, s in self._free_by_order.items() if s]
         return (1 << max(orders)) if orders else 0
+
+    def allocated_size(self, offset: int) -> Optional[int]:
+        order = self._allocated.get(offset)
+        return None if order is None else (1 << order)
+
+    def check(self) -> list[str]:
+        problems = []
+        spans = []
+        for order, offsets in self._free_by_order.items():
+            for off in offsets:
+                spans.append((off, 1 << order, "free"))
+                if off % (1 << order):
+                    problems.append(f"free block at {off} is not aligned "
+                                    f"to its order-{order} size")
+        for off, order in self._allocated.items():
+            spans.append((off, 1 << order, "used"))
+            if off % (1 << order):
+                problems.append(f"used block at {off} is not aligned "
+                                f"to its order-{order} size")
+        cursor = 0
+        for off, size, state in sorted(spans):
+            if off < cursor:
+                problems.append(f"{state} block at {off} overlaps the "
+                                f"previous block ending at {cursor}")
+            cursor = max(cursor, off + size)
+        if cursor > self.pool_size:
+            problems.append(f"blocks extend to {cursor}, past the "
+                            f"{self.pool_size}-byte pool")
+        total = sum(s for _, s, _ in spans)
+        if total != self.pool_size:
+            problems.append(f"free + allocated bytes sum to {total}, "
+                            f"expected the full {self.pool_size}-byte pool")
+        return problems
 
 
 def make_allocator(kind: str, pool_size: int) -> PoolAllocator:

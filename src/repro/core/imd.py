@@ -76,6 +76,11 @@ class IdleMemoryDaemon:
         self.exited = False
         self._drained = sim.event()
         self._coalescer = sim.process(self._coalesce_loop())
+        if sim.telemetry.enabled:
+            sim.telemetry.register(sim, "imd", ws.name, self)
+        if sim.eventlog.enabled:
+            sim.eventlog.info(sim, "imd", "imd.start", host=ws.name,
+                              epoch=epoch, pool_bytes=pool_bytes)
 
     # -- lifecycle -----------------------------------------------------------------
     def register(self):
@@ -132,6 +137,11 @@ class IdleMemoryDaemon:
         self.stats.add("shutdowns")
         drain = self.sim.now - start
         self.stats.sample("drain_s", drain)
+        if self.sim.eventlog.enabled:
+            self.sim.eventlog.info(
+                self.sim, "imd", "imd.exit", host=self.ws.name,
+                epoch=self.epoch, drain_s=round(drain, 6),
+                regions_left=len(self._regions))
         return drain
 
     def _coalesce_loop(self):

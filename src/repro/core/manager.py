@@ -93,6 +93,8 @@ class CentralManager:
         }, name="cmd", component="manager")
         self._server.start()
         self._keepalive = sim.process(self._keepalive_loop())
+        if sim.telemetry.enabled:
+            sim.telemetry.register(sim, "manager", "cmd", self)
 
     def stop(self) -> None:
         self._server.stop()
@@ -114,6 +116,9 @@ class CentralManager:
         host = args["host"]
         self.iwd.pop(host, None)
         self.stats.add("busy_notifications")
+        if self.sim.eventlog.enabled:
+            self.sim.eventlog.info(self.sim, "manager", "host.busy",
+                                   host=host)
         return {"ok": True}
 
     # -- client-facing handlers ----------------------------------------------------
@@ -142,6 +147,10 @@ class CentralManager:
             # stale: the hosting imd is gone or has been restarted
             del self.rd[key]
             self.stats.add("check.stale")
+            if self.sim.eventlog.enabled:
+                self.sim.eventlog.info(self.sim, "manager", "region.stale",
+                                       host=entry.struct.host,
+                                       epoch=entry.struct.epoch)
             return {"ok": False}
         self.stats.add("check.hit")
         return {"ok": True, "region": entry.struct.to_wire()}
@@ -181,9 +190,16 @@ class CentralManager:
                                       epoch=int(reply["epoch"]))
                 self.rd[key] = RdEntry(struct=struct, owner=client)
                 self.stats.add("alloc.placed")
+                if self.sim.eventlog.enabled:
+                    self.sim.eventlog.info(
+                        self.sim, "manager", "region.placed", host=pick,
+                        bytes=length, offset=struct.pool_offset)
                 return {"ok": True, "region": struct.to_wire()}
             self.stats.add("alloc.host_full")
         self.stats.add("alloc.enomem")
+        if self.sim.eventlog.enabled:
+            self.sim.eventlog.warn(self.sim, "manager", "region.enomem",
+                                   bytes=length)
         return {"ok": False, "reason": "no idle memory"}
 
     def _h_free(self, args: dict, src):
@@ -198,6 +214,10 @@ class CentralManager:
             yield from self._imd_call(
                 iwd, "free", {"region_id": entry.struct.pool_offset})
         self.stats.add("free.ok")
+        if self.sim.eventlog.enabled:
+            self.sim.eventlog.info(self.sim, "manager", "region.freed",
+                                   host=entry.struct.host,
+                                   bytes=entry.struct.length)
         return {"ok": True}
 
     def _h_client_detach(self, args: dict, src):
@@ -230,6 +250,9 @@ class CentralManager:
         except RpcTimeout:
             self.iwd.pop(iwd.host, None)
             self.stats.add("imd.dead")
+            if self.sim.eventlog.enabled:
+                self.sim.eventlog.warn(self.sim, "manager", "imd.dead",
+                                       host=iwd.host, epoch=iwd.epoch)
             return None
         finally:
             sock.close()
@@ -294,6 +317,10 @@ class CentralManager:
                         if silent >= cfg.keepalive_threshold_s:
                             self.stats.add("clients_expired")
                             self.clients.pop(cid, None)
+                            if self.sim.eventlog.enabled:
+                                self.sim.eventlog.warn(
+                                    self.sim, "manager", "client.expired",
+                                    host=state.addr, client=cid)
                             yield self.sim.process(
                                 self._drain_reclaim(cid))
                     finally:

@@ -97,6 +97,9 @@ class RegionCache:
         self._next_crd = 0
         self._local_used = 0
         self.stats = Recorder(f"regionlib.{self.ws.name}")
+        if self.sim.telemetry.enabled:
+            self.sim.telemetry.register(self.sim, "regionlib", self.ws.name,
+                                        self)
 
     # -- tracing ----------------------------------------------------------------------
     def _span(self, name: str, tags: Optional[dict] = None):
@@ -380,6 +383,11 @@ class RegionCache:
             self._drop_local(victim)
             self.policy.on_remove(victim.crd)
         finally:
+            if self.sim.eventlog.enabled:
+                self.sim.eventlog.debug(
+                    self.sim, "regionlib",
+                    "region.migrate" if cloned else "region.evict",
+                    host=self.ws.name, crd=victim.crd, bytes=victim.length)
             self._end_span(span, {"cloned": cloned})
 
     def _clone_remote(self, region: CRegion):

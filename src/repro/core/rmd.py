@@ -24,7 +24,7 @@ from typing import Optional
 
 from repro.core.config import CMD_PORT, DodoConfig
 from repro.core.imd import IdleMemoryDaemon
-from repro.cluster.idleness import instant_quiet
+from repro.cluster.idleness import classify_idleness, instant_quiet
 from repro.cluster.workstation import Workstation
 from repro.metrics.recorder import Recorder
 from repro.net.rpc import RpcClient, RpcTimeout
@@ -54,10 +54,16 @@ class ResourceMonitor:
         self.stats = Recorder(f"rmd.{ws.name}")
         self.endpoint = ws.endpoint(config.transport)
         self.proc = sim.process(self._run())
+        if sim.telemetry.enabled:
+            sim.telemetry.register(sim, "rmd", ws.name, self)
 
     def stop(self) -> None:
         if self.proc.is_alive:
             self.proc.interrupt("rmd-stop")
+
+    def idle_state(self) -> int:
+        """Telemetry gauge: 0 busy, 1 quiet-accumulating, 2 recruited."""
+        return classify_idleness(self._quiet_s, self.recruited)
 
     # -- main loop ------------------------------------------------------------------
     def _run(self):
@@ -127,6 +133,10 @@ class ResourceMonitor:
         yield self.imd.register()
         self.recruited = True
         self.stats.add("recruits")
+        if self.sim.eventlog.enabled:
+            self.sim.eventlog.info(
+                self.sim, "rmd", "node.recruited", host=self.ws.name,
+                epoch=self.epoch, pool_bytes=self.imd.pool_bytes)
         tracer.end(self.sim, span, {"epoch": self.epoch})
 
     def _reclaim(self):
@@ -146,6 +156,10 @@ class ResourceMonitor:
         delay = self.sim.now - start
         self.stats.add("reclaims")
         self.stats.sample("reclaim_delay_s", delay)
+        if self.sim.eventlog.enabled:
+            self.sim.eventlog.info(
+                self.sim, "rmd", "node.reclaimed", host=self.ws.name,
+                epoch=self.epoch, delay_s=round(delay, 6))
         tracer.end(self.sim, span, {"delay_s": delay})
 
     def _notify_busy(self):

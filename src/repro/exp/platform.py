@@ -120,6 +120,27 @@ class Platform:
     def remote_pool_total(self) -> int:
         return self.params.imd_pool_bytes * self.params.n_memory_hosts
 
+    def audit(self, auditor=None, teardown: bool = True):
+        """Run the invariant auditor over this platform's components.
+
+        Works with or without an installed telemetry engine — the
+        component list is built from the platform's own objects — so
+        tests can cross-check a cluster without any global state.
+        Returns the findings of this pass.
+        """
+        from repro.obs.audit import Auditor
+        auditor = auditor or Auditor(mode="warn")
+        components = [("workstation", ws.name, ws)
+                      for ws in self.cluster.workstations.values()]
+        components += [("nic", ws.name, ws.nic)
+                       for ws in self.cluster.workstations.values()]
+        components.append(("network", "network", self.cluster.network))
+        if self.cmd is not None:
+            components.append(("manager", "cmd", self.cmd))
+        components += [("imd", imd.ws.name, imd) for imd in self.imds]
+        return auditor.audit_components(self.sim, components,
+                                        teardown=teardown)
+
     def runtime(self) -> DodoRuntime:
         """A fresh libdodo instance on the app node."""
         if not self.dodo_enabled:

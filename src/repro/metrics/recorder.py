@@ -76,6 +76,21 @@ class Recorder:
     def counters(self) -> dict[str, float]:
         return dict(self._counters)
 
+    # -- series enumeration (the exporters' API) ----------------------------
+    def counter_names(self) -> list[str]:
+        """Registered counter keys, in first-increment order."""
+        return list(self._counters)
+
+    def sample_names(self) -> list[str]:
+        """Registered sample keys, in first-observation order."""
+        return list(self._samples)
+
+    def names(self) -> list[str]:
+        """All registered series keys: counters, then samples."""
+        seen = dict.fromkeys(self._counters)
+        seen.update(dict.fromkeys(self._samples))
+        return list(seen)
+
     # -- samples --------------------------------------------------------------
     def sample(self, key: str, value: float) -> None:
         """Append one observation to the sample list for ``key``."""

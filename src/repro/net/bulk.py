@@ -356,6 +356,9 @@ def _send_bulk_fast(sock, dst, size, data, params, xfer, plan, dst_sock,
     abort = net.fast_arm(token)
     net.stats.add("fastpath.transfers")
     net.stats.add("fastpath.bytes", size)
+    if sim.eventlog.enabled:
+        sim.eventlog.debug(sim, "net", "fastpath.engage", host=ep.addr,
+                           dst=dst[0], bytes=size)
     # data-plane parity for the socket counters (control messages and
     # per-frame network counters are not simulated on the fast path)
     sock.stats.add("tx.datagrams", plan.nchunks)
@@ -467,6 +470,10 @@ def _send_bulk(sock, dst, size, data, params, window, xfer, chunk_size,
                     token)
                 return result
             net.stats.add("fastpath.fallbacks")
+            if sim.eventlog.enabled:
+                sim.eventlog.debug(sim, "net", "fastpath.fallback",
+                                   host=sock.endpoint.addr, dst=dst[0],
+                                   bytes=size)
         result = yield from _send_bulk_packet(
             sock, dst, size, data, params, window, xfer, chunk_size,
             nchunks)

@@ -55,6 +55,8 @@ class Network:
         #: in-flight bulk transfers, for fast-path contention clearance
         self._bulk_tokens: list[BulkToken] = []
         self._bulk_counts: dict[str, int] = {}
+        if sim.telemetry.enabled:
+            sim.telemetry.register(sim, "network", "network", self)
 
     def attach(self, nic: NIC) -> None:
         if nic.addr in self._nics:

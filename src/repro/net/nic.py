@@ -35,6 +35,8 @@ class NIC:
         #: back-reference set by :meth:`Network.attach`
         self.network: Optional["Network"] = None
         self.stats = Recorder(f"nic.{addr}")
+        if sim.telemetry.enabled:
+            sim.telemetry.register(sim, "nic", addr, self)
 
     @property
     def down(self) -> bool:
@@ -46,6 +48,10 @@ class NIC:
         value = bool(value)
         was = self._down
         self._down = value
+        if value != was and self.sim.eventlog.enabled:
+            self.sim.eventlog.warn(self.sim, "nic",
+                                   "nic.down" if value else "nic.up",
+                                   host=self.addr)
         if value and not was and self.network is not None:
             # fast-path transfers in flight across this host must notice
             # the failure they would otherwise never observe on the wire

@@ -68,6 +68,9 @@ class RpcClient:
             # handler span becomes this span's child (pure metadata: the
             # charged wire size does not depend on the payload dict)
             request["trace"] = span.span_id
+        telemetry = self.sim.telemetry
+        if telemetry.enabled:
+            telemetry.rpc_begin(self.sim)
         try:
             for _attempt in range(retries):
                 self.stats.add("calls.sent")
@@ -103,6 +106,8 @@ class RpcClient:
             raise RpcTimeout(
                 f"{method} to {dst}: no reply after {retries} tries")
         finally:
+            if telemetry.enabled:
+                telemetry.rpc_end(self.sim)
             tracer.end(self.sim, span)
 
 

@@ -1,0 +1,176 @@
+"""``repro top``: an ASCII dashboard over one experiment's telemetry.
+
+Renders the paper-figure-shaped view of a run — cluster donated/hosted
+memory and idle-host count over virtual time — plus per-host donation
+sparklines, cache/disk/network activity, and the tail of the structured
+event log.  Everything is built from :mod:`repro.metrics.ascii` blocks,
+so it needs no plotting dependency and works in any terminal.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.metrics.ascii import line_chart, sparkline
+from repro.obs.timeseries import GaugeSeries, RunTelemetry, Telemetry
+
+MB = 1024 * 1024
+
+#: widest chart/sparkline drawn
+WIDTH = 72
+#: how many per-host sparkline rows before eliding
+MAX_HOST_ROWS = 12
+
+
+def _fmt_bytes(n: float) -> str:
+    if n >= 1024 * MB:
+        return f"{n / (1024 * MB):.1f}G"
+    if n >= MB:
+        return f"{n / MB:.1f}M"
+    if n >= 1024:
+        return f"{n / 1024:.1f}K"
+    return f"{n:.0f}B"
+
+
+def _rate_per_s(series: GaugeSeries) -> list[float]:
+    """Per-sample rate of change of a monotone counter series."""
+    rates = []
+    for i in range(1, len(series.times)):
+        dt = series.times[i] - series.times[i - 1]
+        dv = series.values[i] - series.values[i - 1]
+        rates.append(dv / dt if dt > 0 else 0.0)
+    return rates or [0.0]
+
+
+def _spark_row(label: str, values, suffix: str = "") -> str:
+    return f"  {label:<18s} {sparkline(values, WIDTH - 22)} {suffix}".rstrip()
+
+
+def pick_run(telemetry: Telemetry) -> Optional[RunTelemetry]:
+    """The most interesting run: most samples, cluster series present.
+
+    Experiments build several platforms (calibration, baselines,
+    per-transport); the dashboard shows the richest one rather than all
+    of them, and a run where memory was actually donated (a Dodo run)
+    always beats a longer baseline run where nothing was.
+    """
+    best, best_score = None, -1.0
+    for run in telemetry.runs():
+        donated = run.get("cluster", "cluster", "donated_bytes")
+        if donated is None or not len(donated):
+            continue
+        score = run.samples * 1000.0 + len(run.components)
+        if donated.maximum() > 0:
+            score += 1e12
+        if score > best_score:
+            best, best_score = run, score
+    return best
+
+
+def render_run(run: RunTelemetry, eventlog=None, events: int = 10) -> str:
+    """The dashboard body for one run."""
+    out: list[str] = []
+    donated = run.get("cluster", "cluster", "donated_bytes")
+    hosted = run.get("cluster", "cluster", "hosted_bytes")
+    idle = run.get("cluster", "cluster", "idle_hosts")
+    regions = run.get("cluster", "cluster", "hosted_regions")
+    out.append(f"run {run.run_id} · {run.duration_s():.1f}s virtual · "
+               f"{run.samples} samples @ {run.interval_s:g}s · "
+               f"{len(run.components)} components")
+    out.append("")
+    if donated is not None and len(donated):
+        out.append(line_chart(
+            [v / MB for v in donated.values], width=WIDTH, height=8,
+            title=f"cluster donated memory (MB) — "
+                  f"peak {_fmt_bytes(donated.maximum())}",
+            ylabel_fmt="{:.0f}"))
+        out.append("")
+    if hosted is not None and len(hosted):
+        out.append(_spark_row(
+            "hosted bytes", hosted.values,
+            f"(peak {_fmt_bytes(hosted.maximum())})"))
+    if regions is not None and len(regions):
+        out.append(_spark_row(
+            "hosted regions", regions.values,
+            f"(peak {regions.maximum():.0f})"))
+    if idle is not None and len(idle):
+        out.append(_spark_row(
+            "idle hosts", idle.values,
+            f"(min {idle.minimum():.0f}, max {idle.maximum():.0f})"))
+    rpc = run.get("rpc", "rpc", "outstanding")
+    if rpc is not None and len(rpc):
+        out.append(_spark_row("rpc outstanding", rpc.values,
+                              f"(peak {rpc.maximum():.0f})"))
+    out.append("")
+
+    host_rows = []
+    for name, _obj in run.objects("workstation"):
+        guest = run.get("workstation", name, "mem.guest_bytes")
+        if guest is not None and len(guest) and guest.maximum() > 0:
+            host_rows.append(_spark_row(
+                name, guest.values, f"(peak {_fmt_bytes(guest.maximum())})"))
+    if host_rows:
+        out.append("per-host donated memory:")
+        out.extend(host_rows[:MAX_HOST_ROWS])
+        if len(host_rows) > MAX_HOST_ROWS:
+            out.append(f"  … {len(host_rows) - MAX_HOST_ROWS} more hosts")
+        out.append("")
+
+    activity = []
+    for name, _obj in run.objects("pagecache"):
+        ratio = run.get("pagecache", name, "hit_ratio")
+        if ratio is not None and len(ratio):
+            activity.append(_spark_row(
+                f"{name} hit%", [v * 100 for v in ratio.values],
+                f"(now {ratio.last() * 100:.0f}%)"))
+    for name, _obj in run.objects("disk"):
+        reads = run.get("disk", name, "read.bytes")
+        if reads is not None and len(reads) > 1:
+            rates = _rate_per_s(reads)
+            activity.append(_spark_row(
+                f"{name} read", [r / MB for r in rates],
+                f"(peak {max(rates) / MB:.1f} MB/s)"))
+    for name, _obj in run.objects("network"):
+        tx = run.get("network", name, "tx.bytes")
+        if tx is not None and len(tx) > 1:
+            rates = _rate_per_s(tx)
+            activity.append(_spark_row(
+                f"{name} tx", [r / MB for r in rates],
+                f"(peak {max(rates) / MB:.1f} MB/s)"))
+    if activity:
+        out.append("cache / disk / network:")
+        out.extend(activity)
+        out.append("")
+
+    if eventlog is not None and eventlog.enabled:
+        tail = [e for e in eventlog.events if e.run == run.run_id]
+        if tail:
+            out.append(f"events ({len(tail)} recorded, last {events}):")
+            for e in tail[-events:]:
+                extras = " ".join(f"{k}={v}" for k, v in e.fields.items())
+                host = f" {e.host}" if e.host else ""
+                out.append(f"  [{e.time:10.3f}] {e.level:5s} "
+                           f"{e.component}/{e.event}{host}"
+                           + (f" {extras}" if extras else ""))
+            out.append("")
+    return "\n".join(out).rstrip() + "\n"
+
+
+def render_dashboard(telemetry: Telemetry, eventlog=None, auditor=None,
+                     title: str = "", events: int = 10) -> str:
+    """Full ``repro top`` output: header, richest run, audit verdict."""
+    out: list[str] = []
+    bar = "=" * WIDTH
+    out.append(bar)
+    out.append(f"repro top — {title or 'telemetry'} "
+               f"({len(telemetry.runs())} run(s))")
+    out.append(bar)
+    run = pick_run(telemetry)
+    if run is None:
+        out.append("no cluster telemetry recorded "
+                   "(no components registered a sampler)")
+    else:
+        out.append(render_run(run, eventlog=eventlog, events=events))
+    if auditor is not None and auditor.enabled:
+        out.append(auditor.format_report())
+    return "\n".join(out).rstrip() + "\n"

@@ -18,6 +18,7 @@ from __future__ import annotations
 import json
 from typing import IO
 
+from repro.obs.files import atomic_write
 from repro.obs.tracer import Tracer
 
 
@@ -74,6 +75,6 @@ def dump_chrome_trace(tracer: Tracer, fp: IO[str]) -> None:
 def write_chrome_trace(tracer: Tracer, path: str) -> int:
     """Write the trace to ``path``; returns the number of events."""
     obj = chrome_trace(tracer)
-    with open(path, "w") as fp:
+    with atomic_write(path) as fp:
         json.dump(obj, fp, sort_keys=True, separators=(",", ":"))
     return len(obj["traceEvents"])

@@ -1,0 +1,46 @@
+"""Atomic file writes for every observability output.
+
+Traces, metrics snapshots, time-series CSVs and event logs are consumed
+by downstream tooling (CI checks, diffing, plotting).  A run interrupted
+mid-write must never leave a truncated JSON/CSV behind that a consumer
+half-parses: all writers therefore stream into a temporary file in the
+target directory and ``os.replace`` it into place only once the content
+is complete — on any error the temporary file is removed and the old
+file (if any) survives untouched.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from contextlib import contextmanager
+from typing import IO, Iterator
+
+
+@contextmanager
+def atomic_write(path: str) -> Iterator[IO[str]]:
+    """Open a text stream that becomes ``path`` only on clean completion.
+
+    Usage::
+
+        with atomic_write("out.json") as fp:
+            json.dump(obj, fp)
+
+    The temporary file lives in the same directory as ``path`` so the
+    final ``os.replace`` is a same-filesystem rename (atomic on POSIX).
+    """
+    directory = os.path.dirname(os.path.abspath(path)) or "."
+    fd, tmp = tempfile.mkstemp(
+        prefix=os.path.basename(path) + ".", suffix=".tmp", dir=directory)
+    try:
+        with os.fdopen(fd, "w") as fp:
+            yield fp
+            fp.flush()
+            os.fsync(fp.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise

@@ -27,6 +27,7 @@ import re
 from typing import IO, Iterable, Optional
 
 from repro.metrics.recorder import Recorder, iter_recorders
+from repro.obs.files import atomic_write
 
 #: sample quantiles included in every snapshot
 QUANTILES = (0.5, 0.9, 0.99)
@@ -71,9 +72,9 @@ def merged_snapshot(recs: Iterable[Recorder]) -> dict:
     n = 0
     for rec in recs:
         n += 1
-        for key, val in rec.counters.items():
-            counters[key] = counters.get(key, 0.0) + val
-        for key in rec._samples:
+        for key in rec.counter_names():
+            counters[key] = counters.get(key, 0.0) + rec.count(key)
+        for key in rec.sample_names():
             pooled.setdefault(key, []).extend(rec.samples(key))
     return {
         "instances": n,
@@ -106,7 +107,7 @@ def dump_snapshot(fp: IO[str], meta: Optional[dict] = None) -> None:
 def write_snapshot(path: str, meta: Optional[dict] = None) -> int:
     """Write a snapshot to ``path``; returns the recorder-group count."""
     snap = snapshot(meta)
-    with open(path, "w") as fp:
+    with atomic_write(path) as fp:
         json.dump(snap, fp, sort_keys=True, indent=1)
         fp.write("\n")
     return len(snap["recorders"])

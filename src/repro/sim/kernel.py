@@ -12,6 +12,8 @@ import heapq
 from heapq import heappop, heappush
 from typing import Any, Callable, Iterable, Optional
 
+from repro.obs.eventlog import default_eventlog
+from repro.obs.timeseries import default_telemetry
 from repro.obs.tracer import default_tracer
 from repro.sim.errors import SimulationError, StopSimulation
 from repro.sim.rng import RngRegistry
@@ -134,6 +136,10 @@ class Simulator:
         #: was installed (repro.obs.install) before this sim was built.
         #: Instrumentation guards every use with ``tracer.enabled``.
         self.tracer = default_tracer()
+        #: the telemetry engine and event log, same install pattern as
+        #: the tracer (NULL_* unless opted in before construction)
+        self.telemetry = default_telemetry()
+        self.eventlog = default_eventlog()
         #: the process currently being resumed (tracks span ownership)
         self.active_process = None
         self._pid_counter: int = 0

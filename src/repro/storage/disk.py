@@ -71,6 +71,8 @@ class Disk:
         self._head: int = 0           # current head byte position
         self._last_end: int = -1      # end of last transfer, for streaming
         self.stats = Recorder(name)
+        if sim.telemetry.enabled:
+            sim.telemetry.register(sim, "disk", name, self)
 
     # -- timing model ---------------------------------------------------------
     def seek_time(self, distance: int, write: bool) -> float:

@@ -115,6 +115,10 @@ class FileSystem:
         self._gap_rng = sim.rng(f"{name}.layout")
         self._scatter_slots: set[int] = set()  # extent slots already used
         self.stats = Recorder(name)
+        if sim.telemetry.enabled:
+            # the cache has no sim reference; its owner registers it
+            sim.telemetry.register(sim, "pagecache", f"{name}.cache",
+                                   self.cache)
 
     # -- namespace ----------------------------------------------------------------
     def create(self, name: str, size: int = 0) -> File:

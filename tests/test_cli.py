@@ -100,3 +100,61 @@ def test_untraced_run_leaves_default_tracer(capsys):
     assert main(["table1", "--days", "0.25"]) == 0
     capsys.readouterr()
     assert default_tracer() is NULL_TRACER
+
+
+# -- telemetry / event log / audit options ------------------------------------
+
+def test_parser_accepts_telemetry_flags():
+    parser = build_parser()
+    args = parser.parse_args(["fig8", "--telemetry-out", "t.csv",
+                              "--telemetry-interval", "0.5",
+                              "--events-out", "e.jsonl",
+                              "--events-level", "debug",
+                              "--audit", "raise"])
+    assert args.telemetry_out == "t.csv"
+    assert args.telemetry_interval == 0.5
+    assert args.events_out == "e.jsonl"
+    assert args.events_level == "debug"
+    assert args.audit_mode == "raise"
+    # default: all disabled
+    args = parser.parse_args(["fig8"])
+    assert args.telemetry_out is None and args.events_out is None
+    assert args.audit_mode == "off"
+
+
+def test_parser_accepts_top_shorthand():
+    parser = build_parser()
+    args = parser.parse_args(["top", "disk"])
+    assert args.command == "top"
+    assert args.experiment == "disk"
+    with pytest.raises(SystemExit):
+        parser.parse_args(["top", "all"])  # shells out: cannot sample
+
+
+def test_telemetered_run_writes_csv_events_and_audits(tmp_path, capsys):
+    csv_path = tmp_path / "t.csv"
+    events_path = tmp_path / "e.jsonl"
+    assert main(["disk", "--telemetry-out", str(csv_path),
+                 "--events-out", str(events_path), "--audit", "raise"]) == 0
+    err = capsys.readouterr().err
+    assert "time-series rows" in err
+    assert "no inconsistencies" in err
+    lines = csv_path.read_text().splitlines()
+    assert lines[0] == "run,time,kind,name,gauge,unit,value"
+    assert any(",disk," in line for line in lines[1:])
+    assert events_path.exists()
+
+
+def test_top_renders_dashboard(capsys):
+    assert main(["top", "disk"]) == 0
+    out = capsys.readouterr().out
+    assert "samples @" in out  # the dashboard header rendered
+
+
+def test_untelemetered_run_leaves_default_telemetry(capsys):
+    from repro.obs.eventlog import NULL_EVENTLOG, default_eventlog
+    from repro.obs.timeseries import NULL_TELEMETRY, default_telemetry
+    assert main(["table1", "--days", "0.25"]) == 0
+    capsys.readouterr()
+    assert default_telemetry() is NULL_TELEMETRY
+    assert default_eventlog() is NULL_EVENTLOG

@@ -93,6 +93,24 @@ def test_recorder_histogram_degenerate_inputs():
         r.histogram("flat", bins=[1.0])  # fewer than two edges
 
 
+def test_recorder_names_enumerate_in_first_use_order():
+    r = Recorder()
+    r.add("tx.bytes", 10)
+    r.sample("latency", 0.5)
+    r.add("rx.bytes")
+    r.sample("latency", 0.7)  # repeat: no duplicate name
+    assert r.counter_names() == ["tx.bytes", "rx.bytes"]
+    assert r.sample_names() == ["latency"]
+    assert r.names() == ["tx.bytes", "rx.bytes", "latency"]
+
+
+def test_recorder_names_empty():
+    r = Recorder()
+    assert r.counter_names() == []
+    assert r.sample_names() == []
+    assert r.names() == []
+
+
 def test_recorder_clear():
     r = Recorder()
     r.add("a")
