@@ -11,6 +11,8 @@ Examples::
     python -m repro top fig7
     python -m repro fig7 --telemetry-out fig7.csv --events-out fig7.jsonl \\
         --audit raise
+    python -m repro chaos fig7 --seed 3 --plan-out plan.json
+    python -m repro chaos fig7 --plan-in plan.json --events-out chaos.jsonl
     python -m repro all --quick
 
 ``--trace-out`` writes a Chrome trace-event JSON (load it in Perfetto or
@@ -21,6 +23,11 @@ prints the fetch-path latency breakdown.  ``--telemetry-out`` /
 lifecycle events; ``--audit`` cross-checks directory/allocator/network
 invariants while the run executes; ``repro top <exp>`` renders the
 sampled series as an ASCII dashboard.  See docs/OBSERVABILITY.md.
+
+``repro chaos <exp>`` runs a scaled-down experiment under a
+seed-deterministic nemesis fault schedule with the invariant auditor in
+``raise`` mode; ``--plan-out`` saves the schedule as JSON, ``--plan-in``
+replays a saved one bit-for-bit.  See docs/TESTING.md.
 """
 
 from __future__ import annotations
@@ -88,6 +95,22 @@ def cmd_ablations(args) -> None:
     print(ab.format_pregrant_ablation(ab.run_pregrant_ablation()))
 
 
+def cmd_chaos(args) -> None:
+    from repro.faults.chaos import format_chaos, run_chaos
+    from repro.faults.plan import FaultPlan
+    plan = FaultPlan.read(args.plan_in) if args.plan_in else None
+    run = run_chaos(args.experiment, seed=args.seed, plan=plan,
+                    audit=args.chaos_audit, horizon_s=args.horizon)
+    print(format_chaos(run))
+    if args.plan_out:
+        run["plan"].write(args.plan_out)
+        print(f"wrote {len(run['plan'])}-event fault plan to "
+              f"{args.plan_out}", file=sys.stderr)
+    if args.events_out:
+        n = run["eventlog"].write_jsonl(args.events_out)
+        print(f"wrote {n} events to {args.events_out}", file=sys.stderr)
+
+
 def cmd_all(args) -> None:
     import subprocess
     cmd = [sys.executable, "examples/reproduce_paper.py"]
@@ -117,6 +140,8 @@ COMMANDS: dict[str, tuple[str, Callable]] = {
     "fig8": ("Figure 8: synthetic benchmark panels", cmd_fig8),
     "nondedicated": ("Section 5.3.1 desktop-cluster run", cmd_nondedicated),
     "ablations": ("design-choice ablations", cmd_ablations),
+    "chaos": ("nemesis fault-injection run with invariant auditing",
+              cmd_chaos),
     "all": ("everything (examples/reproduce_paper.py)", cmd_all),
 }
 
@@ -142,6 +167,28 @@ def _add_experiment_args(p: argparse.ArgumentParser, name: str) -> None:
         p.add_argument("--scale", type=_scale, default=1 / 128)
     if name == "all":
         p.add_argument("--quick", action="store_true")
+    if name == "chaos":
+        from repro.faults.chaos import EXPERIMENTS
+        p.add_argument("experiment", choices=sorted(EXPERIMENTS),
+                       help="which scenario the nemesis torments")
+        p.add_argument("--seed", type=int, default=0,
+                       help="drives both the fault schedule and the "
+                            "simulator (default: 0)")
+        p.add_argument("--plan-in", metavar="FILE", default=None,
+                       help="replay a previously exported fault plan "
+                            "(its embedded seed takes precedence)")
+        p.add_argument("--plan-out", metavar="FILE", default=None,
+                       help="export the executed fault plan as JSON")
+        p.add_argument("--events-out", metavar="FILE", default=None,
+                       help="write the run's structured event log as JSONL")
+        p.add_argument("--horizon", type=float, default=20.0,
+                       metavar="SECONDS",
+                       help="virtual-time window faults are scheduled in "
+                            "(default: 20)")
+        p.add_argument("--audit", default="raise", dest="chaos_audit",
+                       choices=("off", "warn", "raise"),
+                       help="invariant-audit mode after every injection, "
+                            "heal, and at teardown (default: raise)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -265,6 +312,12 @@ def main(argv=None) -> int:
         _add_experiment_args(exp_parser, args.experiment)
         for key, value in vars(exp_parser.parse_args([])).items():
             setattr(args, key, value)
+
+    if args.command == "chaos":
+        # chaos manages its own event log and auditor (they must wrap
+        # only the chaos simulation, not the CLI plumbing)
+        args.func(args)
+        return 0
 
     wants_trace = bool(getattr(args, "trace_out", None)
                        or getattr(args, "metrics_out", None)

@@ -92,6 +92,11 @@ class Workstation:
         #: guest memory currently pinned by an idle memory daemon
         self.guest_memory: int = 0
         self.crashed = False
+        #: callbacks invoked synchronously by :meth:`crash` — daemons
+        #: whose process dies with the host (the imd) register here so a
+        #: power failure kills them instantly instead of leaving zombie
+        #: state behind (stale pools, pinned guest memory)
+        self._crash_listeners: list = []
         self.stats = Recorder(f"ws.{name}")
         if sim.telemetry.enabled:
             sim.telemetry.register(sim, "workstation", name, self)
@@ -133,14 +138,21 @@ class Workstation:
         return max(0, self.available_memory() - headroom)
 
     # -- failure injection ----------------------------------------------------------
+    def on_crash(self, fn) -> None:
+        """Register a callback to run when this host power-fails."""
+        self._crash_listeners.append(fn)
+
     def crash(self) -> None:
-        """Power-fail the host: drops all network traffic immediately."""
+        """Power-fail the host: drops all network traffic immediately and
+        kills every process registered via :meth:`on_crash`."""
         self.crashed = True
         self.nic.down = True
         self.stats.add("crashes")
         if self.sim.eventlog.enabled:
             self.sim.eventlog.warn(self.sim, "workstation", "host.crash",
                                    host=self.name)
+        for fn in list(self._crash_listeners):
+            fn()
 
     def recover(self) -> None:
         self.crashed = False

@@ -71,6 +71,13 @@ class DodoConfig:
     #: manager->imd probing is less patient: a dead host must not eat the
     #: whole client window before the manager tries the next candidate
     imd_rpc_retries: int = 2
+    #: exponential backoff base between RPC retries (0 = fixed-interval
+    #: retries, the paper's behavior; chaos runs enable it so retry storms
+    #: do not hammer restarting daemons)
+    rpc_backoff_s: float = 0.0
+    #: jitter fraction stretching each backoff (drawn from the seeded
+    #: ``rpc.backoff`` stream; only used when ``rpc_backoff_s`` > 0)
+    rpc_backoff_jitter: float = 0.25
 
     # -- idle memory daemon ---------------------------------------------------------
     #: cap on the pool an imd will pin on one host (the evaluation used
@@ -83,6 +90,12 @@ class DodoConfig:
     coalesce_interval_s: float = 30.0
     #: receive buffer (and thus bulk window) for data transfers
     data_recvbuf_bytes: int = 256 * 1024
+    #: imd re-registration heartbeat: > 0 makes each imd periodically
+    #: re-announce itself to the central manager, which repopulates the
+    #: IWD after a manager restart (detected via the incarnation counter
+    #: in the reply).  0 disables it — registration happens once, the
+    #: paper's behavior on a manager that never restarts.
+    imd_reregister_s: float = 0.0
 
     # -- resource monitor ---------------------------------------------------------
     idle_policy: IdlePolicy = field(default_factory=IdlePolicy)

@@ -74,8 +74,18 @@ class IdleMemoryDaemon:
         self.active_transfers = 0
         self.stopping = False
         self.exited = False
+        #: True when the daemon died with its host (power failure) rather
+        #: than exiting gracefully — the auditor tolerates directory
+        #: entries still pointing at a killed incarnation, because the
+        #: manager only discovers the death lazily (RPC timeout)
+        self.killed = False
+        #: the manager incarnation we last registered with
+        self._cmd_incarnation: Optional[int] = None
         self._drained = sim.event()
         self._coalescer = sim.process(self._coalesce_loop())
+        self._reregister = sim.process(self._reregister_loop()) \
+            if config.imd_reregister_s > 0 else None
+        ws.on_crash(self._on_host_crash)
         if sim.telemetry.enabled:
             sim.telemetry.register(sim, "imd", ws.name, self)
         if sim.eventlog.enabled:
@@ -93,19 +103,59 @@ class IdleMemoryDaemon:
         sock = self.endpoint.socket()
         client = RpcClient(sock)
         try:
-            yield from client.call(
+            reply = yield from client.call(
                 (self.cmd_host, CMD_PORT), "imd_register",
                 {"host": self.ws.name, "pool_bytes": self.pool_bytes,
                  "epoch": self.epoch, "port": self.control_port,
                  "largest_free": self.allocator.largest_free()},
                 timeout=self.config.rpc_timeout_s,
-                retries=self.config.rpc_retries)
-            return True
+                retries=self.config.rpc_retries,
+                backoff_s=self.config.rpc_backoff_s,
+                backoff_jitter=self.config.rpc_backoff_jitter)
         except RpcTimeout:
             self.stats.add("register_failures")
             return False
         finally:
             sock.close()
+        inc = reply.get("incarnation") if isinstance(reply, dict) else None
+        if inc is not None:
+            if self._cmd_incarnation is not None \
+                    and inc != self._cmd_incarnation:
+                # A different manager answered: its region directory never
+                # heard of our regions, so they are unreachable garbage.
+                # Drop them — clients rediscover via check_alloc misses
+                # and fail over to disk in the meantime.
+                self._drop_all_regions()
+            self._cmd_incarnation = inc
+        return True
+
+    def _drop_all_regions(self) -> None:
+        dropped = len(self._regions)
+        for offset in list(self._regions):
+            self.allocator.free(offset)
+            del self._regions[offset]
+        if dropped:
+            self.stats.add("regions_dropped", dropped)
+        if self.sim.eventlog.enabled:
+            self.sim.eventlog.warn(
+                self.sim, "imd", "imd.reset", host=self.ws.name,
+                epoch=self.epoch, regions_dropped=dropped)
+
+    def _reregister_loop(self):
+        """Heartbeat: periodically re-announce to the central manager so a
+        restarted manager's empty IWD repopulates (opt-in via
+        ``imd_reregister_s``)."""
+        from repro.sim import Interrupt
+        try:
+            while True:
+                yield self.sim.timeout(self.config.imd_reregister_s)
+                if self.exited:
+                    return
+                if self.ws.crashed or self.stopping:
+                    continue
+                yield from self._register()
+        except Interrupt:
+            return
 
     def shutdown(self):
         """Process: graceful exit — finish in-flight transfers, release.
@@ -131,6 +181,8 @@ class IdleMemoryDaemon:
         self._server.stop()
         if self._coalescer.is_alive:
             self._coalescer.interrupt("imd-exit")
+        if self._reregister is not None and self._reregister.is_alive:
+            self._reregister.interrupt("imd-exit")
         self.ws.guest_memory -= self.pool_bytes
         self.pool = None
         self.exited = True
@@ -152,6 +204,30 @@ class IdleMemoryDaemon:
                 self.allocator.coalesce()
         except Interrupt:
             return
+
+    def _on_host_crash(self) -> None:
+        """The host power-failed: the daemon process dies with it — no
+        drain, no busy notification, in-flight transfers torn down.  The
+        pinned pool vanishes with the OS, so guest-memory accounting is
+        released immediately rather than lingering until keep-alive
+        expiry (the manager still only learns via its next RPC timeout)."""
+        if self.exited:
+            return
+        self.stopping = True
+        self.killed = True
+        self._server.stop()
+        if self._coalescer.is_alive:
+            self._coalescer.interrupt("host-crash")
+        if self._reregister is not None and self._reregister.is_alive:
+            self._reregister.interrupt("host-crash")
+        self.ws.guest_memory -= self.pool_bytes
+        self.pool = None
+        self.exited = True
+        self.stats.add("hard_kills")
+        if self.sim.eventlog.enabled:
+            self.sim.eventlog.warn(
+                self.sim, "imd", "imd.killed", host=self.ws.name,
+                epoch=self.epoch, regions_lost=len(self._regions))
 
     # -- bookkeeping helpers ----------------------------------------------------------
     def _piggyback(self, reply: dict) -> dict:

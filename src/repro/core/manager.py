@@ -72,10 +72,15 @@ class CentralManager:
     """The cmd process and its directories."""
 
     def __init__(self, sim: Simulator, ws: Workstation, config: DodoConfig,
-                 port: int = CMD_PORT):
+                 port: int = CMD_PORT, incarnation: int = 1):
         self.sim = sim
         self.ws = ws
         self.config = config
+        #: restart counter: a manager brought back after a crash carries a
+        #: higher incarnation, and every client-facing reply and keep-alive
+        #: echo is stamped with it so peers can detect the restart and
+        #: re-register (directories are in-memory and die with the cmd)
+        self.incarnation = incarnation
         self.iwd: dict[str, IwdEntry] = {}
         self.rd: dict[RegionKey, RdEntry] = {}
         self.clients: dict[str, ClientState] = {}
@@ -90,6 +95,7 @@ class CentralManager:
             "imd_register": self._h_imd_register,
             "notify_busy": self._h_notify_busy,
             "client_detach": self._h_client_detach,
+            "client_attach": self._h_client_attach,
         }, name="cmd", component="manager")
         self._server.start()
         self._keepalive = sim.process(self._keepalive_loop())
@@ -108,7 +114,7 @@ class CentralManager:
                          port=int(args["port"]))
         self.iwd[entry.host] = entry
         self.stats.add("imd_registrations")
-        return {"ok": True}
+        return {"ok": True, "incarnation": self.incarnation}
 
     def _h_notify_busy(self, args: dict, src) -> dict:
         """A host was reclaimed: drop it from the IWD.  Its RD entries are
@@ -122,6 +128,13 @@ class CentralManager:
         return {"ok": True}
 
     # -- client-facing handlers ----------------------------------------------------
+    def _stamp(self, reply: dict) -> dict:
+        """Stamp a client-facing reply with this manager's incarnation so
+        the runtime library can detect a restart (pure metadata — the
+        charged wire size does not depend on the payload dict)."""
+        reply["mgr_incarnation"] = self.incarnation
+        return reply
+
     def _track_client(self, args: dict, src) -> Optional[str]:
         client = args.get("client")
         echo_port = args.get("echo_port")
@@ -141,7 +154,7 @@ class CentralManager:
         entry = self.rd.get(key)
         if entry is None:
             self.stats.add("check.miss")
-            return {"ok": False}
+            return self._stamp({"ok": False})
         iwd = self.iwd.get(entry.struct.host)
         if iwd is None or iwd.epoch != entry.struct.epoch:
             # stale: the hosting imd is gone or has been restarted
@@ -151,9 +164,9 @@ class CentralManager:
                 self.sim.eventlog.info(self.sim, "manager", "region.stale",
                                        host=entry.struct.host,
                                        epoch=entry.struct.epoch)
-            return {"ok": False}
+            return self._stamp({"ok": False})
         self.stats.add("check.hit")
-        return {"ok": True, "region": entry.struct.to_wire()}
+        return self._stamp({"ok": True, "region": entry.struct.to_wire()})
 
     def _h_alloc(self, args: dict, src):
         """Generator handler: place a new region on a random idle host
@@ -169,7 +182,8 @@ class CentralManager:
                     and existing.struct.length >= length:
                 self.stats.add("alloc.reused")
                 existing.owner = client or existing.owner
-                return {"ok": True, "region": existing.struct.to_wire()}
+                return self._stamp(
+                    {"ok": True, "region": existing.struct.to_wire()})
             del self.rd[key]  # stale or too small: replace
 
         candidates = [h for h, e in self.iwd.items()
@@ -194,13 +208,14 @@ class CentralManager:
                     self.sim.eventlog.info(
                         self.sim, "manager", "region.placed", host=pick,
                         bytes=length, offset=struct.pool_offset)
-                return {"ok": True, "region": struct.to_wire()}
+                return self._stamp(
+                    {"ok": True, "region": struct.to_wire()})
             self.stats.add("alloc.host_full")
         self.stats.add("alloc.enomem")
         if self.sim.eventlog.enabled:
             self.sim.eventlog.warn(self.sim, "manager", "region.enomem",
                                    bytes=length)
-        return {"ok": False, "reason": "no idle memory"}
+        return self._stamp({"ok": False, "reason": "no idle memory"})
 
     def _h_free(self, args: dict, src):
         self._track_client(args, src)
@@ -208,7 +223,7 @@ class CentralManager:
         entry = self.rd.pop(key, None)
         if entry is None:
             self.stats.add("free.miss")
-            return {"ok": False, "reason": "no such region"}
+            return self._stamp({"ok": False, "reason": "no such region"})
         iwd = self.iwd.get(entry.struct.host)
         if iwd is not None and iwd.epoch == entry.struct.epoch:
             yield from self._imd_call(
@@ -218,7 +233,7 @@ class CentralManager:
             self.sim.eventlog.info(self.sim, "manager", "region.freed",
                                    host=entry.struct.host,
                                    bytes=entry.struct.length)
-        return {"ok": True}
+        return self._stamp({"ok": True})
 
     def _h_client_detach(self, args: dict, src):
         """Clean shutdown of a runtime library.  ``persist=True`` leaves
@@ -234,7 +249,14 @@ class CentralManager:
                 if entry.owner == client:
                     entry.owner = None
             self.stats.add("detach.persist")
-        return {"ok": True, "freed": freed}
+        return self._stamp({"ok": True, "freed": freed})
+
+    def _h_client_attach(self, args: dict, src) -> dict:
+        """Explicit (re-)attach: lets a client that detected a manager
+        restart resume keep-alive tracking without another side effect."""
+        self._track_client(args, src)
+        self.stats.add("client_attaches")
+        return self._stamp({"ok": True})
 
     # -- shared helpers -----------------------------------------------------------
     def _imd_call(self, iwd: IwdEntry, method: str, args: dict):
@@ -246,7 +268,9 @@ class CentralManager:
             reply = yield from client.call(
                 (iwd.host, iwd.port), method, args,
                 timeout=self.config.rpc_timeout_s,
-                retries=self.config.imd_rpc_retries)
+                retries=self.config.imd_rpc_retries,
+                backoff_s=self.config.rpc_backoff_s,
+                backoff_jitter=self.config.rpc_backoff_jitter)
         except RpcTimeout:
             self.iwd.pop(iwd.host, None)
             self.stats.add("imd.dead")
@@ -307,8 +331,8 @@ class CentralManager:
                     try:
                         yield from rpc.call(
                             (state.addr, state.echo_port), "echo",
-                            {"client": cid}, timeout=cfg.rpc_timeout_s,
-                            retries=2)
+                            {"client": cid, "incarnation": self.incarnation},
+                            timeout=cfg.rpc_timeout_s, retries=2)
                         state.last_echo = self.sim.now
                         state.missed = 0
                     except RpcTimeout:

@@ -73,6 +73,14 @@ class ResourceMonitor:
                 yield self.sim.timeout(policy.sample_interval_s)
                 if self.ws.crashed:
                     continue
+                if self.recruited and (self.imd is None or self.imd.exited):
+                    # the host crashed and took the imd with it: resync so
+                    # a later idle stretch recruits a fresh incarnation
+                    self.ws.daemon_load = max(0.0, self.ws.daemon_load - 0.05)
+                    self.recruited = False
+                    self.imd = None
+                    self._quiet_s = 0.0
+                    self.stats.add("imd_lost")
                 quiet = self._sample_quiet()
                 if quiet:
                     self._quiet_s += policy.sample_interval_s

@@ -53,7 +53,7 @@ class DodoRuntime:
         self._cmd_rpc = RpcClient(self._cmd_sock)
         echo_sock = self.endpoint.socket()
         self.echo_port = echo_sock.port
-        self._echo = RpcServer(echo_sock, {"echo": lambda a, s: {"ok": True}},
+        self._echo = RpcServer(echo_sock, {"echo": self._h_echo},
                                name=f"lib.{ws.name}.echo")
         self._echo.start()
         #: cluster-unique client identity used for keep-alives and
@@ -63,6 +63,9 @@ class DodoRuntime:
         self._next_desc = 0
         self._refraction_until = float("-inf")
         self.detached = False
+        #: manager incarnation last observed on a reply/echo; a change
+        #: means the cmd restarted and its region directory is empty
+        self._mgr_incarnation: Optional[int] = None
         self.stats = Recorder(f"lib.{ws.name}")
 
     # -- helpers --------------------------------------------------------------------
@@ -84,9 +87,46 @@ class DodoRuntime:
         args = dict(args)
         args["client"] = self.client_id
         args["echo_port"] = self.echo_port
-        return self._cmd_rpc.call(self.cmd, method, args,
-                                  timeout=self.config.rpc_timeout_s,
-                                  retries=self.config.rpc_retries)
+        reply = yield from self._cmd_rpc.call(
+            self.cmd, method, args,
+            timeout=self.config.rpc_timeout_s,
+            retries=self.config.rpc_retries,
+            backoff_s=self.config.rpc_backoff_s,
+            backoff_jitter=self.config.rpc_backoff_jitter)
+        if isinstance(reply, dict):
+            self._note_manager_incarnation(reply.get("mgr_incarnation"))
+        return reply
+
+    def _note_manager_incarnation(self, inc: Optional[int]) -> None:
+        """Track the manager's restart counter.  On a change, every local
+        descriptor references a directory entry the new manager never
+        heard of — drop them all (reads fall back to the backing file,
+        Section 3.1's failure rule) and start fresh.  Runs synchronously
+        so the caller's own reply is processed against clean state."""
+        if inc is None:
+            return
+        if self._mgr_incarnation is None:
+            self._mgr_incarnation = inc
+            return
+        if inc == self._mgr_incarnation:
+            return
+        self._mgr_incarnation = inc
+        dropped = len(self._regions)
+        self._regions.clear()
+        self.stats.add("manager_restarts")
+        if dropped:
+            self.stats.add("descriptors_dropped", dropped)
+        if self.sim.eventlog.enabled:
+            self.sim.eventlog.warn(
+                self.sim, "lib", "client.reregister", host=self.ws.name,
+                client=self.client_id, incarnation=inc,
+                descriptors_dropped=dropped)
+
+    def _h_echo(self, args: dict, src) -> dict:
+        """Keep-alive echo handler; piggybacked incarnation detects a
+        manager restart even when the library is otherwise idle."""
+        self._note_manager_incarnation(args.get("incarnation"))
+        return {"ok": True}
 
     def _entry(self, desc: int) -> Optional[RegionTableEntry]:
         return self._regions.get(desc)
@@ -400,7 +440,9 @@ class DodoRuntime:
                     "free", {"key": [key.inode, key.offset, key.client]})
             except (RpcTimeout, RpcRemoteError):
                 return -1, EINVAL
-            del self._regions[desc]
+            # pop, not del: the reply may have carried a new manager
+            # incarnation, in which case the table was already cleared
+            self._regions.pop(desc, None)
             if not reply.get("ok"):
                 self.stats.add("mclose.stale")
                 return -1, EINVAL

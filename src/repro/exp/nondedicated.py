@@ -56,7 +56,11 @@ class NonDedicatedParams:
     seed: int = 9
 
 
-def build_cluster(sim: Simulator, p: NonDedicatedParams, dodo: bool):
+def build_cluster(sim: Simulator, p: NonDedicatedParams, dodo: bool,
+                  config: DodoConfig | None = None):
+    """Build the desktop cluster; ``config`` overrides the derived
+    :class:`DodoConfig` (the chaos harness uses this to switch on RPC
+    backoff and imd heartbeat re-registration)."""
     hosts = [
         HostSpec("app", total_mem_bytes=128 * MB, has_disk=True,
                  fs_cache_bytes=p.fs_cache if dodo
@@ -67,7 +71,7 @@ def build_cluster(sim: Simulator, p: NonDedicatedParams, dodo: bool):
     for i in range(p.n_desktops):
         hosts.append(HostSpec(f"w{i}", total_mem_bytes=p.desktop_mem))
     cluster = Cluster(sim, ClusterConfig(hosts=hosts))
-    cfg = DodoConfig(
+    cfg = config or DodoConfig(
         transport=p.transport, store_payload=False, dedicated=False,
         max_pool_bytes=p.max_pool,
         idle_policy=IdlePolicy(window_s=p.idle_window_s))

@@ -76,7 +76,8 @@ class Platform:
     """A built evaluation platform: cluster + Dodo daemons + app node."""
 
     def __init__(self, sim: Simulator, params: PlatformParams | None = None,
-                 dodo: bool = True, config: DodoConfig | None = None):
+                 dodo: bool = True, config: DodoConfig | None = None,
+                 faults=None, nemesis_auditor=None):
         self.sim = sim
         self.params = params or PlatformParams()
         p = self.params
@@ -104,6 +105,7 @@ class Platform:
         self.mgr = self.cluster["mgr"]
         self.cmd: Optional[CentralManager] = None
         self.imds: list[IdleMemoryDaemon] = []
+        self.nemesis = None
         if dodo:
             self.cmd = CentralManager(sim, self.mgr, self.config)
             for i in range(p.n_memory_hosts):
@@ -114,7 +116,15 @@ class Platform:
                     allocator_kind=p.allocator_kind)
                 imd.register()
                 self.imds.append(imd)
+            if faults is not None:
+                from repro.faults.nemesis import Nemesis
+                self.nemesis = Nemesis(self, faults,
+                                       auditor=nemesis_auditor)
+                self.nemesis.start()
             sim.run(until=0.5)  # let registrations land
+        elif faults is not None:
+            raise ValueError("fault injection needs a Dodo platform "
+                             "(dodo=True)")
 
     @property
     def remote_pool_total(self) -> int:
@@ -157,7 +167,8 @@ class Platform:
 
 
 def build_platform(sim: Simulator, scale: float = 1.0, dodo: bool = True,
-                   **kwargs) -> Platform:
+                   faults=None, nemesis_auditor=None, **kwargs) -> Platform:
     """Convenience: a (possibly scaled) Section 5.1 platform."""
     params = PlatformParams(**kwargs).scaled(scale)
-    return Platform(sim, params, dodo=dodo)
+    return Platform(sim, params, dodo=dodo, faults=faults,
+                    nemesis_auditor=nemesis_auditor)

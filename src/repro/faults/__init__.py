@@ -1,0 +1,16 @@
+"""Deterministic fault injection: plans, the nemesis, chaos runs.
+
+* :mod:`repro.faults.plan` — declarative, JSON-round-trippable fault
+  schedules (:class:`FaultPlan` / :class:`FaultSpec`);
+* :mod:`repro.faults.generate` — seed-deterministic random schedules;
+* :mod:`repro.faults.nemesis` — the DES process that executes a plan
+  against a live platform;
+* :mod:`repro.faults.chaos` — end-to-end seed-replayable chaos runs
+  (workload + nemesis + auditor + event log).
+"""
+
+from repro.faults.generate import random_plan
+from repro.faults.nemesis import Nemesis
+from repro.faults.plan import KINDS, FaultPlan, FaultSpec
+
+__all__ = ["FaultPlan", "FaultSpec", "KINDS", "Nemesis", "random_plan"]

@@ -204,12 +204,16 @@ def _fast_clearance(sock: USocket, dst: tuple[str, int],
     p = ep.params
     if p.frame_loss_prob > 0.0 or params.max_attempts < 1:
         return None
+    if net.extra_loss_prob > 0.0:
+        return None  # injected loss burst: the wire is not lossless
     if sock.closed or sock._queued_bytes or sock.recvbuf < CTRL_SIZE:
         return None
     src_nic = ep.nic
     dst_nic = net.host_nic(dst[0])
     if src_nic.down or dst_nic is None or dst_nic.down:
         return None
+    if not net.reachable(ep.addr, dst[0]):
+        return None  # partitioned: packets would never arrive
     dst_ep = dst_nic.endpoints.get(p.name)
     if dst_ep is None or dst_ep.params.frame_loss_prob > 0.0:
         return None
@@ -653,6 +657,10 @@ def _recv_bulk(sock, first_timeout, params, close_socket, pregranted, span):
         while missing:
             d = yield sock.recv(timeout=params.ack_timeout_s)
             if d is None:
+                if sock.closed:
+                    # the caller cancelled the transfer (closed the
+                    # socket under us): drain out, don't NACK into it
+                    return None
                 # Timeout: selective NACK for what is still missing.
                 attempts += 1
                 if attempts > params.max_attempts:

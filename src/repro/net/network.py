@@ -55,6 +55,13 @@ class Network:
         #: in-flight bulk transfers, for fast-path contention clearance
         self._bulk_tokens: list[BulkToken] = []
         self._bulk_counts: dict[str, int] = {}
+        #: fault injection: extra per-frame loss probability folded into
+        #: every endpoint's own loss model (nemesis loss bursts)
+        self.extra_loss_prob: float = 0.0
+        #: fault injection: current partition as frozensets of host names;
+        #: hosts in different groups cannot reach each other (hosts in no
+        #: group form one implicit group).  None = fully connected.
+        self._partition: Optional[list[frozenset]] = None
         if sim.telemetry.enabled:
             sim.telemetry.register(sim, "network", "network", self)
 
@@ -116,6 +123,40 @@ class Network:
                 token.abort.succeed()
                 self.stats.add("fastpath.aborts")
 
+    # -- fault injection -------------------------------------------------------
+    def reachable(self, a: str, b: str) -> bool:
+        """Can ``a`` currently reach ``b``?  True unless a partition puts
+        them in different groups (absent hosts share an implicit group)."""
+        if self._partition is None or a == b:
+            return True
+        ga = next((i for i, g in enumerate(self._partition) if a in g), None)
+        gb = next((i for i, g in enumerate(self._partition) if b in g), None)
+        return ga == gb
+
+    @property
+    def partitioned(self) -> bool:
+        return self._partition is not None
+
+    def set_partition(self, groups) -> None:
+        """Partition the switch into ``groups`` (iterables of host names).
+
+        In-flight fast-path transfers whose endpoints land on different
+        sides are aborted, exactly as when a NIC goes down: the analytic
+        completion would otherwise never observe the cut.
+        """
+        self._partition = [frozenset(g) for g in groups]
+        self.stats.add("partitions")
+        for token in self._bulk_tokens:
+            if token.abort is None or token.abort.triggered \
+                    or len(token.hosts) != 2:
+                continue
+            if not self.reachable(token.hosts[0], token.hosts[1]):
+                token.abort.succeed()
+                self.stats.add("fastpath.aborts")
+
+    def clear_partition(self) -> None:
+        self._partition = None
+
     # -- framing -------------------------------------------------------------
     def frames_for(self, payload_bytes: int) -> int:
         """Ethernet frames needed for one datagram of ``payload_bytes``."""
@@ -171,6 +212,9 @@ class Network:
         if dst_nic is None or dst_nic.down:
             self.stats.add("rx.dropped.dst_down")
             return False
+        if not self.reachable(dgram.src, dgram.dst):
+            self.stats.add("rx.dropped.partitioned")
+            return False
 
         # Receiver CPU: frames are processed as they arrive, so for bursts
         # only the final chunk's processing trails the last frame; the
@@ -203,6 +247,10 @@ class Network:
     def _apply_loss(self, dgram: Datagram,
                     params: TransportParams) -> Datagram | None:
         p_frame = params.frame_loss_prob
+        if self.extra_loss_prob > 0.0:
+            # injected loss burst: frames survive only if they dodge both
+            # the endpoint's own loss model and the injected one
+            p_frame = 1.0 - (1.0 - p_frame) * (1.0 - self.extra_loss_prob)
         if p_frame <= 0.0:
             return dgram
         if not dgram.is_burst:

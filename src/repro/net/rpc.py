@@ -47,13 +47,22 @@ class RpcClient:
 
     def call(self, dst: tuple[str, int], method: str,
              args: Optional[dict] = None, *, timeout: float = 0.05,
-             retries: int = 5, size: int = 0):
+             retries: int = 5, size: int = 0, backoff_s: float = 0.0,
+             backoff_jitter: float = 0.0):
         """Generator process body: ``result = yield from client.call(...)``.
 
         ``size`` is extra payload bytes beyond the RPC header (for calls
         that carry data inline).  Raises :class:`RpcTimeout` after
         ``retries`` unanswered attempts and :class:`RpcRemoteError` if the
         remote handler failed.
+
+        ``backoff_s`` > 0 adds exponential backoff between attempts:
+        retry ``n`` waits ``backoff_s * 2**(n-1)`` on top of its timeout,
+        stretched by up to ``backoff_jitter`` (fraction, drawn from the
+        seeded ``rpc.backoff`` stream so runs stay deterministic).  Off by
+        default: the paper-calibrated experiments use fixed-interval
+        retries, and chaos runs opt in to avoid retry storms against
+        restarting daemons.
         """
         call_id = next(self._ids)
         request = {"kind": "rpc_req", "id": call_id, "method": method,
@@ -73,6 +82,14 @@ class RpcClient:
             telemetry.rpc_begin(self.sim)
         try:
             for _attempt in range(retries):
+                if _attempt and backoff_s > 0.0:
+                    delay = backoff_s * (2.0 ** (_attempt - 1))
+                    if backoff_jitter > 0.0:
+                        delay *= 1.0 + backoff_jitter \
+                            * float(self.sim.rng("rpc.backoff").random())
+                    self.stats.add("calls.backoff")
+                    self.stats.sample("backoff_s", delay)
+                    yield self.sim.timeout(delay)
                 self.stats.add("calls.sent")
                 if span is not None and _attempt:
                     tracer.instant(self.sim, f"rpc.retry.{method}", "rpc",

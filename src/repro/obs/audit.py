@@ -125,6 +125,19 @@ class Auditor:
                 live[(imd.ws.name, imd.epoch)] = imd
         return live
 
+    @staticmethod
+    def _crashed_hosts(by_kind) -> set:
+        return {ws.name for ws in by_kind.get("workstation", ())
+                if ws.crashed}
+
+    @staticmethod
+    def _killed_imds(by_kind) -> set:
+        """(host, epoch) incarnations that died with their host.  The
+        manager discovers such deaths lazily (next RPC timeout), so
+        directory entries pointing at them are expected, not divergence."""
+        return {(imd.ws.name, imd.epoch) for imd in by_kind.get("imd", ())
+                if getattr(imd, "killed", False)}
+
     def _check_directory(self, sim, by_kind, teardown, found) -> None:
         """Manager region directory vs. what the imds actually host.
 
@@ -136,6 +149,8 @@ class Auditor:
         vouched-for imd must appear in the directory.
         """
         live = self._live_imds(by_kind)
+        crashed = self._crashed_hosts(by_kind)
+        killed = self._killed_imds(by_kind)
         for cmd in by_kind.get("manager", ()):
             vouched: dict[tuple[str, int], object] = {}
             for entry_key, entry in list(cmd.rd.items()):
@@ -145,6 +160,10 @@ class Auditor:
                     continue  # stale entry, invalidated lazily by design
                 imd = live.get((s.host, s.epoch))
                 if imd is None:
+                    if s.host in crashed or (s.host, s.epoch) in killed:
+                        # hard crash: the manager only learns on its next
+                        # RPC timeout — stale vouching is by design
+                        continue
                     found.append(Finding(
                         "directory.unbacked", s.host,
                         f"RD entry {entry_key} points at epoch {s.epoch} "
@@ -227,6 +246,10 @@ class Auditor:
                 donated[imd.ws.name] = donated.get(imd.ws.name, 0) \
                     + imd.pool_bytes
         for ws in by_kind.get("workstation", ()):
+            if ws.crashed:
+                # a crashed host's memory state is unobservable (and any
+                # imd on it was killed with the OS); audit it on recovery
+                continue
             expect = donated.get(ws.name, 0)
             if ws.guest_memory != expect:
                 found.append(Finding(

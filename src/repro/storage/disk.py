@@ -70,6 +70,9 @@ class Disk:
         self.arm = Resource(sim, capacity=1)
         self._head: int = 0           # current head byte position
         self._last_end: int = -1      # end of last transfer, for streaming
+        #: fault-injection hook: service times are multiplied by this
+        #: (1.0 = healthy; the nemesis raises it to model a degraded disk)
+        self.slowdown: float = 1.0
         self.stats = Recorder(name)
         if sim.telemetry.enabled:
             sim.telemetry.register(sim, "disk", name, self)
@@ -92,9 +95,10 @@ class Disk:
         transfer = nbytes / p.media_rate
         if offset == self._last_end:
             # Streaming: the head is already there, no rotational miss.
-            return p.overhead_s + transfer
+            return (p.overhead_s + transfer) * self.slowdown
         seek = self.seek_time(abs(offset - self._head), write)
-        return p.overhead_s + seek + p.avg_rotational_latency_s + transfer
+        return (p.overhead_s + seek + p.avg_rotational_latency_s
+                + transfer) * self.slowdown
 
     # -- I/O ----------------------------------------------------------------------
     def read(self, offset: int, nbytes: int):

@@ -1,22 +1,15 @@
-"""Shared fixtures for core (Dodo) tests: a small functional platform."""
+"""Shared fixtures for core (Dodo) tests.
+
+The platform helpers themselves live in :mod:`repro.testing` so the
+chaos harness and benchmarks can use them too; this file only binds
+them to pytest fixtures (and re-exports them for older imports).
+"""
 
 import pytest
 
-from repro.exp.platform import MB, Platform, PlatformParams
+from repro.testing import make_backing_file, make_platform, run  # noqa: F401
+
 from repro.sim import Simulator
-
-
-def make_platform(sim, *, transport="udp", n_hosts=3, pool_mb=2,
-                  local_cache_kb=256, store_payload=True, loss=0.0,
-                  dodo=True, allocator="first-fit"):
-    """A tiny functional platform: 3 memory hosts x 2 MB pools."""
-    params = PlatformParams(
-        transport=transport, store_payload=store_payload,
-        n_memory_hosts=n_hosts, imd_pool_bytes=pool_mb * MB,
-        local_cache_bytes=local_cache_kb * 1024,
-        app_fs_cache_dodo=1 * MB, app_fs_cache_baseline=4 * MB,
-        disk_capacity_bytes=256 * MB, frame_loss_prob=loss)
-    return Platform(sim, params, dodo=dodo)
 
 
 @pytest.fixture
@@ -27,17 +20,3 @@ def sim():
 @pytest.fixture
 def platform(sim):
     return make_platform(sim)
-
-
-def run(sim, gen):
-    """Run a generator as a process to completion and return its value."""
-    p = sim.process(gen)
-    return sim.run(until=p)
-
-
-def make_backing_file(platform, name="data", size=1 * MB):
-    """Create + open a backing file on the app node; returns its fd."""
-    fs = platform.app.fs
-    if not fs.exists(name):
-        fs.create(name, size=size)
-    return fs.open(name, "r+").fd

@@ -1,0 +1,121 @@
+"""Property tests: both pool allocators under randomized op sequences.
+
+Hypothesis drives first-fit and buddy through arbitrary interleavings of
+``alloc`` / ``free`` / ``coalesce`` while a shadow interval model tracks
+what must be live.  After *every* operation the allocator's own
+:meth:`PoolAllocator.check` self-audit must report zero problems — the
+same oracle the invariant auditor runs against live imds — plus the
+model invariants: returned blocks lie inside the pool, never overlap,
+and the books (``used_bytes`` / ``free_bytes`` / ``allocated_size``)
+balance.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.allocator import make_allocator
+
+POOL = 1 << 20  # 1 MB; power of two so both schemes accept it
+
+
+@st.composite
+def op_sequences(draw):
+    """(kind, operand) ops; frees index into whatever is live then."""
+    n = draw(st.integers(1, 60))
+    ops = []
+    for _ in range(n):
+        kind = draw(st.sampled_from(["alloc", "alloc", "free", "coalesce"]))
+        if kind == "alloc":
+            ops.append(("alloc", draw(st.integers(1, POOL // 2))))
+        elif kind == "free":
+            ops.append(("free", draw(st.integers(0, 10 ** 6))))
+        else:
+            ops.append(("coalesce", 0))
+    return ops
+
+
+def assert_consistent(alloc, live):
+    problems = alloc.check()
+    assert problems == [], problems
+    assert alloc.used_bytes + alloc.free_bytes == alloc.pool_size
+    assert alloc.largest_free() <= alloc.free_bytes
+    # every live block: in bounds, correct recorded size
+    spans = []
+    for off, asked in live.items():
+        got = alloc.allocated_size(off)
+        assert got is not None and got >= asked
+        assert 0 <= off and off + got <= alloc.pool_size
+        spans.append((off, got))
+    # no two live blocks overlap
+    spans.sort()
+    for (a_off, a_sz), (b_off, _) in zip(spans, spans[1:]):
+        assert a_off + a_sz <= b_off, f"overlap at {a_off}+{a_sz} > {b_off}"
+    # the books cover exactly the live blocks (buddy rounds sizes up)
+    assert alloc.used_bytes == sum(sz for _, sz in spans)
+    assert alloc.used_bytes >= sum(live.values())
+
+
+def drive(kind, ops):
+    alloc = make_allocator(kind, POOL)
+    live: dict[int, int] = {}  # offset -> requested size
+    for op, arg in ops:
+        if op == "alloc":
+            off = alloc.alloc(arg)
+            if off is not None:
+                assert off not in live
+                live[off] = arg
+        elif op == "free":
+            if live:
+                victim = sorted(live)[arg % len(live)]
+                size = alloc.free(victim)
+                assert size >= live.pop(victim)
+        else:
+            alloc.coalesce()
+        assert_consistent(alloc, live)
+    # tearing everything down must return the pool to one whole block
+    for off in sorted(live):
+        alloc.free(off)
+        assert alloc.check() == []
+    alloc.coalesce()
+    assert alloc.used_bytes == 0
+    assert alloc.largest_free() == POOL
+
+
+@settings(max_examples=80, deadline=None)
+@given(ops=op_sequences())
+def test_first_fit_stays_consistent_under_random_ops(ops):
+    drive("first-fit", ops)
+
+
+@settings(max_examples=80, deadline=None)
+@given(ops=op_sequences())
+def test_buddy_stays_consistent_under_random_ops(ops):
+    drive("buddy", ops)
+
+
+@pytest.mark.parametrize("kind", ["first-fit", "buddy"])
+def test_double_free_is_rejected(kind):
+    alloc = make_allocator(kind, POOL)
+    off = alloc.alloc(8192)
+    alloc.free(off)
+    with pytest.raises(KeyError):
+        alloc.free(off)
+    assert alloc.check() == []
+
+
+@pytest.mark.parametrize("kind", ["first-fit", "buddy"])
+def test_exhaustion_returns_none_and_stays_consistent(kind):
+    alloc = make_allocator(kind, POOL)
+    live = []
+    while True:
+        off = alloc.alloc(POOL // 4)
+        if off is None:
+            break
+        live.append(off)
+    assert len(live) == 4
+    assert alloc.check() == []
+    for off in live:
+        alloc.free(off)
+    alloc.coalesce()
+    assert alloc.largest_free() == POOL

@@ -11,7 +11,7 @@ from repro.core import DodoConfig, DodoRuntime
 from repro.exp.platform import MB, Platform, PlatformParams
 from repro.sim import Simulator
 
-from tests.core.conftest import make_backing_file, run
+from repro.testing import make_backing_file, run
 
 
 def build(sim, multi_client):

@@ -5,7 +5,7 @@ import pytest
 from repro.core.regionlib import RegionCache
 from repro.sim import Simulator
 
-from tests.core.conftest import make_platform, run
+from repro.testing import make_platform, run
 
 KB = 1024
 

@@ -5,7 +5,7 @@ import pytest
 from repro.core import EINVAL
 from repro.sim import Simulator
 
-from tests.core.conftest import make_backing_file, make_platform, run
+from repro.testing import make_backing_file, make_platform, run
 
 KB = 1024
 

@@ -1,0 +1,89 @@
+"""Tests for the seed-deterministic random schedule generator."""
+
+import pytest
+
+from repro.faults.generate import random_plan
+from repro.faults.plan import FaultPlan
+
+HOSTS = ["app", "mgr"] + [f"mem{i:02d}" for i in range(4)]
+
+
+def test_same_seed_same_plan():
+    a = random_plan(7, HOSTS)
+    b = random_plan(7, HOSTS)
+    assert a == b
+    assert a.to_json() == b.to_json()
+
+
+def test_different_seeds_differ():
+    plans = {random_plan(s, HOSTS).to_json() for s in range(8)}
+    assert len(plans) > 1
+
+
+def test_plan_embeds_seed_and_replays_from_json():
+    plan = random_plan(13, HOSTS, experiment="fig7")
+    again = FaultPlan.from_json(plan.to_json())
+    assert again.seed == 13
+    assert again == plan
+
+
+def test_protected_hosts_never_targeted():
+    for seed in range(20):
+        plan = random_plan(seed, HOSTS, protected=("app", "mgr"))
+        for ev in plan:
+            if ev.kind in ("host_crash", "nic_flap", "reclaim_storm"):
+                assert ev.target not in ("app", "mgr")
+            if ev.kind == "partition":
+                assert "app" not in ev.group and "mgr" not in ev.group
+
+
+def test_per_resource_faults_do_not_overlap():
+    """The busy-until map must keep contradictory faults apart: no host
+    is crashed/flapped/stormed again before its current fault heals, the
+    network carries one burst-or-partition at a time, etc."""
+    for seed in range(20):
+        plan = random_plan(seed, HOSTS, horizon_s=60.0, mean_gap_s=0.5)
+        busy: dict[str, float] = {}
+        for ev in plan:  # plan iterates in time order
+            if ev.kind in ("host_crash", "nic_flap", "reclaim_storm"):
+                key = ev.target
+            elif ev.kind in ("loss_burst", "partition"):
+                key = "network"
+            elif ev.kind == "disk_slowdown":
+                key = f"disk:{ev.target}"
+            else:
+                key = "manager"
+            assert ev.time >= busy.get(key, 0.0), \
+                f"seed {seed}: {ev.kind} at {ev.time} overlaps on {key}"
+            busy[key] = ev.time + ev.duration_s
+
+
+def test_kinds_filter_restricts_schedule():
+    plan = random_plan(3, HOSTS, horizon_s=60.0, mean_gap_s=0.5,
+                      kinds=("nic_flap",))
+    assert len(plan) > 0
+    assert {ev.kind for ev in plan} == {"nic_flap"}
+
+
+def test_events_respect_horizon_and_start():
+    plan = random_plan(5, HOSTS, horizon_s=30.0, start_s=10.0)
+    for ev in plan:
+        assert 10.0 <= ev.time < 30.0
+
+
+def test_all_hosts_protected_leaves_global_kinds_only():
+    plan = random_plan(11, ["app"], horizon_s=60.0, mean_gap_s=0.5,
+                      protected=("app",))
+    assert {ev.kind for ev in plan} <= {"loss_burst", "disk_slowdown",
+                                        "manager_crash"}
+
+
+def test_no_applicable_kinds_raises():
+    with pytest.raises(ValueError, match="no applicable"):
+        random_plan(1, ["app"], protected=("app",), disk_hosts=(),
+                    kinds=("host_crash", "disk_slowdown"))
+
+
+def test_generated_plans_validate_against_host_set():
+    for seed in range(10):
+        random_plan(seed, HOSTS).validate(hosts=set(HOSTS))

@@ -1,0 +1,132 @@
+"""Tests for the declarative fault schedule (FaultSpec / FaultPlan)."""
+
+import pytest
+
+from repro.faults.plan import KINDS, FaultPlan, FaultSpec
+
+
+def spec(**kw):
+    defaults = dict(time=1.0, kind="host_crash", target="mem00",
+                    duration_s=2.0)
+    defaults.update(kw)
+    return FaultSpec(**defaults)
+
+
+# -- validation ---------------------------------------------------------------
+
+def test_valid_spec_passes():
+    spec().validate()
+
+
+def test_unknown_kind_rejected():
+    with pytest.raises(ValueError, match="unknown fault kind"):
+        spec(kind="meteor_strike").validate()
+
+
+def test_negative_time_rejected():
+    with pytest.raises(ValueError, match="negative trigger time"):
+        spec(time=-0.5).validate()
+
+
+def test_non_positive_duration_rejected():
+    with pytest.raises(ValueError, match="non-positive duration"):
+        spec(duration_s=0.0).validate()
+
+
+@pytest.mark.parametrize("kind", ["host_crash", "nic_flap",
+                                  "reclaim_storm", "disk_slowdown"])
+def test_target_required(kind):
+    with pytest.raises(ValueError, match="needs a target host"):
+        FaultSpec(time=0.0, kind=kind, value=2.0).validate()
+
+
+@pytest.mark.parametrize("kind,bad", [("loss_burst", None),
+                                      ("loss_burst", 1.5),
+                                      ("disk_slowdown", 0.5)])
+def test_value_range_enforced(kind, bad):
+    with pytest.raises(ValueError, match="outside"):
+        FaultSpec(time=0.0, kind=kind, target="mem00",
+                  value=bad).validate()
+
+
+def test_partition_needs_group():
+    with pytest.raises(ValueError, match="non-empty group"):
+        FaultSpec(time=0.0, kind="partition").validate()
+
+
+def test_plan_validate_checks_target_existence():
+    plan = FaultPlan(events=(spec(target="ghost"),))
+    plan.validate()  # without a host set: fine
+    with pytest.raises(ValueError, match="unknown target"):
+        plan.validate(hosts={"mem00", "app"})
+
+
+def test_every_kind_is_constructible():
+    for kind in KINDS:
+        d = {"time": 0.0, "kind": kind}
+        if kind in ("host_crash", "nic_flap", "reclaim_storm",
+                    "disk_slowdown"):
+            d["target"] = "w0"
+        if kind == "loss_burst":
+            d["value"] = 0.1
+        if kind == "disk_slowdown":
+            d["value"] = 2.0
+        if kind == "partition":
+            d["group"] = ["w0"]
+        FaultSpec.from_dict(d)
+
+
+# -- ordering -----------------------------------------------------------------
+
+def test_plan_sorts_events_by_time():
+    plan = FaultPlan(events=(spec(time=5.0), spec(time=1.0),
+                             spec(time=3.0, kind="nic_flap")))
+    assert [e.time for e in plan] == [1.0, 3.0, 5.0]
+
+
+def test_plan_len_and_iter():
+    plan = FaultPlan(events=(spec(), spec(time=2.0)))
+    assert len(plan) == 2
+    assert all(isinstance(e, FaultSpec) for e in plan)
+
+
+# -- serialization ------------------------------------------------------------
+
+def test_json_round_trip_is_identity():
+    plan = FaultPlan(
+        events=(spec(),
+                FaultSpec(time=2.0, kind="loss_burst", duration_s=1.0,
+                          value=0.2),
+                FaultSpec(time=3.0, kind="partition", duration_s=0.5,
+                          group=("mem00", "mem01")),
+                FaultSpec(time=4.0, kind="manager_crash", duration_s=1.0)),
+        seed=42, experiment="fig7", description="hand-written")
+    again = FaultPlan.from_json(plan.to_json())
+    assert again == plan
+    assert again.seed == 42
+    assert again.to_json() == plan.to_json()
+
+
+def test_json_is_stable_and_diffable():
+    plan = FaultPlan(events=(spec(),), seed=7)
+    text = plan.to_json()
+    assert text == FaultPlan.from_json(text).to_json()
+    assert '"seed": 7' in text
+
+
+def test_unsupported_version_rejected():
+    with pytest.raises(ValueError, match="version"):
+        FaultPlan.from_dict({"version": 99, "events": []})
+
+
+def test_write_and_read(tmp_path):
+    plan = FaultPlan(events=(spec(),), seed=3, experiment="fig7")
+    path = tmp_path / "plan.json"
+    plan.write(str(path))
+    assert FaultPlan.read(str(path)) == plan
+
+
+def test_from_dict_validates_events():
+    with pytest.raises(ValueError, match="unknown fault kind"):
+        FaultPlan.from_dict(
+            {"events": [{"time": 0.0, "kind": "nope"}]})

@@ -1,28 +1,15 @@
-"""Shared fixtures: a tiny two/three-host network without the cluster layer."""
+"""Shared fixtures for net tests.
+
+:class:`TinyNet` and :func:`make_net` live in :mod:`repro.testing`
+(shared with benchmarks and the chaos harness); this file only binds
+them to pytest fixtures (and re-exports them for older imports).
+"""
 
 import pytest
 
-from repro.net import NIC, Network, TransportEndpoint, transport_params
+from repro.testing import TinyNet, make_net  # noqa: F401
+
 from repro.sim import Simulator
-
-
-class TinyNet:
-    """A bare network of named hosts with both transports on each."""
-
-    def __init__(self, sim, hosts, loss=0.0):
-        self.sim = sim
-        self.network = Network(sim)
-        self.nics = {}
-        self.udp = {}
-        self.unet = {}
-        for name in hosts:
-            nic = NIC(sim, name)
-            self.network.attach(nic)
-            self.nics[name] = nic
-            self.udp[name] = TransportEndpoint(
-                sim, nic, self.network, transport_params("udp", loss))
-            self.unet[name] = TransportEndpoint(
-                sim, nic, self.network, transport_params("unet", loss))
 
 
 @pytest.fixture
@@ -33,7 +20,3 @@ def sim():
 @pytest.fixture
 def net(sim):
     return TinyNet(sim, ["alpha", "beta", "gamma"])
-
-
-def make_net(sim, hosts=("alpha", "beta"), loss=0.0):
-    return TinyNet(sim, list(hosts), loss=loss)

@@ -5,7 +5,7 @@ import pytest
 from repro.net import BulkError, BulkParams, recv_bulk, send_bulk
 from repro.sim import Simulator
 
-from tests.net.conftest import make_net
+from repro.testing import make_net
 
 
 def run_transfer(sim, net, transport="udp", size=100_000, data=None,

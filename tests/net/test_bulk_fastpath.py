@@ -14,7 +14,7 @@ from repro.net import BulkError, BulkParams, recv_bulk, send_bulk
 from repro.sim import Simulator
 from repro.sim.errors import SimulationError
 
-from tests.net.conftest import make_net
+from repro.testing import make_net
 
 MB = 1024 * 1024
 
@@ -23,20 +23,29 @@ SIZES = [0, 1, 1471, 1472, 100_000, 1_000_000]
 
 def run_transfer(fastpath, size, transport="udp", data=None, loss=0.0,
                  seed=1234, recvbuf=256 * 1024, pregranted=False,
-                 window=None, nic_down_at=None, down_host="beta"):
-    """One bulk transfer; returns everything observable about it."""
+                 window=None, nic_down_at=None, down_host="beta",
+                 nic_up_at=None, burst=None, start_at=0.0,
+                 bulk_params=None):
+    """One bulk transfer; returns everything observable about it.
+
+    Fault knobs: ``nic_down_at`` / ``nic_up_at`` flap ``down_host``'s
+    NIC; ``burst=(t_on, t_off, p)`` injects an extra frame-loss burst on
+    the fabric (nemesis-style); ``start_at`` delays the transfer itself
+    so it can begin before, during, or after a fault window.
+    """
     sim = Simulator(seed=seed)
     net = make_net(sim, loss=loss)
     eps = net.udp if transport == "udp" else net.unet
     tx = eps["alpha"].socket()
     rx = eps["beta"].socket(port=77, recvbuf=recvbuf)
-    params = BulkParams(fastpath=fastpath)
+    params = bulk_params or BulkParams(fastpath=fastpath)
     out = {}
 
     if pregranted and window is None:
         window = recvbuf
 
     def sender():
+        yield sim.timeout(start_at)
         try:
             sent = yield sim.process(send_bulk(
                 tx, ("beta", 77), size, data=data, params=params,
@@ -48,6 +57,7 @@ def run_transfer(fastpath, size, transport="udp", data=None, loss=0.0,
         out["t_tx"] = sim.now
 
     def receiver():
+        yield sim.timeout(start_at)
         result = yield sim.process(recv_bulk(
             rx, first_timeout=5.0, params=params, pregranted=pregranted))
         out["received"] = result
@@ -57,7 +67,21 @@ def run_transfer(fastpath, size, transport="udp", data=None, loss=0.0,
         def killer():
             yield sim.timeout(nic_down_at)
             net.nics[down_host].down = True
+            if nic_up_at is not None:
+                yield sim.timeout(nic_up_at - nic_down_at)
+                net.nics[down_host].down = False
         sim.process(killer())
+
+    if burst is not None:
+        t_on, t_off, p = burst
+
+        def bursting():
+            yield sim.timeout(t_on)
+            net.network.extra_loss_prob = p
+            if t_off is not None:
+                yield sim.timeout(t_off - t_on)
+                net.network.extra_loss_prob = 0.0
+        sim.process(bursting())
 
     sim.process(sender())
     sim.process(receiver())
@@ -249,6 +273,138 @@ def test_nic_down_before_start_prevents_engagement():
     fast = run_transfer(True, 100_000, nic_down_at=0.0)
     assert fast["fast_transfers"] == 0
     assert fast["received"] is None
+
+
+# ---------------------------------------------------------------------------
+# Injected faults (nemesis-style): loss bursts and mid-transfer NIC flaps
+# ---------------------------------------------------------------------------
+
+def test_fastpath_disengages_under_injected_loss_burst():
+    """An active loss burst means the wire is not lossless: the fast path
+    must fall back, and then behave exactly like the packet path (same
+    seed, same loss draws) down to the byte and the tick."""
+    data = bytes(i % 251 for i in range(300_000))
+    burst = (0.0, None, 0.02)
+    fast = run_transfer(True, len(data), data=data, burst=burst, seed=9)
+    pkt = run_transfer(False, len(data), data=data, burst=burst, seed=9)
+    assert fast["fast_transfers"] == 0 and fast["fast_fallbacks"] >= 1
+    assert_equivalent(fast, pkt)
+    assert fast["received"][0] == data  # survived the burst, byte-identical
+
+
+def test_fastpath_reengages_after_burst_heals():
+    """The heal must fully restore the fast path: a transfer starting
+    after the burst window engages and still matches the packet path."""
+    data = bytes(i % 253 for i in range(200_000))
+    burst = (0.0, 0.02, 0.3)
+    fast = run_transfer(True, len(data), data=data, burst=burst,
+                        start_at=0.05)
+    pkt = run_transfer(False, len(data), data=data, burst=burst,
+                       start_at=0.05)
+    assert fast["fast_transfers"] == 1 and fast["fast_fallbacks"] == 0
+    assert_equivalent(fast, pkt)
+    assert fast["received"][0] == data
+
+
+def test_burst_arriving_mid_transfer_never_corrupts_payload():
+    """A burst that begins while the transfer is in flight: whatever path
+    ran, a completed transfer must deliver exactly the payload (loss may
+    slow it down or kill it, never truncate it silently)."""
+    data = bytes(i % 256 for i in range(1_000_000))
+    for fastpath in (True, False):
+        out = run_transfer(fastpath, len(data), data=data,
+                           burst=(0.01, 0.2, 0.2), seed=3)
+        if out["received"] is not None and out["received"][0] is not None:
+            assert out["received"][0] == data
+        else:
+            assert "sender_error" in out or out["sent"] is None
+
+
+def test_midtransfer_nic_flap_differential():
+    """A short flap mid-transfer: the fast path aborts loudly (its plan
+    cannot survive a downed NIC), the packet path rides it out via NACK
+    retries — and whichever completes must deliver identical bytes."""
+    data = bytes(i % 249 for i in range(2_000_000))
+    recover = BulkParams(fastpath=False, ack_timeout_s=0.05,
+                         max_attempts=20)
+    pkt = run_transfer(False, len(data), data=data, nic_down_at=0.05,
+                       nic_up_at=0.12, bulk_params=recover)
+    assert pkt["received"][0] == data, "packet path should ride out a flap"
+
+    fast = run_transfer(True, len(data), data=data, nic_down_at=0.05,
+                        nic_up_at=0.12,
+                        bulk_params=BulkParams(fastpath=True,
+                                               ack_timeout_s=0.05,
+                                               max_attempts=20))
+    assert fast["fast_transfers"] == 1
+    assert fast["fast_aborts"] >= 1
+    # loud failure, never silent corruption
+    assert "aborted" in fast.get("sender_error", "")
+    assert fast["received"] is None
+
+
+def test_flap_before_transfer_forces_packet_path_then_recovers():
+    """NIC down at engagement time: no fast path; once the flap heals a
+    new transfer engages again."""
+    during = run_transfer(True, 100_000, nic_down_at=0.0, nic_up_at=10.0)
+    assert during["fast_transfers"] == 0
+    after = run_transfer(True, 100_000, nic_down_at=0.0, nic_up_at=0.01,
+                         start_at=0.02)
+    assert after["fast_transfers"] == 1
+
+
+def test_partition_prevents_fastpath_and_heal_restores_it():
+    """A network cut between the endpoints: clearance must refuse (the
+    closed form would teleport bytes across the cut); healing restores
+    engagement."""
+    def run_with_cut(fastpath, heal_at=None, start_at=0.0):
+        sim = Simulator(seed=21)
+        net = make_net(sim)
+        net.network.set_partition([["alpha"], ["beta"]])
+        tx = net.udp["alpha"].socket()
+        rx = net.udp["beta"].socket(port=77, recvbuf=256 * 1024)
+        params = BulkParams(fastpath=fastpath, ack_timeout_s=0.02,
+                            max_attempts=3)
+        out = {}
+
+        if heal_at is not None:
+            def healer():
+                yield sim.timeout(heal_at)
+                net.network.clear_partition()
+            sim.process(healer())
+
+        def sender():
+            yield sim.timeout(start_at)
+            try:
+                out["sent"] = yield sim.process(send_bulk(
+                    tx, ("beta", 77), 100_000,
+                    data=bytes(100_000), params=params))
+            except BulkError as exc:
+                out["sender_error"] = str(exc)
+
+        def receiver():
+            yield sim.timeout(start_at)
+            out["received"] = yield sim.process(recv_bulk(
+                rx, first_timeout=0.5, params=params))
+
+        sim.process(sender())
+        sim.process(receiver())
+        sim.run(until=10.0)
+        out["fast"] = net.network.stats.count("fastpath.transfers")
+        out["fallbacks"] = net.network.stats.count("fastpath.fallbacks")
+        out["dropped"] = net.network.stats.count("rx.dropped.partitioned")
+        return out
+
+    cut = run_with_cut(True)
+    assert cut["fast"] == 0 and cut["fallbacks"] >= 1
+    assert cut["received"] is None and "sender_error" in cut
+    assert cut["dropped"] > 0
+    pkt = run_with_cut(False)
+    assert pkt["received"] is None and "sender_error" in pkt
+
+    healed = run_with_cut(True, heal_at=0.01, start_at=0.02)
+    assert healed["fast"] == 1
+    assert healed["sent"] == 100_000
 
 
 # ---------------------------------------------------------------------------

@@ -12,7 +12,7 @@ from hypothesis import strategies as st
 from repro.net import BulkParams, recv_bulk, send_bulk
 from repro.sim import Simulator
 
-from tests.net.conftest import make_net
+from repro.testing import make_net
 
 
 def transfer(seed, size, transport, loss, pregrant, recvbuf=128 * 1024):

@@ -6,7 +6,7 @@ import pytest
 from repro.net import Chunk, Datagram, RpcClient, RpcRemoteError, RpcServer
 from repro.sim import Simulator
 
-from tests.net.conftest import make_net
+from repro.testing import make_net
 
 
 def test_burst_with_all_chunks_lost_is_dropped_whole():

@@ -5,7 +5,7 @@ import pytest
 from repro.net import Chunk, Datagram, LinkParams, UDP_PARAMS
 from repro.sim import Simulator
 
-from tests.net.conftest import make_net
+from repro.testing import make_net
 
 
 def run_send(sim, net, src, dst, size, payload=b""):

@@ -5,7 +5,7 @@ import pytest
 from repro.net import RpcClient, RpcRemoteError, RpcServer, RpcTimeout
 from repro.sim import Simulator
 
-from tests.net.conftest import make_net
+from repro.testing import make_net
 
 
 def make_pair(sim, net, handlers, server_host="beta", port=50):

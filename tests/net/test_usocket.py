@@ -5,7 +5,7 @@ import pytest
 from repro.net import SocketClosed, USocketAPI
 from repro.sim import Simulator
 
-from tests.net.conftest import make_net
+from repro.testing import make_net
 
 
 def test_ephemeral_ports_unique():

@@ -17,7 +17,7 @@ from repro.obs.eventlog import EventLog
 from repro.obs.timeseries import Telemetry, install_telemetry
 from repro.sim import Simulator
 
-from tests.core.conftest import make_backing_file, make_platform, run
+from repro.testing import make_backing_file, make_platform, run
 
 
 @pytest.fixture

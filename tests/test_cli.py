@@ -158,3 +158,47 @@ def test_untelemetered_run_leaves_default_telemetry(capsys):
     capsys.readouterr()
     assert default_telemetry() is NULL_TELEMETRY
     assert default_eventlog() is NULL_EVENTLOG
+
+
+# -- chaos (nemesis) command --------------------------------------------------
+
+def test_parser_accepts_chaos_flags(tmp_path):
+    parser = build_parser()
+    args = parser.parse_args(["chaos", "fig7", "--seed", "9",
+                              "--plan-out", "p.json",
+                              "--events-out", "e.jsonl",
+                              "--audit", "warn"])
+    assert args.command == "chaos"
+    assert args.experiment == "fig7"
+    assert args.seed == 9
+    assert args.plan_out == "p.json"
+    assert args.events_out == "e.jsonl"
+    assert args.chaos_audit == "warn"
+    # defaults: audit raise, no artifacts
+    args = parser.parse_args(["chaos", "nondedicated"])
+    assert args.chaos_audit == "raise"
+    assert args.plan_out is None and args.plan_in is None
+
+
+def test_chaos_rejects_unknown_experiment():
+    parser = build_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args(["chaos", "fig8"])
+
+
+def test_chaos_run_exports_plan_and_replays_identically(tmp_path, capsys):
+    plan_path = tmp_path / "plan.json"
+    events_path = tmp_path / "events.jsonl"
+    assert main(["chaos", "fig7", "--seed", "3",
+                 "--plan-out", str(plan_path),
+                 "--events-out", str(events_path)]) == 0
+    out = capsys.readouterr().out
+    assert "injected" in out and "no inconsistencies" in out
+    first = events_path.read_bytes()
+    assert first  # chaos events were persisted, not clobbered by the CLI
+
+    replay_path = tmp_path / "replay.jsonl"
+    assert main(["chaos", "fig7", "--plan-in", str(plan_path),
+                 "--events-out", str(replay_path)]) == 0
+    capsys.readouterr()
+    assert replay_path.read_bytes() == first

@@ -83,7 +83,7 @@ def test_dmine_trace_shape():
 def test_dmine_end_to_end_through_dodo():
     """The full thing: encode to the backing file, mine through the
     region library, and get the same itemsets as the in-memory run."""
-    from tests.core.conftest import make_platform, run
+    from repro.testing import make_platform, run
 
     sim = Simulator(seed=13)
     platform = make_platform(sim, pool_mb=2, local_cache_kb=256)

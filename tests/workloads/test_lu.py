@@ -7,7 +7,7 @@ from repro.sim import Simulator
 from repro.workloads import (LuParams, OutOfCoreLU, lu_factor_slabs,
                              lu_trace, make_test_matrix, unpack_lu)
 
-from tests.core.conftest import make_platform, run
+from repro.testing import make_platform, run
 
 
 @pytest.fixture(scope="module")
