@@ -13,6 +13,8 @@ Examples::
         --audit raise
     python -m repro chaos fig7 --seed 3 --plan-out plan.json
     python -m repro chaos fig7 --plan-in plan.json --events-out chaos.jsonl
+    python -m repro sweep ci-grid --jobs 4 --cache-dir .sweep-cache
+    python -m repro sweep myspec.json --jobs 8 --resume --out results.json
     python -m repro all --quick
 
 ``--trace-out`` writes a Chrome trace-event JSON (load it in Perfetto or
@@ -28,6 +30,12 @@ sampled series as an ASCII dashboard.  See docs/OBSERVABILITY.md.
 seed-deterministic nemesis fault schedule with the invariant auditor in
 ``raise`` mode; ``--plan-out`` saves the schedule as JSON, ``--plan-in``
 replays a saved one bit-for-bit.  See docs/TESTING.md.
+
+``repro sweep <spec.json|builtin>`` fans a grid of independent
+simulation points (experiment x overrides x seed) across ``--jobs``
+worker processes, memoizing each point in a content-addressed
+``--cache-dir``; ``--resume`` skips already-cached points so an
+interrupted sweep continues where it left off.  See docs/SWEEPS.md.
 """
 
 from __future__ import annotations
@@ -43,46 +51,65 @@ def _scale(text: str) -> float:
     return float(Fraction(text))
 
 
+class CliError(Exception):
+    """A user-facing CLI failure: printed as one line, exit code 2.
+
+    Raised for unreadable input files and invalid references (unknown
+    experiments in a sweep spec, malformed fault plans) — anything that
+    is the invoker's mistake rather than a bug, and therefore must not
+    produce a traceback.
+    """
+
+
 def cmd_fig1(args) -> None:
+    """Figure 1: cluster-wide available memory over simulated days."""
     from repro.exp import sec2
     print(sec2.format_fig1(sec2.run_fig1(days=args.days)))
 
 
 def cmd_table1(args) -> None:
+    """Table 1: memory by use (kernel/file-cache/process/available)."""
     from repro.exp import sec2
     print(sec2.format_table1(sec2.run_table1(days=args.days)))
 
 
 def cmd_fig2(args) -> None:
+    """Figure 2: per-workstation availability variation."""
     from repro.exp import sec2
     print(sec2.format_fig2(sec2.run_fig2(days=args.days)))
 
 
 def cmd_disk(args) -> None:
+    """Section 5.1: application-level disk bandwidth calibration."""
     from repro.exp import disk_cal
     print(disk_cal.format_disk_calibration(
         disk_cal.run_disk_calibration()))
 
 
 def cmd_fig7(args) -> None:
+    """Figure 7: lu and dmine application speedups."""
     from repro.exp import fig7
     print(fig7.format_fig7(fig7.run_fig7(
         scale_lu=args.scale_lu, scale_dmine=args.scale_dmine)))
 
 
 def cmd_fig8(args) -> None:
+    """Figure 8: the four synthetic-benchmark panels."""
     from repro.exp import fig8
     print(fig8.format_fig8(fig8.run_fig8(scale=args.scale,
-                                         num_iter=args.iters)))
+                                         num_iter=args.iters,
+                                         jobs=getattr(args, "jobs", 1))))
 
 
 def cmd_nondedicated(args) -> None:
+    """Section 5.3.1: Dodo on a desktop cluster with owner churn."""
     from repro.exp import nondedicated as nd
     print(nd.format_nondedicated(nd.run_nondedicated(
         nd.NonDedicatedParams(num_iter=args.iters))))
 
 
 def cmd_ablations(args) -> None:
+    """All design-choice ablations, one table each."""
     from repro.exp import ablations as ab
     print(ab.format_allocator_ablation(ab.run_allocator_ablation()))
     print()
@@ -96,9 +123,16 @@ def cmd_ablations(args) -> None:
 
 
 def cmd_chaos(args) -> None:
+    """Nemesis fault-injection run; replays --plan-in bit-for-bit."""
     from repro.faults.chaos import format_chaos, run_chaos
     from repro.faults.plan import FaultPlan
-    plan = FaultPlan.read(args.plan_in) if args.plan_in else None
+    plan = None
+    if args.plan_in:
+        try:
+            plan = FaultPlan.read(args.plan_in)
+        except (OSError, ValueError, KeyError, TypeError) as exc:
+            raise CliError(f"cannot read fault plan {args.plan_in!r}: "
+                           f"{exc}") from exc
     run = run_chaos(args.experiment, seed=args.seed, plan=plan,
                     audit=args.chaos_audit, horizon_s=args.horizon)
     print(format_chaos(run))
@@ -112,11 +146,41 @@ def cmd_chaos(args) -> None:
 
 
 def cmd_all(args) -> None:
+    """Everything: shell out to examples/reproduce_paper.py."""
     import subprocess
     cmd = [sys.executable, "examples/reproduce_paper.py"]
     if args.quick:
         cmd.append("--quick")
     raise SystemExit(subprocess.call(cmd))
+
+
+def cmd_sweep(args) -> int:
+    """Parallel cached sweep over a grid of experiment points."""
+    from repro.sweep import (EXPERIMENTS, SpecError, load_spec,
+                             run_sweep)
+    try:
+        spec = load_spec(args.spec)
+    except SpecError as exc:
+        raise CliError(str(exc)) from exc
+    unknown = sorted({p.experiment for p in spec.points}
+                     - set(EXPERIMENTS))
+    if unknown:
+        raise CliError(
+            f"spec {args.spec!r} references unknown experiment(s) "
+            f"{', '.join(unknown)}; available: "
+            f"{', '.join(sorted(EXPERIMENTS))}")
+    result = run_sweep(spec, jobs=args.jobs,
+                       cache_dir=args.cache_dir or None,
+                       resume=args.resume, out=args.out,
+                       progress=None if args.quiet else sys.stderr)
+    print(result.summary())
+    for run in result.runs:
+        if run.status == "failed":
+            print(f"  failed: {run.point.label()}: {run.error}",
+                  file=sys.stderr)
+    if args.out:
+        print(f"wrote sweep results to {args.out}", file=sys.stderr)
+    return 0 if result.ok else 1
 
 
 def cmd_trace(args) -> None:
@@ -142,6 +206,8 @@ COMMANDS: dict[str, tuple[str, Callable]] = {
     "ablations": ("design-choice ablations", cmd_ablations),
     "chaos": ("nemesis fault-injection run with invariant auditing",
               cmd_chaos),
+    "sweep": ("parallel cached sweep over a grid of experiment points",
+              cmd_sweep),
     "all": ("everything (examples/reproduce_paper.py)", cmd_all),
 }
 
@@ -161,6 +227,10 @@ def _add_experiment_args(p: argparse.ArgumentParser, name: str) -> None:
     if name == "fig8":
         p.add_argument("--scale", type=_scale, default=1 / 64)
         p.add_argument("--iters", type=int, default=4)
+        p.add_argument("--jobs", type=int, default=1,
+                       help="worker processes for the panel grid "
+                            "(default: 1; results are identical at "
+                            "any value)")
     if name == "nondedicated":
         p.add_argument("--iters", type=int, default=4)
     if name == "ablations":
@@ -189,9 +259,32 @@ def _add_experiment_args(p: argparse.ArgumentParser, name: str) -> None:
                        choices=("off", "warn", "raise"),
                        help="invariant-audit mode after every injection, "
                             "heal, and at teardown (default: raise)")
+    if name == "sweep":
+        from repro.sweep.spec import BUILTIN_SPECS
+        p.add_argument("spec", metavar="SPEC",
+                       help="path to a sweep spec JSON, or a builtin: "
+                            + ", ".join(sorted(BUILTIN_SPECS)))
+        p.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="worker processes (default: 1; per-point "
+                            "results are byte-identical at any value)")
+        p.add_argument("--cache-dir", metavar="DIR",
+                       default=".sweep-cache",
+                       help="content-addressed result cache directory "
+                            "(default: .sweep-cache; '' disables "
+                            "caching)")
+        p.add_argument("--resume", action="store_true",
+                       help="skip points already in the cache instead "
+                            "of recomputing them")
+        p.add_argument("--out", metavar="FILE", default=None,
+                       help="write the full sweep record (spec, keys, "
+                            "per-point results) as canonical JSON")
+        p.add_argument("--quiet", action="store_true",
+                       help="suppress per-point progress lines")
 
 
 def build_parser() -> argparse.ArgumentParser:
+    """The complete ``repro`` argument parser (one subcommand per
+    experiment, plus trace/top/chaos/sweep)."""
     parser = argparse.ArgumentParser(
         prog="repro", description=__doc__,
         formatter_class=argparse.RawDescriptionHelpFormatter)
@@ -297,12 +390,30 @@ def _finish_telemetry(args, telemetry, eventlog, auditor) -> None:
 
 
 def main(argv=None) -> int:
+    """Parse arguments and dispatch; returns the process exit code.
+
+    User-input failures (:class:`CliError`) print as a single
+    ``repro: ...`` line on stderr and exit 2 — never a traceback.
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
+    try:
+        return _dispatch(args)
+    except CliError as exc:
+        print(f"repro: {exc}", file=sys.stderr)
+        return 2
+
+
+def _dispatch(args) -> int:
+    """Run the parsed command, wiring observability when requested."""
     if args.command is None or args.command == "list":
+        from repro.sweep.spec import BUILTIN_SPECS
         print("available experiments:")
         for name, (help_text, _) in COMMANDS.items():
             print(f"  {name:14s} {help_text}")
+        print("builtin sweep specs (repro sweep <name>):")
+        for name in sorted(BUILTIN_SPECS):
+            print(f"  {name}")
         return 0
 
     if getattr(args, "_trace_shorthand", False) \
@@ -313,11 +424,10 @@ def main(argv=None) -> int:
         for key, value in vars(exp_parser.parse_args([])).items():
             setattr(args, key, value)
 
-    if args.command == "chaos":
-        # chaos manages its own event log and auditor (they must wrap
-        # only the chaos simulation, not the CLI plumbing)
-        args.func(args)
-        return 0
+    if args.command in ("chaos", "sweep"):
+        # chaos/sweep manage their own event logs and observability
+        # (they must wrap only the simulations, not the CLI plumbing)
+        return args.func(args) or 0
 
     wants_trace = bool(getattr(args, "trace_out", None)
                        or getattr(args, "metrics_out", None)

@@ -66,6 +66,8 @@ class _RecencyPolicy(ReplacementPolicy):
 
 
 class LruPolicy(_RecencyPolicy):
+    """Evict the least-recently-used cached region first."""
+
     name = "lru"
 
     def select_victim(self, directory) -> Optional[int]:
@@ -75,6 +77,8 @@ class LruPolicy(_RecencyPolicy):
 
 
 class MruPolicy(_RecencyPolicy):
+    """Evict the most-recently-used region first (good for scans)."""
+
     name = "mru"
 
     def select_victim(self, directory) -> Optional[int]:
@@ -110,6 +114,7 @@ POLICIES: dict[str, type[ReplacementPolicy]] = {
 
 
 def make_policy(name: str) -> ReplacementPolicy:
+    """Instantiate a replacement policy by name (a key of POLICIES)."""
     cls = POLICIES.get(name)
     if cls is None:
         raise ValueError(

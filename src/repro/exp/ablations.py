@@ -73,6 +73,7 @@ def run_allocator_ablation(pool_mb: int = 64, n_ops: int = 4000,
 
 
 def format_allocator_ablation(results: dict) -> str:
+    """Render the allocator ablation as an aligned text table."""
     rows = []
     for kind, r in results.items():
         rows.append([kind, r["failures"],
@@ -114,6 +115,7 @@ def run_refraction_ablation(scale: float = 1 / 128,
 
 
 def format_refraction_ablation(results: dict) -> str:
+    """Render the refraction (reclaim) ablation as a text table."""
     rows = []
     for refraction_s, r in sorted(results.items()):
         rows.append([f"{refraction_s:.1f} s", f"{r['elapsed_s']:.1f}",
@@ -160,6 +162,7 @@ def run_policy_ablation(scale: float = 1 / 128, seed: int = 5) -> dict:
 
 
 def format_policy_ablation(results: dict) -> str:
+    """Render the replacement-policy ablation as a text table."""
     rows = [[policy, f"{r['elapsed_s']:.1f}", int(r["local_hits"]),
              int(r["remote_hits"])]
             for policy, r in results.items()]
@@ -205,6 +208,7 @@ def run_prefetch_ablation(scale: float = 1 / 128, seed: int = 7,
 
 
 def format_prefetch_ablation(results: dict) -> str:
+    """Render the prefetch-pipeline ablation as a text table."""
     rows = [[("prefetch=2" if k else "no prefetch"),
              f"{r['last_scan_s']:.2f}", int(r["prefetches"]),
              int(r["local_hits"])]
@@ -253,6 +257,7 @@ def run_pregrant_ablation(size: int = 8192, n: int = 50,
 
 
 def format_pregrant_ablation(results: dict) -> str:
+    """Render the pre-grant (write fast path) ablation table."""
     rows = [["pre-granted" if k else "offer/window handshake",
              f"{r['mean_latency_s'] * 1e3:.2f} ms"]
             for k, r in results.items()]

@@ -67,6 +67,7 @@ def run_disk_calibration() -> dict:
 
 
 def format_disk_calibration(results: dict) -> str:
+    """Render measured disk bandwidths next to the paper's values."""
     rows = []
     for (pattern, req), res in results.items():
         rows.append([f"{pattern} {req // 1024}K",

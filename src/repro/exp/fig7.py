@@ -166,6 +166,8 @@ def run_dmine(transport: str, scale: float = 1 / 16, n_passes: int = 3,
 
 
 def run_fig7(scale_lu: float = 1 / 64, scale_dmine: float = 1 / 16) -> dict:
+    """Run both Figure 7 applications (LU and dmine) at the given
+    problem scales; returns their per-configuration run times."""
     out = {}
     for transport in ("udp", "unet"):
         out[("lu", transport)] = run_lu(transport, scale=scale_lu)
@@ -174,6 +176,7 @@ def run_fig7(scale_lu: float = 1 / 64, scale_dmine: float = 1 / 16) -> dict:
 
 
 def format_fig7(results: dict) -> str:
+    """Render Figure 7 run times as a text table with speedups."""
     rows = []
     for (app, transport), res in results.items():
         if app == "lu":

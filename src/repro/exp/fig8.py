@@ -34,6 +34,9 @@ GB = 1 << 30
 
 @dataclass(frozen=True)
 class Fig8Point:
+    """One Figure 8 measurement: access pattern x request size x
+    dataset size x transport."""
+
     pattern: str
     req_size: int
     dataset_gb: int
@@ -67,31 +70,55 @@ def run_point(point: Fig8Point, scale: float = 1 / 64, num_iter: int = 4,
     }
 
 
+def panel_points(req_size: int, dataset_gb: int,
+                 transports: tuple = ("udp", "unet"),
+                 patterns: tuple = ("sequential", "hotcold", "random"),
+                 ) -> list[Fig8Point]:
+    """The grid of one panel (A-D) of Figure 8, in deterministic order."""
+    return [Fig8Point(pattern, req_size, dataset_gb, transport)
+            for transport in transports for pattern in patterns]
+
+
 def run_panel(req_size: int, dataset_gb: int, scale: float = 1 / 64,
               transports: tuple = ("udp", "unet"),
               patterns: tuple = ("sequential", "hotcold", "random"),
-              num_iter: int = 4) -> list[dict]:
-    """One panel (A-D) of Figure 8."""
-    out = []
-    for transport in transports:
-        for pattern in patterns:
-            out.append(run_point(
-                Fig8Point(pattern, req_size, dataset_gb, transport),
-                scale=scale, num_iter=num_iter))
+              num_iter: int = 4, jobs: int = 1) -> list[dict]:
+    """One panel (A-D) of Figure 8.
+
+    The grid executes through the sweep engine's
+    :func:`~repro.sweep.engine.parallel_map` — each point is an
+    independent simulation, so ``jobs>1`` fans them across worker
+    processes with byte-identical results.
+    """
+    from repro.sweep.engine import parallel_map
+    points = panel_points(req_size, dataset_gb, transports, patterns)
+    return parallel_map(
+        run_point,
+        [dict(point=p, scale=scale, num_iter=num_iter) for p in points],
+        jobs=jobs)
+
+
+def run_fig8(scale: float = 1 / 64, num_iter: int = 4,
+             jobs: int = 1) -> dict:
+    """All four panels; ``jobs`` parallelizes the 24-point grid."""
+    from repro.sweep.engine import parallel_map
+    panels = [("A (8K, 1GB)", 8192, 1), ("B (32K, 1GB)", 32768, 1),
+              ("C (8K, 2GB)", 8192, 2), ("D (32K, 2GB)", 32768, 2)]
+    points = [(label, p) for label, req, gb in panels
+              for p in panel_points(req, gb)]
+    results = parallel_map(
+        run_point,
+        [dict(point=p, scale=scale, num_iter=num_iter)
+         for _label, p in points],
+        jobs=jobs)
+    out: dict = {label: [] for label, _req, _gb in panels}
+    for (label, _point), result in zip(points, results):
+        out[label].append(result)
     return out
 
 
-def run_fig8(scale: float = 1 / 64, num_iter: int = 4) -> dict:
-    """All four panels."""
-    return {
-        "A (8K, 1GB)": run_panel(8192, 1, scale, num_iter=num_iter),
-        "B (32K, 1GB)": run_panel(32768, 1, scale, num_iter=num_iter),
-        "C (8K, 2GB)": run_panel(8192, 2, scale, num_iter=num_iter),
-        "D (32K, 2GB)": run_panel(32768, 2, scale, num_iter=num_iter),
-    }
-
-
 def format_fig8(results: dict) -> str:
+    """Render the four Figure 8 panels as aligned text tables."""
     blocks = []
     for panel, rows in results.items():
         table_rows = [[r["point"].transport, r["point"].pattern,

@@ -141,6 +141,7 @@ def run_nondedicated(p: NonDedicatedParams | None = None) -> dict:
 
 
 def format_nondedicated(results: dict) -> str:
+    """Render the non-dedicated (Table 4) results as a text table."""
     d = results["dodo"]
     rows = [
         ["baseline elapsed", f"{results['baseline']['elapsed_s']:.1f} s"],

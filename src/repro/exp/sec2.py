@@ -48,6 +48,7 @@ def run_fig1(seed: int = 42, days: float = 4.0) -> dict:
 
 
 def format_fig1(results: dict) -> str:
+    """Render the Figure 1 idle-memory CDF summary as text."""
     rows = []
     for name, res in results.items():
         s = res["summary"]
@@ -84,6 +85,7 @@ def run_table1(seed: int = 43, days: float = 2.0,
 
 
 def format_table1(results: dict) -> str:
+    """Render Table 1 (idle-host memory statistics) as text."""
     rows = []
     for mb, row in sorted(results["measured"].items()):
         paper = TABLE1[mb]
@@ -122,6 +124,7 @@ def run_fig2(seed: int = 44, days: float = 4.0) -> dict:
 
 
 def format_fig2(results: dict) -> str:
+    """Render the Figure 2 recruitable-memory summary as text."""
     rows = []
     for mb, res in sorted(results.items()):
         rows.append([f"{mb}MB",

@@ -50,6 +50,7 @@ LAYER_ORDER = ["library", "manager", "network", "daemon", "disk"]
 
 
 def layer_of(component: str) -> str:
+    """Map a tracer component name to its latency-breakdown layer."""
     return COMPONENT_LAYER.get(component, component)
 
 

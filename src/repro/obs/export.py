@@ -68,6 +68,7 @@ def chrome_trace(tracer: Tracer) -> dict:
 
 
 def dump_chrome_trace(tracer: Tracer, fp: IO[str]) -> None:
+    """Serialize the trace to ``fp`` in Chrome trace-event JSON."""
     json.dump(chrome_trace(tracer), fp, sort_keys=True,
               separators=(",", ":"))
 

@@ -101,6 +101,7 @@ def snapshot(meta: Optional[dict] = None) -> dict:
 
 
 def dump_snapshot(fp: IO[str], meta: Optional[dict] = None) -> None:
+    """Serialize the current metrics snapshot to ``fp`` as JSON."""
     json.dump(snapshot(meta), fp, sort_keys=True, indent=1)
 
 

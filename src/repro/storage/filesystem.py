@@ -36,6 +36,9 @@ class FsError(Exception):
 
 @dataclass(frozen=True)
 class FsParams:
+    """Tunables of the simulated file system: page size, readahead
+    window bounds, and the extent-allocation / disk-aging model."""
+
     page_size: int = 4096
     #: max readahead window (Linux 2.x: 32 pages = 128 KB)
     readahead_max: int = 128 * 1024
@@ -57,6 +60,8 @@ class FsParams:
 
 @dataclass
 class Extent:
+    """One contiguous run of file bytes mapped onto the disk."""
+
     file_off: int
     disk_off: int
     length: int
@@ -64,6 +69,8 @@ class Extent:
 
 @dataclass
 class File:
+    """An on-disk file: inode, name, size, and its extent map."""
+
     inode: int
     name: str
     size: int = 0

@@ -1,0 +1,35 @@
+"""Parallel experiment sweeps with a content-addressed result cache.
+
+Declare a grid of points (experiment × config overrides × seed) as a
+:class:`~repro.sweep.spec.SweepSpec`, then :func:`~repro.sweep.engine.
+run_sweep` fans the points across a ``multiprocessing`` pool, memoizes
+each completed point under a content hash of its full identity (spec
+point + code-version fingerprint), and resumes interrupted sweeps by
+skipping cache hits.  ``python -m repro sweep`` is the CLI front end.
+
+Layer map:
+
+* :mod:`repro.sweep.spec` — points, specs, grids, canonical JSON;
+* :mod:`repro.sweep.cache` — fingerprinting and the on-disk store;
+* :mod:`repro.sweep.runner` — per-experiment JSON-safe adapters;
+* :mod:`repro.sweep.engine` — the pool driver, progress, resume.
+
+Full guide: docs/SWEEPS.md.
+"""
+
+from repro.sweep.cache import ResultCache, code_fingerprint, point_key
+from repro.sweep.engine import (PointRun, SweepResult, parallel_map,
+                                run_sweep)
+from repro.sweep.runner import (EXPERIMENTS, UnknownExperimentError,
+                                run_sweep_point)
+from repro.sweep.spec import (BUILTIN_SPECS, SpecError, SweepPoint,
+                              SweepSpec, canonical_text, jsonify,
+                              load_spec)
+
+__all__ = [
+    "BUILTIN_SPECS", "EXPERIMENTS", "PointRun", "ResultCache",
+    "SpecError", "SweepPoint", "SweepResult", "SweepSpec",
+    "UnknownExperimentError", "canonical_text", "code_fingerprint",
+    "jsonify", "load_spec", "parallel_map", "point_key",
+    "run_sweep", "run_sweep_point",
+]

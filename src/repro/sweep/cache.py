@@ -1,0 +1,147 @@
+"""Content-addressed on-disk cache for sweep-point results.
+
+Each completed point is stored under a key that is the SHA-256 of its
+canonical identity: experiment name, seed, overrides (canonical JSON —
+dict ordering cannot change the key), a cache schema version, and a
+**code fingerprint** hashing every ``.py`` file of the installed
+``repro`` package.  Editing any source file therefore invalidates the
+whole cache implicitly: old entries are simply never looked up again
+(stale files can be garbage-collected with ``prune``).
+
+Entries are single JSON files, one per point, written atomically via
+:func:`repro.obs.files.atomic_write` so an interrupted sweep can never
+leave a half-written entry that a ``--resume`` would half-parse.  The
+file content itself is canonical JSON, which makes cache directories
+byte-comparable: a ``--jobs 1`` and a ``--jobs N`` run of the same spec
+must produce identical trees (asserted in tests and CI).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Optional
+
+from repro.obs.files import atomic_write
+from repro.sweep.spec import SweepPoint, canonical_text
+
+#: bump to invalidate every existing cache entry on a schema change
+CACHE_VERSION = 1
+
+_FINGERPRINT: Optional[str] = None
+
+
+def code_fingerprint() -> str:
+    """SHA-256 over every ``.py`` file of the ``repro`` package.
+
+    Files are hashed in sorted relative-path order (path and content
+    both feed the digest), so the fingerprint is stable across
+    machines and file-system iteration orders.  Computed once per
+    process and memoized.
+    """
+    global _FINGERPRINT
+    if _FINGERPRINT is None:
+        import repro
+        root = os.path.dirname(os.path.abspath(repro.__file__))
+        digest = hashlib.sha256()
+        for dirpath, dirnames, filenames in sorted(os.walk(root)):
+            dirnames.sort()
+            for fname in sorted(filenames):
+                if not fname.endswith(".py"):
+                    continue
+                path = os.path.join(dirpath, fname)
+                rel = os.path.relpath(path, root)
+                digest.update(rel.encode())
+                digest.update(b"\0")
+                with open(path, "rb") as fp:
+                    digest.update(fp.read())
+                digest.update(b"\0")
+        _FINGERPRINT = digest.hexdigest()
+    return _FINGERPRINT
+
+
+def point_key(point: SweepPoint, fingerprint: Optional[str] = None) -> str:
+    """The content address of one sweep point (hex SHA-256)."""
+    payload = dict(point.canonical())
+    payload["cache_version"] = CACHE_VERSION
+    payload["code"] = fingerprint or code_fingerprint()
+    return hashlib.sha256(canonical_text(payload).encode()).hexdigest()
+
+
+class ResultCache:
+    """A directory of canonical-JSON result files keyed by content hash."""
+
+    def __init__(self, root: str):
+        self.root = root
+
+    def path(self, key: str) -> str:
+        """Where ``key``'s entry lives (two-level fan-out, git-style)."""
+        return os.path.join(self.root, key[:2], key + ".json")
+
+    def get(self, key: str) -> Optional[dict]:
+        """The cached record for ``key``, or ``None`` on miss.
+
+        A corrupt entry (truncated, invalid JSON — e.g. written by a
+        crashed tool that bypassed the atomic writer) counts as a miss
+        so a resume recomputes it instead of failing.
+        """
+        try:
+            with open(self.path(key)) as fp:
+                record = json.load(fp)
+        except (OSError, json.JSONDecodeError):
+            return None
+        if not isinstance(record, dict) or "result" not in record:
+            return None
+        return record
+
+    def put(self, key: str, point: SweepPoint, result: dict,
+            fingerprint: Optional[str] = None) -> str:
+        """Store ``result`` for ``point``; returns the entry's path.
+
+        The record embeds the point identity and fingerprint so entries
+        are self-describing (``prune`` and humans can audit them).
+        """
+        record = {
+            "key": key,
+            "cache_version": CACHE_VERSION,
+            "code": fingerprint or code_fingerprint(),
+            "point": point.canonical(),
+            "result": result,
+        }
+        path = self.path(key)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with atomic_write(path) as fp:
+            fp.write(canonical_text(record))
+            fp.write("\n")
+        return path
+
+    def prune(self, keep_fingerprint: Optional[str] = None) -> int:
+        """Delete entries whose code fingerprint is not ``keep``.
+
+        Returns the number of files removed.  With the default argument
+        the current package fingerprint is kept, i.e. everything a
+        present-day sweep could still hit survives.
+        """
+        keep = keep_fingerprint or code_fingerprint()
+        removed = 0
+        if not os.path.isdir(self.root):
+            return 0
+        for dirpath, _dirnames, filenames in os.walk(self.root):
+            for fname in filenames:
+                if not fname.endswith(".json"):
+                    continue
+                path = os.path.join(dirpath, fname)
+                try:
+                    with open(path) as fp:
+                        record = json.load(fp)
+                    stale = record.get("code") != keep
+                except (OSError, json.JSONDecodeError):
+                    stale = True
+                if stale:
+                    try:
+                        os.unlink(path)
+                        removed += 1
+                    except OSError:
+                        pass
+        return removed

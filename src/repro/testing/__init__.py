@@ -81,4 +81,5 @@ class TinyNet:
 
 
 def make_net(sim, hosts=("alpha", "beta"), loss=0.0):
+    """Build a small TinyNet fixture with both transports per host."""
     return TinyNet(sim, list(hosts), loss=loss)

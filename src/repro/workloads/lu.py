@@ -78,6 +78,7 @@ def lu_factor_slabs(a: np.ndarray, slab_cols: int) -> np.ndarray:
 
 
 def unpack_lu(lu: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Split a packed in-place LU factorization into (L, U) factors."""
     l = np.tril(lu, -1) + np.eye(lu.shape[0])
     u = np.triu(lu)
     return l, u

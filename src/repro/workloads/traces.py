@@ -96,6 +96,7 @@ def save_trace(requests: Sequence[TraceRequest], path: str) -> None:
 
 
 def load_trace(path: str) -> list[TraceRequest]:
+    """Read a JSONL request trace written by :func:`save_trace`."""
     out = []
     with open(path, encoding="utf-8") as f:
         for line in f:

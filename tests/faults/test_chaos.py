@@ -16,6 +16,7 @@ import pytest
 from repro.faults.chaos import EXPERIMENTS, format_chaos, run_chaos
 from repro.faults.plan import FaultPlan
 from repro.obs.audit import AuditError, Auditor
+from repro.sweep import SweepPoint, SweepSpec, run_sweep
 
 SWEEP_SEEDS = range(10)
 
@@ -56,31 +57,37 @@ def test_different_seeds_give_different_runs():
 
 
 # -- the sweep ---------------------------------------------------------------
+# The multi-seed sweeps route through the parallel sweep engine
+# (repro.sweep): each seed is one cacheable point, executed with the
+# invariant auditor in raise mode inside the worker, so an audit
+# violation surfaces as a failed point.
 
-@pytest.mark.parametrize("seed", SWEEP_SEEDS)
-def test_fig7_nemesis_sweep_passes_audit(seed):
-    run = run_chaos("fig7", seed=seed, audit="raise")
-    assert run["auditor"].findings == []
-    assert run["auditor"].passes > 0
-    assert run["injected"] == len(run["plan"])
-    assert run["result"].requests > 0
+def _chaos_sweep(scenario):
+    spec = SweepSpec(f"chaos-{scenario}", [
+        SweepPoint("chaos", seed=seed, overrides={"scenario": scenario})
+        for seed in SWEEP_SEEDS])
+    return run_sweep(spec, jobs=2)
 
 
-@pytest.mark.parametrize("seed", SWEEP_SEEDS)
-def test_nondedicated_nemesis_sweep_passes_audit(seed):
-    run = run_chaos("nondedicated", seed=seed, audit="raise")
-    assert run["auditor"].findings == []
-    assert run["auditor"].passes > 0
-    assert run["injected"] == len(run["plan"])
-    assert run["result"].requests > 0
+@pytest.mark.parametrize("scenario", EXPERIMENTS)
+def test_nemesis_sweep_passes_audit(scenario):
+    result = _chaos_sweep(scenario)
+    failures = [f"{r.point.label()}: {r.error}"
+                for r in result.runs if r.status == "failed"]
+    assert not failures, failures
+    for run in result.runs:
+        assert run.result["audit_findings"] == 0
+        assert run.result["audit_passes"] > 0
+        assert run.result["injected"] == run.result["scheduled"]
+        assert run.result["requests"] > 0
 
 
 def test_sweep_actually_injects_faults():
     """Guard against a vacuous sweep: across the seeds the nemesis must
     exercise every fault kind at least once."""
     kinds = set()
-    for seed in SWEEP_SEEDS:
-        kinds |= {ev.kind for ev in run_chaos("fig7", seed=seed)["plan"]}
+    for run in _chaos_sweep("fig7").runs:
+        kinds |= set(run.result["fault_kinds"])
     assert kinds == {"host_crash", "nic_flap", "loss_burst", "partition",
                      "reclaim_storm", "disk_slowdown", "manager_crash"}
 

@@ -1,0 +1,100 @@
+"""Content-addressed result cache: keys, storage, invalidation."""
+
+import json
+import os
+
+from repro.sweep.cache import (ResultCache, code_fingerprint,
+                               point_key)
+from repro.sweep.spec import SweepPoint
+
+
+# -- keys ---------------------------------------------------------------------
+
+def test_key_is_stable_across_override_dict_ordering():
+    a = SweepPoint("selftest", seed=1, overrides={"a": 1, "b": 2})
+    b = SweepPoint("selftest", seed=1, overrides={"b": 2, "a": 1})
+    assert point_key(a) == point_key(b)
+
+
+def test_key_changes_with_every_identity_component():
+    base = SweepPoint("selftest", seed=1, overrides={"x": 1})
+    keys = {
+        point_key(base),
+        point_key(SweepPoint("disk", seed=1, overrides={"x": 1})),
+        point_key(SweepPoint("selftest", seed=2, overrides={"x": 1})),
+        point_key(SweepPoint("selftest", seed=1, overrides={"x": 2})),
+        point_key(base, fingerprint="different-code-version"),
+    }
+    assert len(keys) == 5
+
+
+def test_code_fingerprint_is_memoized_and_hexdigest():
+    fp = code_fingerprint()
+    assert fp == code_fingerprint()
+    assert len(fp) == 64 and int(fp, 16) >= 0
+
+
+# -- storage ------------------------------------------------------------------
+
+def test_put_get_roundtrip(tmp_path):
+    cache = ResultCache(str(tmp_path))
+    point = SweepPoint("selftest", seed=3, overrides={"x": 1})
+    key = point_key(point)
+    assert cache.get(key) is None  # miss before put
+    path = cache.put(key, point, {"value": 42})
+    assert os.path.exists(path)
+    record = cache.get(key)
+    assert record["result"] == {"value": 42}
+    assert record["point"]["experiment"] == "selftest"
+    assert record["key"] == key
+
+
+def test_cache_file_bytes_are_deterministic(tmp_path):
+    a = ResultCache(str(tmp_path / "a"))
+    b = ResultCache(str(tmp_path / "b"))
+    point = SweepPoint("selftest", seed=3, overrides={"p": 1, "q": 2})
+    key = point_key(point)
+    pa = a.put(key, point, {"y": 2, "x": 1})
+    pb = b.put(key, SweepPoint("selftest", seed=3,
+                               overrides={"q": 2, "p": 1}),
+               {"x": 1, "y": 2})
+    assert open(pa, "rb").read() == open(pb, "rb").read()
+
+
+def test_corrupt_entry_counts_as_miss(tmp_path):
+    cache = ResultCache(str(tmp_path))
+    point = SweepPoint("selftest", seed=0)
+    key = point_key(point)
+    cache.put(key, point, {"v": 1})
+    with open(cache.path(key), "w") as fp:
+        fp.write("{truncated")
+    assert cache.get(key) is None
+
+
+def test_entry_without_result_counts_as_miss(tmp_path):
+    cache = ResultCache(str(tmp_path))
+    key = point_key(SweepPoint("selftest", seed=0))
+    os.makedirs(os.path.dirname(cache.path(key)))
+    with open(cache.path(key), "w") as fp:
+        json.dump({"key": key}, fp)
+    assert cache.get(key) is None
+
+
+# -- invalidation -------------------------------------------------------------
+
+def test_prune_drops_stale_fingerprints_keeps_current(tmp_path):
+    cache = ResultCache(str(tmp_path))
+    fresh = SweepPoint("selftest", seed=1)
+    stale = SweepPoint("selftest", seed=2)
+    fresh_key = point_key(fresh)
+    stale_key = point_key(stale, fingerprint="old-code")
+    cache.put(fresh_key, fresh, {"v": 1})
+    cache.put(stale_key, stale, {"v": 2}, fingerprint="old-code")
+    removed = cache.prune()
+    assert removed == 1
+    assert cache.get(fresh_key) is not None
+    assert cache.get(stale_key) is None
+
+
+def test_prune_of_missing_directory_is_noop(tmp_path):
+    assert ResultCache(str(tmp_path / "absent")).prune() == 0

@@ -1,0 +1,170 @@
+"""Sweep spec parsing, grid expansion, and canonical JSON."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.sweep.spec import (BUILTIN_SPECS, SpecError, SweepPoint,
+                              SweepSpec, canonical_text, jsonify,
+                              load_spec)
+
+
+# -- jsonify / canonical_text -------------------------------------------------
+
+def test_jsonify_passes_plain_data_through():
+    data = {"a": 1, "b": [1.5, "x", None, True]}
+    assert jsonify(data) == data
+
+
+def test_jsonify_converts_tuples_and_tuple_keys():
+    assert jsonify((1, 2)) == [1, 2]
+    assert jsonify({("lu", "udp"): 1}) == {"lu/udp": 1}
+
+
+def test_jsonify_converts_numpy_scalars():
+    out = jsonify({"m": np.float64(1.5), "n": np.int64(3)})
+    assert out == {"m": 1.5, "n": 3}
+    assert type(out["m"]) is float and type(out["n"]) is int
+
+
+def test_jsonify_converts_dataclasses():
+    from repro.exp.fig8 import Fig8Point
+    out = jsonify(Fig8Point("random", 8192, 1, "udp"))
+    assert out == {"pattern": "random", "req_size": 8192,
+                   "dataset_gb": 1, "transport": "udp"}
+
+
+def test_jsonify_stringifies_non_string_keys():
+    assert jsonify({1: "a", 2.0: "b"}) == {"1": "a", "2.0": "b"}
+
+
+def test_jsonify_rejects_unserializable_objects():
+    with pytest.raises(TypeError, match="canonicalize"):
+        jsonify({"bad": object()})
+
+
+def test_jsonify_rejects_colliding_canonical_keys():
+    with pytest.raises(TypeError, match="duplicate key"):
+        jsonify({1: "a", "1": "b"})
+
+
+def test_canonical_text_is_order_independent():
+    a = canonical_text({"x": 1, "y": {"p": 2, "q": 3}})
+    b = canonical_text({"y": {"q": 3, "p": 2}, "x": 1})
+    assert a == b
+    assert " " not in a  # compact separators
+
+
+# -- grid expansion -----------------------------------------------------------
+
+def test_grid_expands_full_cross_product():
+    spec = SweepSpec.from_dict({
+        "name": "g", "experiment": "selftest",
+        "grid": {"x": [1, 2], "seed": [0, 1, 2]},
+    })
+    assert len(spec) == 6
+    # seed axis populates point.seed, not overrides
+    assert all(p.seed is not None for p in spec)
+    assert all(list(p.overrides) == ["x"] for p in spec)
+    assert {(p.seed, p.overrides["x"]) for p in spec} \
+        == {(s, x) for s in (0, 1, 2) for x in (1, 2)}
+
+
+def test_grid_expansion_order_is_deterministic():
+    d = {"name": "g", "experiment": "selftest",
+         "grid": {"b": [1, 2], "a": [3, 4], "seed": [0]}}
+    first = SweepSpec.from_dict(d)
+    # same grid with keys declared in a different order
+    d2 = {"name": "g", "experiment": "selftest",
+          "grid": {"seed": [0], "a": [3, 4], "b": [1, 2]}}
+    second = SweepSpec.from_dict(d2)
+    assert [p.canonical() for p in first] \
+        == [p.canonical() for p in second]
+
+
+def test_base_overrides_merge_under_grid_axes():
+    spec = SweepSpec.from_dict({
+        "name": "g", "experiment": "selftest",
+        "overrides": {"x": 9, "fail": False},
+        "grid": {"x": [1], "seed": [0]},
+    })
+    assert spec.points[0].overrides == {"x": 1, "fail": False}
+
+
+def test_explicit_points_and_grid_combine():
+    spec = SweepSpec.from_dict({
+        "name": "g", "experiment": "selftest",
+        "grid": {"seed": [0]},
+        "points": [{"experiment": "disk"},
+                   {"seed": 7, "overrides": {"x": 2}}],
+    })
+    assert [p.experiment for p in spec] \
+        == ["selftest", "disk", "selftest"]
+    assert spec.points[2].seed == 7
+
+
+def test_roundtrip_through_to_dict():
+    spec = SweepSpec.from_dict({
+        "name": "g", "experiment": "selftest",
+        "grid": {"seed": [0, 1]},
+    })
+    again = SweepSpec.from_dict(spec.to_dict())
+    assert [p.canonical() for p in again] \
+        == [p.canonical() for p in spec]
+
+
+# -- validation ---------------------------------------------------------------
+
+@pytest.mark.parametrize("bad", [
+    [],                                                  # not an object
+    {"name": "x"},                                       # no points at all
+    {"name": "x", "bogus": 1},                           # unknown key
+    {"name": "x", "grid": {"seed": [0]}},                # grid w/o experiment
+    {"name": "x", "experiment": "e", "grid": {}},        # empty grid
+    {"name": "x", "experiment": "e", "grid": {"a": []}},  # empty axis
+    {"name": "x", "experiment": "e", "grid": {"a": 1}},  # non-list axis
+    {"name": "x", "points": [{"seed": 1}]},              # point w/o experiment
+    {"name": "x", "overrides": 3, "points": []},         # bad overrides
+])
+def test_bad_specs_raise_spec_error(bad):
+    with pytest.raises(SpecError):
+        SweepSpec.from_dict(bad)
+
+
+def test_read_missing_file_raises_spec_error(tmp_path):
+    with pytest.raises(SpecError, match="cannot read"):
+        SweepSpec.read(str(tmp_path / "absent.json"))
+
+
+def test_read_invalid_json_raises_spec_error(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text("{not json")
+    with pytest.raises(SpecError, match="invalid JSON"):
+        SweepSpec.read(str(path))
+
+
+# -- builtins / load_spec -----------------------------------------------------
+
+def test_all_builtin_specs_parse_to_known_experiments():
+    from repro.sweep.runner import EXPERIMENTS
+    for name, raw in BUILTIN_SPECS.items():
+        spec = SweepSpec.from_dict(raw)
+        assert len(spec) > 0
+        assert {p.experiment for p in spec} <= set(EXPERIMENTS), name
+
+
+def test_ci_grid_builtin_has_at_least_eight_points():
+    assert len(load_spec("ci-grid")) >= 8
+
+
+def test_load_spec_resolves_file(tmp_path):
+    path = tmp_path / "s.json"
+    path.write_text(json.dumps({"name": "f", "experiment": "selftest",
+                                "grid": {"seed": [0]}}))
+    assert load_spec(str(path)).name == "f"
+
+
+def test_load_spec_rejects_unknown_reference():
+    with pytest.raises(SpecError, match="unknown sweep spec"):
+        load_spec("no-such-builtin")

@@ -186,6 +186,26 @@ def test_chaos_rejects_unknown_experiment():
         parser.parse_args(["chaos", "fig8"])
 
 
+def test_chaos_missing_plan_in_is_one_line_error(tmp_path, capsys):
+    """An unreadable --plan-in must exit non-zero with a single
+    'repro: ...' line, never a traceback."""
+    assert main(["chaos", "fig7",
+                 "--plan-in", str(tmp_path / "absent.json")]) == 2
+    err = capsys.readouterr().err
+    assert err.startswith("repro: cannot read fault plan")
+    assert len(err.strip().splitlines()) == 1
+    assert "Traceback" not in err
+
+
+def test_chaos_corrupt_plan_in_is_one_line_error(tmp_path, capsys):
+    bad = tmp_path / "plan.json"
+    bad.write_text("{not json at all")
+    assert main(["chaos", "fig7", "--plan-in", str(bad)]) == 2
+    err = capsys.readouterr().err
+    assert err.startswith("repro: cannot read fault plan")
+    assert "Traceback" not in err
+
+
 def test_chaos_run_exports_plan_and_replays_identically(tmp_path, capsys):
     plan_path = tmp_path / "plan.json"
     events_path = tmp_path / "events.jsonl"
@@ -202,3 +222,91 @@ def test_chaos_run_exports_plan_and_replays_identically(tmp_path, capsys):
                  "--events-out", str(replay_path)]) == 0
     capsys.readouterr()
     assert replay_path.read_bytes() == first
+
+
+# -- sweep command ------------------------------------------------------------
+
+def _write_selftest_spec(tmp_path, **extra):
+    import json
+    spec = {"name": "cli-test", "experiment": "selftest",
+            "grid": {"seed": [0, 1, 2], "x": [1]}, **extra}
+    path = tmp_path / "spec.json"
+    path.write_text(json.dumps(spec))
+    return str(path)
+
+
+def test_parser_accepts_sweep_flags():
+    parser = build_parser()
+    args = parser.parse_args(["sweep", "ci-grid", "--jobs", "4",
+                              "--cache-dir", "c", "--resume",
+                              "--out", "r.json", "--quiet"])
+    assert args.command == "sweep"
+    assert args.spec == "ci-grid"
+    assert args.jobs == 4
+    assert args.cache_dir == "c"
+    assert args.resume is True
+    assert args.out == "r.json"
+    assert args.quiet is True
+    # defaults
+    args = parser.parse_args(["sweep", "ci-grid"])
+    assert args.jobs == 1 and args.resume is False
+    assert args.cache_dir == ".sweep-cache"
+
+
+def test_sweep_lists_in_repro_list(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "sweep" in out
+    assert "ci-grid" in out  # builtin specs advertised
+
+
+def test_sweep_runs_and_resumes_from_cache(tmp_path, capsys):
+    spec = _write_selftest_spec(tmp_path)
+    cache = str(tmp_path / "cache")
+    out = str(tmp_path / "results.json")
+    assert main(["sweep", spec, "--cache-dir", cache, "--out", out,
+                 "--quiet"]) == 0
+    stdout = capsys.readouterr().out
+    assert "3 points" in stdout and "3 ran" in stdout
+    import json
+    record = json.loads(open(out).read())
+    assert record["summary"]["ran"] == 3
+
+    assert main(["sweep", spec, "--cache-dir", cache, "--resume",
+                 "--quiet"]) == 0
+    assert "3 cached" in capsys.readouterr().out
+
+
+def test_sweep_failed_point_exits_nonzero(tmp_path, capsys):
+    spec = _write_selftest_spec(tmp_path,
+                                overrides={"fail_seeds": [1]})
+    assert main(["sweep", spec, "--cache-dir", "", "--quiet"]) == 1
+    captured = capsys.readouterr()
+    assert "1 failed" in captured.out
+    assert "injected failure" in captured.err
+
+
+def test_sweep_unknown_builtin_is_one_line_error(capsys):
+    assert main(["sweep", "no-such-sweep"]) == 2
+    err = capsys.readouterr().err
+    assert err.startswith("repro: unknown sweep spec")
+    assert "Traceback" not in err
+
+
+def test_sweep_unreadable_spec_is_one_line_error(tmp_path, capsys):
+    assert main(["sweep", str(tmp_path / "absent.json")]) == 2
+    err = capsys.readouterr().err
+    assert err.startswith("repro: cannot read sweep spec")
+    assert len(err.strip().splitlines()) == 1
+
+
+def test_sweep_unknown_experiment_is_one_line_error(tmp_path, capsys):
+    import json
+    path = tmp_path / "spec.json"
+    path.write_text(json.dumps({
+        "name": "bad", "experiment": "fig99",
+        "grid": {"seed": [0]}}))
+    assert main(["sweep", str(path)]) == 2
+    err = capsys.readouterr().err
+    assert "unknown experiment(s) fig99" in err
+    assert "Traceback" not in err

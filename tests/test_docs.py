@@ -1,0 +1,42 @@
+"""Documentation hygiene: docstring coverage and markdown links.
+
+These mirror the CI ``docs`` job so a doc regression fails locally
+first.  Both linters live in ``tools/`` and are plain scripts; the
+tests import them by path so no packaging is needed.
+"""
+
+import importlib.util
+import os
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def _load(name):
+    path = os.path.join(ROOT, "tools", f"{name}.py")
+    spec = importlib.util.spec_from_file_location(name, path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_every_public_api_has_a_docstring():
+    missing, stale = _load("check_docstrings").check()
+    assert missing == [], f"undocumented public APIs: {missing}"
+    assert stale == [], f"stale allowlist entries: {stale}"
+
+
+def test_markdown_links_resolve():
+    broken = _load("check_links").check()
+    assert broken == [], "\n".join(broken)
+
+
+def test_api_doc_covers_new_subsystems():
+    api = open(os.path.join(ROOT, "docs", "API.md")).read()
+    for needle in ("repro.faults", "repro.sweep", "obs.timeseries",
+                   "net.bulk"):
+        assert needle in api, f"docs/API.md missing section for {needle}"
+
+
+def test_experiments_doc_mentions_sweep_commands():
+    text = open(os.path.join(ROOT, "EXPERIMENTS.md")).read()
+    assert "repro sweep" in text

@@ -1,0 +1,94 @@
+#!/usr/bin/env python
+"""Docstring-coverage lint for the ``repro`` package.
+
+Walks every module under ``src/repro`` and requires a docstring on:
+
+* the module itself,
+* every public class (name not starting with ``_``) defined at module
+  top level,
+* every public function defined at module top level.
+
+Private names, nested definitions, and methods are exempt — the bar is
+"can a reader skim ``docs/API.md`` and the module headers and know what
+each public entry point does", not 100%% annotation bureaucracy.
+
+Known, intentional gaps go in :data:`ALLOWLIST` with a reason; the lint
+fails (exit 1) on any *new* missing docstring and also on a stale
+allowlist entry, so the list can only shrink.
+
+Run from the repo root::
+
+    python tools/check_docstrings.py
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import sys
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+PACKAGE = os.path.join(ROOT, "src", "repro")
+
+# "module:qualname" (or just "module" for the module docstring itself).
+# Every entry needs a reason; an entry that no longer matches a missing
+# docstring makes the lint fail so the list stays honest.
+ALLOWLIST: dict[str, str] = {
+}
+
+
+def _public_targets(path):
+    """Yield (qualname, node) pairs that must carry a docstring."""
+    with open(path, "r", encoding="utf-8") as fp:
+        tree = ast.parse(fp.read(), filename=path)
+    yield "", tree  # the module docstring
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            if not node.name.startswith("_"):
+                yield node.name, node
+
+
+def check(package=PACKAGE):
+    """Return a list of 'module:qualname — missing docstring' strings."""
+    missing = []
+    allow_hits = set()
+    for dirpath, _dirs, files in sorted(os.walk(package)):
+        for name in sorted(files):
+            if not name.endswith(".py"):
+                continue
+            path = os.path.join(dirpath, name)
+            module = os.path.relpath(path, os.path.join(ROOT, "src"))
+            module = module[:-3].replace(os.sep, ".")
+            if module.endswith(".__init__"):
+                module = module[:-len(".__init__")]
+            for qualname, node in _public_targets(path):
+                if ast.get_docstring(node):
+                    continue
+                ref = f"{module}:{qualname}" if qualname else module
+                if ref in ALLOWLIST:
+                    allow_hits.add(ref)
+                    continue
+                missing.append(ref)
+    stale = sorted(set(ALLOWLIST) - allow_hits)
+    return missing, stale
+
+
+def main():
+    """CLI entry point: print findings, exit non-zero on any."""
+    missing, stale = check()
+    for ref in missing:
+        print(f"missing docstring: {ref}")
+    for ref in stale:
+        print(f"stale allowlist entry (docstring exists now): {ref}")
+    if missing or stale:
+        print(f"\n{len(missing)} missing, {len(stale)} stale "
+              "(see tools/check_docstrings.py ALLOWLIST)")
+        return 1
+    print("docstring coverage: all public modules/classes/functions "
+          "documented")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,92 @@
+#!/usr/bin/env python
+"""Markdown link checker for the repo's documentation.
+
+Scans every ``*.md`` at the repo root and under ``docs/`` for inline
+links and validates the **local** ones:
+
+* relative file links must point at an existing file or directory;
+* ``#fragment``-only links and ``http(s)``/``mailto`` URLs are skipped
+  (CI has no network, and anchors are a rendering concern);
+* a fragment on a local link (``FILE.md#section``) is checked only for
+  file existence, not anchor existence.
+
+Exit 1 with one line per broken link, so the CI step output is directly
+actionable.  Run from the repo root::
+
+    python tools/check_links.py
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import sys
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+# inline markdown links [text](target); images are links too
+LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+CODE_FENCE = re.compile(r"^(```|~~~)")
+
+
+def _markdown_files():
+    """All tracked-ish markdown files: repo root + docs/, sorted."""
+    found = []
+    for entry in sorted(os.listdir(ROOT)):
+        if entry.endswith(".md"):
+            found.append(os.path.join(ROOT, entry))
+    docs = os.path.join(ROOT, "docs")
+    if os.path.isdir(docs):
+        for dirpath, _dirs, files in sorted(os.walk(docs)):
+            for name in sorted(files):
+                if name.endswith(".md"):
+                    found.append(os.path.join(dirpath, name))
+    return found
+
+
+def _links(path):
+    """Yield (lineno, target) for inline links outside code fences."""
+    in_fence = False
+    with open(path, "r", encoding="utf-8") as fp:
+        for lineno, line in enumerate(fp, 1):
+            if CODE_FENCE.match(line.strip()):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            for match in LINK.finditer(line):
+                yield lineno, match.group(1)
+
+
+def check():
+    """Return a list of 'file:line: broken link -> target' strings."""
+    broken = []
+    for path in _markdown_files():
+        base = os.path.dirname(path)
+        for lineno, target in _links(path):
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            local = target.split("#", 1)[0]
+            if not local:
+                continue
+            resolved = os.path.normpath(os.path.join(base, local))
+            if not os.path.exists(resolved):
+                rel = os.path.relpath(path, ROOT)
+                broken.append(f"{rel}:{lineno}: broken link -> {target}")
+    return broken
+
+
+def main():
+    """CLI entry point: print broken links, exit non-zero on any."""
+    broken = check()
+    for line in broken:
+        print(line)
+    if broken:
+        print(f"\n{len(broken)} broken link(s)")
+        return 1
+    print("markdown links: all local targets exist")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
