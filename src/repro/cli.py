@@ -15,6 +15,10 @@ Examples::
     python -m repro chaos fig7 --plan-in plan.json --events-out chaos.jsonl
     python -m repro sweep ci-grid --jobs 4 --cache-dir .sweep-cache
     python -m repro sweep myspec.json --jobs 8 --resume --out results.json
+    python -m repro record fig7 --seed 3 --out runs/fig7
+    python -m repro serve runs/fig7 --port 8000
+    python -m repro serve nondedicated --chaos --seed 5
+    python -m repro whatif runs/fig7 --replacement mru
     python -m repro all --quick
 
 ``--trace-out`` writes a Chrome trace-event JSON (load it in Perfetto or
@@ -36,6 +40,14 @@ simulation points (experiment x overrides x seed) across ``--jobs``
 worker processes, memoizing each point in a content-addressed
 ``--cache-dir``; ``--resume`` skips already-cached points so an
 interrupted sweep continues where it left off.  See docs/SWEEPS.md.
+
+``repro record <scenario>`` runs one seeded scenario with full
+observability and writes a *run directory* (telemetry + event log +
+canonical metrics).  ``repro serve <run-dir|scenario>`` serves the fleet
+dashboard over it — or live, against a scenario still executing.
+``repro whatif <run-dir>`` replays a recorded run under a changed
+recruitment/placement/replacement policy and prints the side-by-side
+delta.  See docs/OBSERVABILITY.md.
 """
 
 from __future__ import annotations
@@ -183,6 +195,98 @@ def cmd_sweep(args) -> int:
     return 0 if result.ok else 1
 
 
+def _policy_from_args(args):
+    """A WhatIfPolicy from --replacement/--placement/... (None = keep)."""
+    from repro.obs.fleet.whatif import WhatIfPolicy
+    return WhatIfPolicy(
+        replacement=args.replacement or "lru",
+        placement=args.placement or "random",
+        idle_window_s=args.idle_window,
+        load_threshold=args.load_threshold)
+
+
+def cmd_record(args) -> None:
+    """Record one scenario run as a run directory for serve/whatif."""
+    from repro.obs.fleet.whatif import record_run
+    try:
+        meta = record_run(args.out, args.scenario, seed=args.seed,
+                          policy=_policy_from_args(args),
+                          chaos=args.chaos, horizon_s=args.horizon,
+                          interval_s=args.interval,
+                          audit=args.record_audit)
+    except ValueError as exc:
+        raise CliError(str(exc)) from exc
+    m = meta["metrics"]
+    print(f"recorded {meta['scenario']} seed={meta['seed']}"
+          + (" chaos" if meta.get("chaos") else "") + f" -> {args.out}")
+    print(f"  requests={m['requests']} fetches={m['fetches']} "
+          f"refetches={m['refetches']} reclaims={m['reclaims']} "
+          f"fetch_p95={m['fetch_p95_s']:g}s elapsed={m['elapsed_s']:g}s")
+
+
+def cmd_whatif(args) -> None:
+    """Replay a recorded run under a changed policy; print the delta."""
+    from repro.obs.fleet.store import RunDirError
+    from repro.obs.fleet.whatif import format_whatif, run_whatif
+    try:
+        doc = run_whatif(args.run_dir, replacement=args.replacement,
+                         placement=args.placement,
+                         idle_window_s=args.idle_window,
+                         load_threshold=args.load_threshold)
+    except (RunDirError, ValueError) as exc:
+        raise CliError(str(exc)) from exc
+    print(format_whatif(doc))
+    if args.out:
+        from repro.obs.files import atomic_write
+        from repro.sweep.spec import canonical_text
+        with atomic_write(args.out) as fp:
+            fp.write(canonical_text(doc))
+            fp.write("\n")
+        print(f"wrote what-if document to {args.out}", file=sys.stderr)
+
+
+def cmd_serve(args) -> None:
+    """Serve the fleet dashboard over a run directory or a live run."""
+    import os
+    import threading
+    from repro.obs.fleet.server import serve_live, serve_run_dir
+    from repro.obs.fleet.store import RunDirError
+    if os.path.isdir(args.target):
+        try:
+            server = serve_run_dir(args.target, host=args.host,
+                                   port=args.port)
+        except RunDirError as exc:
+            raise CliError(str(exc)) from exc
+    else:
+        from repro.obs.eventlog import EventLog
+        from repro.obs.fleet.whatif import SCENARIOS, run_scenario
+        from repro.obs.timeseries import Telemetry
+        if args.target not in SCENARIOS:
+            raise CliError(
+                f"{args.target!r} is neither a run directory nor a "
+                f"live scenario; scenarios: {', '.join(SCENARIOS)}")
+        telemetry = Telemetry(interval_s=args.interval)
+        eventlog = EventLog(level="debug", telemetry=telemetry)
+        server = serve_live(
+            telemetry, eventlog, host=args.host, port=args.port,
+            meta={"scenario": args.target, "seed": args.seed,
+                  "chaos": bool(args.chaos)})
+        threading.Thread(
+            target=run_scenario, name="fleet-sim", daemon=True,
+            kwargs=dict(scenario=args.target, seed=args.seed,
+                        chaos=args.chaos, horizon_s=args.horizon,
+                        interval_s=args.interval, telemetry=telemetry,
+                        eventlog=eventlog)).start()
+    print(f"serving fleet dashboard at {server.url} (Ctrl-C to stop)",
+          file=sys.stderr)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+
+
 def cmd_trace(args) -> None:
     """Run one experiment with tracing forced on; delegate to its cmd_*."""
     args.trace_out = args.out
@@ -208,6 +312,12 @@ COMMANDS: dict[str, tuple[str, Callable]] = {
               cmd_chaos),
     "sweep": ("parallel cached sweep over a grid of experiment points",
               cmd_sweep),
+    "record": ("record a scenario run directory for serve/whatif",
+               cmd_record),
+    "serve": ("serve the fleet dashboard over a recorded or live run",
+              cmd_serve),
+    "whatif": ("replay a recorded run under a changed policy",
+               cmd_whatif),
     "all": ("everything (examples/reproduce_paper.py)", cmd_all),
 }
 
@@ -259,6 +369,52 @@ def _add_experiment_args(p: argparse.ArgumentParser, name: str) -> None:
                        choices=("off", "warn", "raise"),
                        help="invariant-audit mode after every injection, "
                             "heal, and at teardown (default: raise)")
+    if name in ("record", "whatif"):
+        _add_policy_args(p)
+    if name == "record":
+        from repro.obs.fleet.whatif import SCENARIOS
+        p.add_argument("scenario", choices=SCENARIOS,
+                       help="which recordable scenario to run")
+        p.add_argument("--out", metavar="DIR", required=True,
+                       help="run directory to write (created if needed)")
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--chaos", action="store_true",
+                       help="run under the seed-deterministic nemesis")
+        p.add_argument("--horizon", type=float, default=20.0,
+                       metavar="SECONDS",
+                       help="virtual-time fault window (default: 20)")
+        p.add_argument("--interval", type=float, default=0.25,
+                       metavar="SECONDS",
+                       help="telemetry sampling period (default: 0.25)")
+        p.add_argument("--audit", default="off", dest="record_audit",
+                       choices=("off", "warn", "raise"),
+                       help="invariant auditing during the run "
+                            "(default: off)")
+    if name == "whatif":
+        p.add_argument("run_dir", metavar="RUN_DIR",
+                       help="a run directory written by 'repro record'")
+        p.add_argument("--out", metavar="FILE", default=None,
+                       help="also write the structured what-if document "
+                            "as canonical JSON")
+    if name == "serve":
+        p.add_argument("target", metavar="RUN_DIR|SCENARIO",
+                       help="a recorded run directory, or a scenario "
+                            "name to run live (fig7, nondedicated)")
+        p.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default: 127.0.0.1)")
+        p.add_argument("--port", type=int, default=8000,
+                       help="bind port (default: 8000; 0 picks a free "
+                            "one)")
+        p.add_argument("--seed", type=int, default=0,
+                       help="live mode: simulator seed (default: 0)")
+        p.add_argument("--chaos", action="store_true",
+                       help="live mode: run under the nemesis")
+        p.add_argument("--horizon", type=float, default=20.0,
+                       metavar="SECONDS")
+        p.add_argument("--interval", type=float, default=0.25,
+                       metavar="SECONDS",
+                       help="live mode: telemetry sampling period "
+                            "(default: 0.25)")
     if name == "sweep":
         from repro.sweep.spec import BUILTIN_SPECS
         p.add_argument("spec", metavar="SPEC",
@@ -326,6 +482,27 @@ def build_parser() -> argparse.ArgumentParser:
     _add_telemetry_args(topp)
     topp.set_defaults(func=cmd_top, _top_shorthand=True)
     return parser
+
+
+def _add_policy_args(p: argparse.ArgumentParser) -> None:
+    """The what-if policy knobs shared by ``record`` and ``whatif``.
+
+    All default to None: ``record`` fills in the scenario defaults
+    (lru/random), ``whatif`` treats None as "keep the recorded value".
+    """
+    from repro.core.manager import PLACEMENTS
+    from repro.core.policies import POLICIES
+    p.add_argument("--replacement", default=None,
+                   choices=sorted(POLICIES),
+                   help="region-cache replacement policy")
+    p.add_argument("--placement", default=None, choices=PLACEMENTS,
+                   help="manager host-placement policy")
+    p.add_argument("--idle-window", type=float, default=None,
+                   metavar="SECONDS",
+                   help="recruitment idle-window (nondedicated only)")
+    p.add_argument("--load-threshold", type=float, default=None,
+                   metavar="FRACTION",
+                   help="recruitment load threshold (nondedicated only)")
 
 
 def _add_telemetry_args(p: argparse.ArgumentParser) -> None:
@@ -424,8 +601,8 @@ def _dispatch(args) -> int:
         for key, value in vars(exp_parser.parse_args([])).items():
             setattr(args, key, value)
 
-    if args.command in ("chaos", "sweep"):
-        # chaos/sweep manage their own event logs and observability
+    if args.command in ("chaos", "sweep", "record", "serve", "whatif"):
+        # these manage their own event logs and observability
         # (they must wrap only the simulations, not the CLI plumbing)
         return args.func(args) or 0
 

@@ -33,6 +33,20 @@ IDLE_STATE_BUSY = 0
 IDLE_STATE_QUIET = 1     # quiet, accumulating toward the window
 IDLE_STATE_RECRUITED = 2
 
+#: code -> operator-facing name (dashboards, insights, API documents)
+IDLE_STATE_NAMES = {
+    IDLE_STATE_BUSY: "busy",
+    IDLE_STATE_QUIET: "quiet",
+    IDLE_STATE_RECRUITED: "recruited",
+}
+
+
+def state_name(code: float) -> str:
+    """Operator-facing name of a telemetry ``idle_state`` sample (the
+    gauge stores floats); unknown codes render as ``state-<n>`` rather
+    than raising, so a dashboard never dies on a weird sample."""
+    return IDLE_STATE_NAMES.get(int(code), f"state-{int(code)}")
+
 
 def classify_idleness(quiet_s: float, recruited: bool) -> int:
     """Map a monitor's incremental state to the telemetry code above."""

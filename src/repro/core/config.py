@@ -60,6 +60,12 @@ class DodoConfig:
     #: include the client id in region keys (the paper's planned
     #: multi-client extension, Section 4.3 footnote)
     multi_client_keys: bool = False
+    #: region placement over the IWD candidates: "random" (the paper's
+    #: behavior — a uniformly random idle host with enough space),
+    #: "most-free" (largest free-block hint first) or "round-robin"
+    #: (cycle through candidates in IWD order).  The what-if replayer
+    #: (repro whatif) exists to compare these.
+    placement: str = "random"
 
     # -- runtime library ----------------------------------------------------------
     #: refraction period: no allocation attempts for this long after a

@@ -60,6 +60,10 @@ class ClientState:
     missed: int = 0
 
 
+#: placement policies accepted by :attr:`DodoConfig.placement`
+PLACEMENTS = ("random", "most-free", "round-robin")
+
+
 def _wire_key(key: RegionKey) -> list:
     return [key.inode, key.offset, key.client]
 
@@ -86,6 +90,10 @@ class CentralManager:
         self.clients: dict[str, ClientState] = {}
         self.stats = Recorder("cmd")
         self._rng = sim.rng("cmd.placement")
+        if config.placement not in PLACEMENTS:
+            raise ValueError(f"unknown placement {config.placement!r}, "
+                             f"expected one of {sorted(PLACEMENTS)}")
+        self._rr = 0  # round-robin cursor (placement="round-robin")
         self.endpoint = ws.endpoint(config.transport)
         self._sock = self.endpoint.socket(port=port)
         self._server = RpcServer(self._sock, {
@@ -168,9 +176,29 @@ class CentralManager:
         self.stats.add("check.hit")
         return self._stamp({"ok": True, "region": entry.struct.to_wire()})
 
+    def _pick_candidate(self, candidates: list[str]) -> str:
+        """Remove and return the next host to try, per the configured
+        placement policy.  "random" draws from the seeded placement
+        stream (the paper's behavior, bit-identical to the original
+        implementation); "most-free" prefers the largest free-block
+        hint; "round-robin" cycles through candidates in IWD order."""
+        placement = self.config.placement
+        if placement == "most-free":
+            idx = max(range(len(candidates)),
+                      key=lambda i: (self.iwd[candidates[i]].largest_free
+                                     if candidates[i] in self.iwd else -1,
+                                     -i))
+            return candidates.pop(idx)
+        if placement == "round-robin":
+            idx = self._rr % len(candidates)
+            self._rr += 1
+            return candidates.pop(idx)
+        return candidates.pop(int(self._rng.integers(0, len(candidates))))
+
     def _h_alloc(self, args: dict, src):
-        """Generator handler: place a new region on a random idle host
-        with enough space, verifying hints before trusting them."""
+        """Generator handler: place a new region on an idle host with
+        enough space (chosen by :attr:`DodoConfig.placement`), verifying
+        hints before trusting them."""
         client = self._track_client(args, src)
         key = _unwire_key(args["key"])
         length = int(args["length"])
@@ -189,7 +217,7 @@ class CentralManager:
         candidates = [h for h, e in self.iwd.items()
                       if e.largest_free >= length]
         while candidates:
-            pick = candidates.pop(int(self._rng.integers(0, len(candidates))))
+            pick = self._pick_candidate(candidates)
             iwd = self.iwd.get(pick)
             if iwd is None:
                 continue

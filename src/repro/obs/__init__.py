@@ -17,6 +17,11 @@ usual entry points:
 * :class:`Auditor` — online cross-component invariant checking
   (``--audit warn|raise``).
 * :func:`render_dashboard` — the ``repro top`` ASCII view.
+* :func:`build_fleet_view` / :func:`build_run_view` — the shared render
+  model behind ``repro top`` and the web fleet dashboard (``repro
+  serve``); recording, insights and what-if replay live in
+  :mod:`repro.obs.fleet` (kept out of this namespace: they import the
+  experiment stack).
 """
 
 from repro.obs.audit import AuditError, Auditor, Finding, make_auditor
@@ -29,6 +34,9 @@ from repro.obs.eventlog import NULL_EVENTLOG, EventLog, LogEvent, \
 from repro.obs.export import chrome_trace, dump_chrome_trace, \
     write_chrome_trace
 from repro.obs.files import atomic_write
+from repro.obs.fleet.model import (ActivityRow, HostView, RunView,
+                                   SeriesView, build_fleet_view,
+                                   build_run_view)
 from repro.obs.snapshot import dump_snapshot, group_name, merged_snapshot, \
     recorder_snapshot, snapshot, write_snapshot
 from repro.obs.timeseries import NULL_TELEMETRY, GaugeSeries, RunTelemetry, \
@@ -37,22 +45,28 @@ from repro.obs.tracer import NULL_TRACER, Span, Tracer, default_tracer, \
     install
 
 __all__ = [
+    "ActivityRow",
     "AuditError",
     "Auditor",
     "COMPONENT_LAYER",
     "EventLog",
     "Finding",
     "GaugeSeries",
+    "HostView",
     "LAYER_ORDER",
     "LogEvent",
     "NULL_EVENTLOG",
     "NULL_TELEMETRY",
     "NULL_TRACER",
     "RunTelemetry",
+    "RunView",
+    "SeriesView",
     "Span",
     "Telemetry",
     "Tracer",
     "atomic_write",
+    "build_fleet_view",
+    "build_run_view",
     "chrome_trace",
     "default_eventlog",
     "default_telemetry",

@@ -5,6 +5,13 @@ memory and idle-host count over virtual time — plus per-host donation
 sparklines, cache/disk/network activity, and the tail of the structured
 event log.  Everything is built from :mod:`repro.metrics.ascii` blocks,
 so it needs no plotting dependency and works in any terminal.
+
+The data behind the screen comes from the shared fleet render-model
+(:mod:`repro.obs.fleet.model`): this module and the web fleet view
+(:mod:`repro.obs.fleet.server`) are two renderers over one
+:class:`~repro.obs.fleet.model.RunView`.  Degenerate runs — zero
+donors, missing telemetry columns, an empty event log — render as
+``n/a`` rows, never an exception.
 """
 
 from __future__ import annotations
@@ -12,7 +19,11 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.metrics.ascii import line_chart, sparkline
-from repro.obs.timeseries import GaugeSeries, RunTelemetry, Telemetry
+from repro.obs.fleet.model import (RunView, build_run_view, pick_run)
+from repro.obs.timeseries import RunTelemetry, Telemetry
+
+__all__ = ["pick_run", "render_run", "render_view", "render_dashboard",
+           "WIDTH", "MAX_HOST_ROWS"]
 
 MB = 1024 * 1024
 
@@ -22,7 +33,9 @@ WIDTH = 72
 MAX_HOST_ROWS = 12
 
 
-def _fmt_bytes(n: float) -> str:
+def _fmt_bytes(n: Optional[float]) -> str:
+    if n is None:
+        return "n/a"
     if n >= 1024 * MB:
         return f"{n / (1024 * MB):.1f}G"
     if n >= MB:
@@ -32,83 +45,60 @@ def _fmt_bytes(n: float) -> str:
     return f"{n:.0f}B"
 
 
-def _rate_per_s(series: GaugeSeries) -> list[float]:
-    """Per-sample rate of change of a monotone counter series."""
-    rates = []
-    for i in range(1, len(series.times)):
-        dt = series.times[i] - series.times[i - 1]
-        dv = series.values[i] - series.values[i - 1]
-        rates.append(dv / dt if dt > 0 else 0.0)
-    return rates or [0.0]
-
-
 def _spark_row(label: str, values, suffix: str = "") -> str:
+    if not values:
+        return f"  {label:<18s} n/a {suffix}".rstrip()
     return f"  {label:<18s} {sparkline(values, WIDTH - 22)} {suffix}".rstrip()
 
 
-def pick_run(telemetry: Telemetry) -> Optional[RunTelemetry]:
-    """The most interesting run: most samples, cluster series present.
-
-    Experiments build several platforms (calibration, baselines,
-    per-transport); the dashboard shows the richest one rather than all
-    of them, and a run where memory was actually donated (a Dodo run)
-    always beats a longer baseline run where nothing was.
-    """
-    best, best_score = None, -1.0
-    for run in telemetry.runs():
-        donated = run.get("cluster", "cluster", "donated_bytes")
-        if donated is None or not len(donated):
-            continue
-        score = run.samples * 1000.0 + len(run.components)
-        if donated.maximum() > 0:
-            score += 1e12
-        if score > best_score:
-            best, best_score = run, score
-    return best
-
-
-def render_run(run: RunTelemetry, eventlog=None, events: int = 10) -> str:
-    """The dashboard body for one run."""
+def render_view(view: RunView, events: int = 10) -> str:
+    """The dashboard body for one run's render model."""
     out: list[str] = []
-    donated = run.get("cluster", "cluster", "donated_bytes")
-    hosted = run.get("cluster", "cluster", "hosted_bytes")
-    idle = run.get("cluster", "cluster", "idle_hosts")
-    regions = run.get("cluster", "cluster", "hosted_regions")
-    out.append(f"run {run.run_id} · {run.duration_s():.1f}s virtual · "
-               f"{run.samples} samples @ {run.interval_s:g}s · "
-               f"{len(run.components)} components")
+    out.append(f"run {view.run_id} · {view.duration_s:.1f}s virtual · "
+               f"{view.samples} samples @ {view.interval_s:g}s · "
+               f"{view.n_components} components")
     out.append("")
-    if donated is not None and len(donated):
+    donated = view.cluster.get("donated_bytes")
+    if donated is not None:
         out.append(line_chart(
             [v / MB for v in donated.values], width=WIDTH, height=8,
             title=f"cluster donated memory (MB) — "
                   f"peak {_fmt_bytes(donated.maximum())}",
             ylabel_fmt="{:.0f}"))
         out.append("")
-    if hosted is not None and len(hosted):
-        out.append(_spark_row(
-            "hosted bytes", hosted.values,
-            f"(peak {_fmt_bytes(hosted.maximum())})"))
-    if regions is not None and len(regions):
-        out.append(_spark_row(
-            "hosted regions", regions.values,
-            f"(peak {regions.maximum():.0f})"))
-    if idle is not None and len(idle):
+    else:
+        out.append("  cluster donated memory: n/a (no donation telemetry)")
+    hosted = view.cluster.get("hosted_bytes")
+    out.append(_spark_row(
+        "hosted bytes", hosted.values if hosted else [],
+        f"(peak {_fmt_bytes(hosted.maximum())})" if hosted else ""))
+    regions = view.cluster.get("hosted_regions")
+    if regions is not None:
+        out.append(_spark_row("hosted regions", regions.values,
+                              f"(peak {regions.maximum():.0f})"))
+    idle = view.cluster.get("idle_hosts")
+    if idle is not None:
         out.append(_spark_row(
             "idle hosts", idle.values,
             f"(min {idle.minimum():.0f}, max {idle.maximum():.0f})"))
-    rpc = run.get("rpc", "rpc", "outstanding")
-    if rpc is not None and len(rpc):
-        out.append(_spark_row("rpc outstanding", rpc.values,
-                              f"(peak {rpc.maximum():.0f})"))
+    if view.rpc_outstanding is not None:
+        out.append(_spark_row("rpc outstanding",
+                              view.rpc_outstanding.values,
+                              f"(peak {view.rpc_outstanding.maximum():.0f})"))
     out.append("")
 
     host_rows = []
-    for name, _obj in run.objects("workstation"):
-        guest = run.get("workstation", name, "mem.guest_bytes")
-        if guest is not None and len(guest) and guest.maximum() > 0:
+    for host in view.hosts:
+        state = host.idle_state or "n/a"
+        if host.guest is not None and (host.guest_peak or 0) > 0:
             host_rows.append(_spark_row(
-                name, guest.values, f"(peak {_fmt_bytes(guest.maximum())})"))
+                host.name, host.guest.values,
+                f"(peak {_fmt_bytes(host.guest_peak)}, {state})"))
+        elif host.idle_state is not None or host.up is not None:
+            up = ("up" if host.up else "down") if host.up is not None \
+                else "n/a"
+            host_rows.append(f"  {host.name:<18s} no donations "
+                             f"({state}, {up})")
     if host_rows:
         out.append("per-host donated memory:")
         out.extend(host_rows[:MAX_HOST_ROWS])
@@ -116,44 +106,36 @@ def render_run(run: RunTelemetry, eventlog=None, events: int = 10) -> str:
             out.append(f"  … {len(host_rows) - MAX_HOST_ROWS} more hosts")
         out.append("")
 
-    activity = []
-    for name, _obj in run.objects("pagecache"):
-        ratio = run.get("pagecache", name, "hit_ratio")
-        if ratio is not None and len(ratio):
-            activity.append(_spark_row(
-                f"{name} hit%", [v * 100 for v in ratio.values],
-                f"(now {ratio.last() * 100:.0f}%)"))
-    for name, _obj in run.objects("disk"):
-        reads = run.get("disk", name, "read.bytes")
-        if reads is not None and len(reads) > 1:
-            rates = _rate_per_s(reads)
-            activity.append(_spark_row(
-                f"{name} read", [r / MB for r in rates],
-                f"(peak {max(rates) / MB:.1f} MB/s)"))
-    for name, _obj in run.objects("network"):
-        tx = run.get("network", name, "tx.bytes")
-        if tx is not None and len(tx) > 1:
-            rates = _rate_per_s(tx)
-            activity.append(_spark_row(
-                f"{name} tx", [r / MB for r in rates],
-                f"(peak {max(rates) / MB:.1f} MB/s)"))
-    if activity:
+    if view.activity:
         out.append("cache / disk / network:")
-        out.extend(activity)
+        for row in view.activity:
+            if row.unit == "percent":
+                out.append(_spark_row(row.label, row.values,
+                                      f"(now {row.last:.0f}%)"))
+            else:
+                out.append(_spark_row(
+                    row.label, [v / MB for v in row.values],
+                    f"(peak {row.peak / MB:.1f} MB/s)"))
         out.append("")
 
-    if eventlog is not None and eventlog.enabled:
-        tail = [e for e in eventlog.events if e.run == run.run_id]
-        if tail:
-            out.append(f"events ({len(tail)} recorded, last {events}):")
-            for e in tail[-events:]:
-                extras = " ".join(f"{k}={v}" for k, v in e.fields.items())
-                host = f" {e.host}" if e.host else ""
-                out.append(f"  [{e.time:10.3f}] {e.level:5s} "
-                           f"{e.component}/{e.event}{host}"
-                           + (f" {extras}" if extras else ""))
-            out.append("")
+    if view.events_total:
+        out.append(f"events ({view.events_total} recorded, "
+                   f"last {min(events, len(view.events))}):")
+        for e in view.events[-events:]:
+            extras = " ".join(f"{k}={v}"
+                              for k, v in e.get("fields", {}).items())
+            host = f" {e['host']}" if e.get("host") else ""
+            out.append(f"  [{e['t']:10.3f}] {e['level']:5s} "
+                       f"{e['component']}/{e['event']}{host}"
+                       + (f" {extras}" if extras else ""))
+        out.append("")
     return "\n".join(out).rstrip() + "\n"
+
+
+def render_run(run: RunTelemetry, eventlog=None, events: int = 10) -> str:
+    """The dashboard body for one run (model built on the fly)."""
+    return render_view(build_run_view(run, eventlog=eventlog,
+                                      events_tail=events), events=events)
 
 
 def render_dashboard(telemetry: Telemetry, eventlog=None, auditor=None,

@@ -131,6 +131,39 @@ class EventLog:
                 and (component is None or e.component == component)
                 and (event is None or e.event == event)]
 
+    def query(self, component: Optional[str] = None,
+              level: str = "debug",
+              since: Optional[float] = None,
+              until: Optional[float] = None,
+              event: Optional[str] = None,
+              host: Optional[str] = None,
+              run: Optional[int] = None,
+              limit: Optional[int] = None) -> list[LogEvent]:
+        """Read API over the recorded events (the dashboard endpoints
+        are built on this).
+
+        ``level`` is a minimum severity; ``since``/``until`` bound the
+        virtual time (inclusive, half-open on ``until``); ``component``,
+        ``event``, ``host`` and ``run`` filter exactly; ``limit`` keeps
+        only the *last* N matches (the tail, as an operator would want).
+        Events come back in emission order.
+        """
+        threshold = LEVELS.get(level)
+        if threshold is None:
+            raise ValueError(f"unknown level {level!r}, "
+                             f"expected one of {sorted(LEVELS)}")
+        out = [e for e in self.events
+               if LEVELS[e.level] >= threshold
+               and (component is None or e.component == component)
+               and (event is None or e.event == event)
+               and (host is None or e.host == host)
+               and (run is None or e.run == run)
+               and (since is None or e.time >= since)
+               and (until is None or e.time < until)]
+        if limit is not None and limit >= 0:
+            out = out[-limit:] if limit else []
+        return out
+
     def counts(self) -> dict[str, int]:
         """Event counts keyed by ``component/event``, sorted."""
         out: dict[str, int] = {}

@@ -1,0 +1,25 @@
+"""Fleet observability: the live/recorded dashboard, insights and what-if.
+
+This package is the operator-facing layer over the telemetry stream:
+
+* :mod:`repro.obs.fleet.model` — the shared render model both
+  ``repro top`` and the web fleet view draw from;
+* :mod:`repro.obs.fleet.store` — run directories (``meta.json`` +
+  ``telemetry.json`` + ``events.jsonl``) written by ``repro record``
+  and rehydrated byte-identically;
+* :mod:`repro.obs.fleet.insights` — donor scoring and ranked
+  recruitment/placement/migration recommendations;
+* :mod:`repro.obs.fleet.whatif` — policy replay of a recorded run with
+  a side-by-side delta report;
+* :mod:`repro.obs.fleet.server` — the stdlib ``http.server`` dashboard
+  behind ``repro serve``.
+"""
+
+from repro.obs.fleet.model import (ActivityRow, HostView, RunView,
+                                   SeriesView, build_fleet_view,
+                                   build_run_view, pick_run)
+
+__all__ = [
+    "ActivityRow", "HostView", "RunView", "SeriesView",
+    "build_fleet_view", "build_run_view", "pick_run",
+]

@@ -1,0 +1,319 @@
+"""The shared fleet render-model: one data model, many renderers.
+
+``repro top`` (ASCII, :mod:`repro.obs.dashboard`) and the web fleet
+view (:mod:`repro.obs.fleet.server`) used to duplicate the same
+snapshot/format logic; both now consume the views built here.  A view
+is plain derived data — per-host idle/donation state, cluster series,
+activity rates, the event-log tail — extracted from a
+:class:`~repro.obs.timeseries.RunTelemetry` (live or rehydrated from a
+run directory) and an optional :class:`~repro.obs.eventlog.EventLog`.
+
+Everything degrades gracefully: a gauge that was never sampled becomes
+``None`` (rendered as ``n/a``), never an exception — degenerate runs
+(zero donors, missing telemetry columns, empty event logs) are a fact
+of life for an operator surface.  ``to_json`` output is canonical
+plain data, so serving the same recorded run twice yields
+byte-identical documents.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.obs.timeseries import GaugeSeries, RunTelemetry, Telemetry
+
+MB = 1024 * 1024
+
+#: cluster-aggregate gauges every run view carries (None when missing)
+CLUSTER_GAUGES = ("donated_bytes", "hosted_bytes", "hosted_regions",
+                  "idle_hosts")
+
+
+@dataclass
+class SeriesView:
+    """One gauge's (times, values) plus identity, JSON-ready."""
+
+    kind: str
+    name: str
+    gauge: str
+    unit: str
+    times: list[float]
+    values: list[float]
+
+    @classmethod
+    def of(cls, series: Optional[GaugeSeries]) -> Optional["SeriesView"]:
+        if series is None or not len(series):
+            return None
+        return cls(series.kind, series.name, series.gauge, series.unit,
+                   list(series.times), list(series.values))
+
+    def last(self) -> float:
+        return self.values[-1]
+
+    def minimum(self) -> float:
+        return min(self.values)
+
+    def maximum(self) -> float:
+        return max(self.values)
+
+    def to_json(self, max_points: Optional[int] = None) -> dict:
+        times, values = self.times, self.values
+        if max_points is not None and len(times) > max_points:
+            s = GaugeSeries(self.kind, self.name, self.gauge, self.unit)
+            s.times, s.values = times, values
+            times, values = s.downsampled(max_points)
+        return {"kind": self.kind, "name": self.name, "gauge": self.gauge,
+                "unit": self.unit, "times": times, "values": values,
+                "last": self.last(), "min": self.minimum(),
+                "max": self.maximum()}
+
+
+@dataclass
+class HostView:
+    """One workstation's donor-facing state."""
+
+    name: str
+    up: Optional[bool] = None
+    idle_state: Optional[str] = None
+    quiet_s: Optional[float] = None
+    guest: Optional[SeriesView] = None          # donated memory in use
+    pool_bytes: Optional[float] = None          # imd pool size (last)
+    pool_used: Optional[SeriesView] = None
+    regions_hosted: Optional[float] = None
+    recruits: Optional[int] = None              # eventlog-derived counts
+    reclaims: Optional[int] = None
+
+    @property
+    def guest_peak(self) -> Optional[float]:
+        return self.guest.maximum() if self.guest is not None else None
+
+    def to_json(self, max_points: Optional[int] = None) -> dict:
+        return {
+            "name": self.name, "up": self.up,
+            "idle_state": self.idle_state, "quiet_s": self.quiet_s,
+            "guest": None if self.guest is None
+            else self.guest.to_json(max_points),
+            "guest_peak": self.guest_peak,
+            "pool_bytes": self.pool_bytes,
+            "pool_used": None if self.pool_used is None
+            else self.pool_used.to_json(max_points),
+            "regions_hosted": self.regions_hosted,
+            "recruits": self.recruits, "reclaims": self.reclaims,
+        }
+
+
+@dataclass
+class ActivityRow:
+    """One cache/disk/NIC utilization sparkline (already rate-formed)."""
+
+    label: str
+    unit: str
+    values: list[float]
+
+    @property
+    def peak(self) -> float:
+        return max(self.values) if self.values else 0.0
+
+    @property
+    def last(self) -> float:
+        return self.values[-1] if self.values else 0.0
+
+    def to_json(self) -> dict:
+        return {"label": self.label, "unit": self.unit,
+                "values": self.values, "peak": self.peak,
+                "last": self.last}
+
+
+@dataclass
+class RunView:
+    """Everything a dashboard needs to draw one run."""
+
+    run_id: int
+    interval_s: float
+    samples: int
+    duration_s: float
+    n_components: int
+    cluster: dict[str, Optional[SeriesView]] = field(default_factory=dict)
+    rpc_outstanding: Optional[SeriesView] = None
+    hosts: list[HostView] = field(default_factory=list)
+    activity: list[ActivityRow] = field(default_factory=list)
+    events: list[dict] = field(default_factory=list)   # tail, to_dict form
+    events_total: int = 0
+
+    def host(self, name: str) -> Optional[HostView]:
+        for h in self.hosts:
+            if h.name == name:
+                return h
+        return None
+
+    def to_json(self, max_points: Optional[int] = None) -> dict:
+        return {
+            "run": self.run_id, "interval_s": self.interval_s,
+            "samples": self.samples, "duration_s": self.duration_s,
+            "components": self.n_components,
+            "cluster": {g: None if s is None else s.to_json(max_points)
+                        for g, s in self.cluster.items()},
+            "rpc_outstanding": None if self.rpc_outstanding is None
+            else self.rpc_outstanding.to_json(max_points),
+            "hosts": [h.to_json(max_points) for h in self.hosts],
+            "activity": [a.to_json() for a in self.activity],
+            "events": self.events, "events_total": self.events_total,
+        }
+
+
+def rate_per_s(series) -> list[float]:
+    """Per-sample rate of change of a monotone counter series."""
+    times = series.times
+    values = series.values
+    rates = []
+    for i in range(1, len(times)):
+        dt = times[i] - times[i - 1]
+        dv = values[i] - values[i - 1]
+        rates.append(dv / dt if dt > 0 else 0.0)
+    return rates or [0.0]
+
+
+def _count_components(run: RunTelemetry) -> int:
+    if run.components:
+        return len(run.components)
+    return len({(k, n) for k, n, _g in run.series})
+
+
+def _host_names(run: RunTelemetry) -> list[str]:
+    """Workstations first (registration order), then any rmd/imd names
+    that never registered a workstation probe."""
+    names = list(run.names("workstation"))
+    for kind in ("rmd", "imd"):
+        for name in run.names(kind):
+            if name not in names:
+                names.append(name)
+    return names
+
+
+def _host_view(run: RunTelemetry, name: str, eventlog=None) -> HostView:
+    # deferred: repro.cluster pulls the whole simulation stack, which
+    # itself imports repro.obs at startup — a top-level import cycles
+    from repro.cluster.idleness import state_name
+    view = HostView(name=name)
+    up = run.get("workstation", name, "up")
+    if up is not None and len(up):
+        view.up = bool(up.last())
+    view.guest = SeriesView.of(run.get("workstation", name,
+                                       "mem.guest_bytes"))
+    idle = run.get("rmd", name, "idle_state")
+    if idle is not None and len(idle):
+        view.idle_state = state_name(idle.last())
+    quiet = run.get("rmd", name, "quiet_s")
+    if quiet is not None and len(quiet):
+        view.quiet_s = quiet.last()
+    imd_up = run.get("imd", name, "up")
+    if imd_up is not None and len(imd_up):
+        if view.idle_state is None:
+            # dedicated platform: no rmd, the imd *is* the idle state
+            view.idle_state = "recruited" if imd_up.last() else "busy"
+        if view.up is None:
+            view.up = bool(imd_up.last())
+    pool = run.get("imd", name, "pool.bytes")
+    if pool is not None and len(pool):
+        view.pool_bytes = pool.last()
+    view.pool_used = SeriesView.of(run.get("imd", name, "pool.used_bytes"))
+    hosted = run.get("imd", name, "regions.hosted")
+    if hosted is not None and len(hosted):
+        view.regions_hosted = hosted.last()
+    if eventlog is not None and eventlog.enabled:
+        view.recruits = len(eventlog.query(component="rmd",
+                                           event="node.recruited",
+                                           host=name, run=run.run_id))
+        view.reclaims = len(eventlog.query(component="rmd",
+                                           event="node.reclaimed",
+                                           host=name, run=run.run_id))
+    return view
+
+
+def _activity_rows(run: RunTelemetry) -> list[ActivityRow]:
+    rows: list[ActivityRow] = []
+    for name in run.names("pagecache"):
+        ratio = run.get("pagecache", name, "hit_ratio")
+        if ratio is not None and len(ratio):
+            rows.append(ActivityRow(f"{name} hit%", "percent",
+                                    [v * 100 for v in ratio.values]))
+    for name in run.names("disk"):
+        reads = run.get("disk", name, "read.bytes")
+        if reads is not None and len(reads) > 1:
+            rows.append(ActivityRow(f"{name} read", "bytes/s",
+                                    rate_per_s(reads)))
+    for name in run.names("network"):
+        tx = run.get("network", name, "tx.bytes")
+        if tx is not None and len(tx) > 1:
+            rows.append(ActivityRow(f"{name} tx", "bytes/s",
+                                    rate_per_s(tx)))
+    for name in run.names("nic"):
+        rx = run.get("nic", name, "rx.bytes")
+        if rx is not None and len(rx) > 1:
+            rates = rate_per_s(rx)
+            if max(rates) > 0:
+                rows.append(ActivityRow(f"nic {name} rx", "bytes/s",
+                                        rates))
+    return rows
+
+
+def build_run_view(run: RunTelemetry, eventlog=None,
+                   events_tail: int = 10) -> RunView:
+    """Derive one run's complete render model."""
+    view = RunView(run_id=run.run_id, interval_s=run.interval_s,
+                   samples=run.samples, duration_s=run.duration_s(),
+                   n_components=_count_components(run))
+    for gauge in CLUSTER_GAUGES:
+        view.cluster[gauge] = SeriesView.of(
+            run.get("cluster", "cluster", gauge))
+    view.rpc_outstanding = SeriesView.of(run.get("rpc", "rpc",
+                                                 "outstanding"))
+    view.hosts = [_host_view(run, name, eventlog)
+                  for name in _host_names(run)]
+    view.activity = _activity_rows(run)
+    if eventlog is not None and eventlog.enabled:
+        mine = eventlog.query(run=run.run_id)
+        view.events_total = len(mine)
+        view.events = [e.to_dict() for e in mine[-events_tail:]]
+    return view
+
+
+def pick_run(telemetry: Telemetry) -> Optional[RunTelemetry]:
+    """The most interesting run: most samples, cluster series present.
+
+    Experiments build several platforms (calibration, baselines,
+    per-transport); the dashboard shows the richest one rather than all
+    of them, and a run where memory was actually donated (a Dodo run)
+    always beats a longer baseline run where nothing was.  Runs with no
+    donation telemetry at all still qualify (scored on samples alone),
+    so degenerate runs render with ``n/a`` columns instead of vanishing.
+    """
+    best, best_score = None, -1.0
+    for run in telemetry.runs():
+        score = run.samples * 1000.0 + _count_components(run)
+        donated = run.get("cluster", "cluster", "donated_bytes")
+        if donated is not None and len(donated) and donated.maximum() > 0:
+            score += 1e12
+        if score > best_score:
+            best, best_score = run, score
+    return best
+
+
+def build_fleet_view(telemetry: Telemetry, eventlog=None,
+                     events_tail: int = 10) -> dict:
+    """The ``/api/fleet`` document: every run summarized, the richest
+    run in full.  Canonical plain data."""
+    main = pick_run(telemetry)
+    runs = []
+    for run in telemetry.runs():
+        runs.append({"run": run.run_id, "samples": run.samples,
+                     "interval_s": run.interval_s,
+                     "duration_s": run.duration_s(),
+                     "components": _count_components(run)})
+    doc: dict = {"runs": runs, "main": None}
+    if main is not None:
+        doc["main"] = build_run_view(
+            main, eventlog=eventlog, events_tail=events_tail).to_json(
+            max_points=240)
+    return doc

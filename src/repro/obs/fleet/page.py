@@ -1,0 +1,491 @@
+"""The fleet dashboard's single HTML page (no external dependencies).
+
+One self-contained document: inline CSS + JS, data fetched from the
+``/api/*`` endpoints and rendered as inline SVG.  Visual language
+follows the repo's dataviz conventions: 2px lines, hairline solid
+gridlines, a legend for multi-series charts, a crosshair tooltip on the
+time charts, per-host sparklines, and a table twin for every chart so
+no value is gated behind hover or color.  The categorical palette
+(blue/orange/aqua, dark-mode steps included) is CVD-validated; state
+and severity are always carried by text next to the mark, never by
+color alone.
+"""
+
+from __future__ import annotations
+
+#: categorical slots (light, dark) — validated order, do not cycle
+PALETTE = (("#2a78d6", "#3987e5"),   # slot 1: blue
+           ("#eb6834", "#d95926"),   # slot 2: orange
+           ("#1baf7a", "#199e70"))   # slot 3: aqua
+
+PAGE = r"""<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<meta name="viewport" content="width=device-width, initial-scale=1">
+<title>repro fleet</title>
+<style>
+:root {
+  color-scheme: light;
+  --surface-1: #fcfcfb; --page: #f9f9f7;
+  --ink-1: #0b0b0b; --ink-2: #52514e; --ink-3: #898781;
+  --grid: #e1e0d9; --axis: #c3c2b7;
+  --border: rgba(11,11,11,0.10);
+  --s1: #2a78d6; --s2: #eb6834; --s3: #1baf7a;
+}
+@media (prefers-color-scheme: dark) {
+  :root {
+    color-scheme: dark;
+    --surface-1: #1a1a19; --page: #0d0d0d;
+    --ink-1: #ffffff; --ink-2: #c3c2b7; --ink-3: #898781;
+    --grid: #2c2c2a; --axis: #383835;
+    --border: rgba(255,255,255,0.10);
+    --s1: #3987e5; --s2: #d95926; --s3: #199e70;
+  }
+}
+* { box-sizing: border-box; }
+body {
+  margin: 0; background: var(--page); color: var(--ink-1);
+  font: 14px/1.45 system-ui, -apple-system, "Segoe UI", sans-serif;
+}
+main { max-width: 1080px; margin: 0 auto; padding: 20px 24px 48px; }
+header { display: flex; align-items: baseline; gap: 12px;
+         flex-wrap: wrap; margin-bottom: 16px; }
+header h1 { font-size: 18px; font-weight: 600; margin: 0; }
+header .sub { color: var(--ink-2); font-size: 13px; }
+.cards { display: grid; gap: 16px;
+         grid-template-columns: repeat(auto-fit, minmax(320px, 1fr)); }
+.card { background: var(--surface-1); border: 1px solid var(--border);
+        border-radius: 8px; padding: 14px 16px; min-width: 0; }
+.card.wide { grid-column: 1 / -1; }
+.card h2 { font-size: 13px; font-weight: 600; margin: 0 0 8px;
+           color: var(--ink-2); }
+.stats { display: grid; gap: 16px;
+         grid-template-columns: repeat(auto-fit, minmax(150px, 1fr));
+         margin-bottom: 16px; }
+.stat { background: var(--surface-1); border: 1px solid var(--border);
+        border-radius: 8px; padding: 12px 16px; }
+.stat .label { font-size: 12px; color: var(--ink-2); }
+.stat .value { font-size: 26px; font-weight: 600; }
+svg { display: block; width: 100%; }
+svg text { font: 11px system-ui, sans-serif; fill: var(--ink-3); }
+.legend { display: flex; gap: 16px; font-size: 12px;
+          color: var(--ink-2); margin: 6px 2px 0; }
+.legend .key { display: inline-block; width: 14px; height: 0;
+               border-top: 2px solid; vertical-align: middle;
+               margin-right: 5px; border-radius: 1px; }
+table { border-collapse: collapse; width: 100%; font-size: 13px; }
+th, td { text-align: left; padding: 4px 10px 4px 0;
+         border-bottom: 1px solid var(--grid); }
+th { color: var(--ink-2); font-weight: 500; font-size: 12px; }
+td.num, th.num { text-align: right; font-variant-numeric: tabular-nums; }
+td.state { color: var(--ink-2); }
+.dot { display: inline-block; width: 8px; height: 8px; border-radius: 50%;
+       margin-right: 6px; vertical-align: baseline;
+       box-shadow: 0 0 0 2px var(--surface-1); }
+.recs li { margin: 4px 0; color: var(--ink-1); }
+.recs .kind { font-weight: 600; color: var(--ink-2);
+              text-transform: uppercase; font-size: 11px;
+              letter-spacing: 0.04em; margin-right: 6px; }
+details { margin-top: 8px; }
+summary { cursor: pointer; font-size: 12px; color: var(--ink-2); }
+#tooltip { position: fixed; pointer-events: none; display: none;
+  background: var(--surface-1); border: 1px solid var(--border);
+  border-radius: 6px; padding: 6px 10px; font-size: 12px;
+  box-shadow: 0 2px 8px rgba(0,0,0,0.12); z-index: 10; }
+#tooltip .t { color: var(--ink-3); margin-bottom: 2px; }
+#tooltip .v { font-weight: 600; }
+#tooltip .k { display: inline-block; width: 12px; border-top: 2px solid;
+              vertical-align: middle; margin-right: 5px; }
+.events td { color: var(--ink-2); font-variant-numeric: tabular-nums; }
+.events td.ev { color: var(--ink-1); }
+.err { color: var(--ink-2); padding: 24px 0; }
+</style>
+</head>
+<body>
+<main>
+<header>
+  <h1>repro fleet</h1>
+  <span class="sub" id="meta-line">loading…</span>
+</header>
+<div class="stats" id="stats"></div>
+<div class="cards" id="cards"></div>
+</main>
+<div id="tooltip"></div>
+<script>
+"use strict";
+const css = name =>
+  getComputedStyle(document.documentElement).getPropertyValue(name).trim();
+const SERIES = () => [css('--s1'), css('--s2'), css('--s3')];
+const fmtBytes = n => {
+  if (n == null) return 'n/a';
+  const M = 1048576;
+  if (n >= 1024 * M) return (n / (1024 * M)).toFixed(1) + ' GB';
+  if (n >= M) return (n / M).toFixed(1) + ' MB';
+  if (n >= 1024) return (n / 1024).toFixed(1) + ' KB';
+  return n.toFixed(0) + ' B';
+};
+const fmtNum = n => n == null ? 'n/a'
+  : (Number.isInteger(n) ? n.toLocaleString('en-US') : n.toPrecision(3));
+const el = (tag, cls, text) => {
+  const node = document.createElement(tag);
+  if (cls) node.className = cls;
+  if (text !== undefined) node.textContent = text;
+  return node;
+};
+
+// ---- SVG helpers (marks: 2px lines, hairline grid, wash fills) ----
+const NS = 'http://www.w3.org/2000/svg';
+const svgEl = (tag, attrs) => {
+  const node = document.createElementNS(NS, tag);
+  for (const [k, v] of Object.entries(attrs || {}))
+    node.setAttribute(k, v);
+  return node;
+};
+const niceTicks = (lo, hi, n) => {
+  if (hi <= lo) hi = lo + 1;
+  const span = hi - lo, step0 = span / Math.max(1, n);
+  const mag = Math.pow(10, Math.floor(Math.log10(step0)));
+  const step = [1, 2, 5, 10].map(m => m * mag)
+    .find(s => span / s <= n) || 10 * mag;
+  const ticks = [];
+  for (let v = Math.ceil(lo / step) * step; v <= hi + 1e-9; v += step)
+    ticks.push(v);
+  return ticks;
+};
+
+// Multi-series time chart with crosshair tooltip + table twin.
+function timeChart(card, seriesList, opts) {
+  const W = 480, H = 180, padL = 46, padR = 10, padT = 8, padB = 22;
+  const live = seriesList.filter(s => s && s.times.length);
+  if (!live.length) {
+    card.appendChild(el('div', 'err', 'n/a — series not recorded'));
+    return;
+  }
+  const colors = SERIES();
+  const t0 = Math.min(...live.map(s => s.times[0]));
+  const t1 = Math.max(...live.map(s => s.times[s.times.length - 1]));
+  const v1 = Math.max(...live.map(s => Math.max(...s.values)), 0);
+  const sx = t => padL + (t - t0) / Math.max(1e-9, t1 - t0)
+    * (W - padL - padR);
+  const sy = v => H - padB - v / Math.max(1e-9, v1) * (H - padT - padB);
+  const svg = svgEl('svg', {viewBox: `0 0 ${W} ${H}`,
+                            role: 'img', 'aria-label': opts.label});
+  for (const tick of niceTicks(0, v1, 4)) {
+    svg.appendChild(svgEl('line', {x1: padL, x2: W - padR,
+      y1: sy(tick), y2: sy(tick), stroke: 'var(--grid)',
+      'stroke-width': 1}));
+    const label = svgEl('text', {x: padL - 6, y: sy(tick) + 3,
+                                 'text-anchor': 'end'});
+    label.textContent = opts.fmt(tick);
+    svg.appendChild(label);
+  }
+  svg.appendChild(svgEl('line', {x1: padL, x2: W - padR,
+    y1: H - padB, y2: H - padB, stroke: 'var(--axis)',
+    'stroke-width': 1}));
+  for (const tick of niceTicks(t0, t1, 5)) {
+    const label = svgEl('text', {x: sx(tick), y: H - padB + 14,
+                                 'text-anchor': 'middle'});
+    label.textContent = tick.toFixed(0) + 's';
+    svg.appendChild(label);
+  }
+  live.forEach((s, i) => {
+    const color = colors[i % colors.length];
+    const pts = s.times.map((t, k) => `${sx(t)},${sy(s.values[k])}`);
+    if (opts.wash && i === 0)
+      svg.appendChild(svgEl('path', {fill: color, opacity: 0.1,
+        d: `M${sx(s.times[0])},${H - padB} L` + pts.join(' L')
+           + ` L${sx(s.times[s.times.length - 1])},${H - padB} Z`}));
+    svg.appendChild(svgEl('path', {fill: 'none', stroke: color,
+      'stroke-width': 2, 'stroke-linejoin': 'round',
+      'stroke-linecap': 'round', d: 'M' + pts.join(' L')}));
+    const endY = sy(s.values[s.values.length - 1]);
+    svg.appendChild(svgEl('circle', {
+      cx: sx(s.times[s.times.length - 1]), cy: endY, r: 4,
+      fill: color, stroke: 'var(--surface-1)', 'stroke-width': 2}));
+  });
+  const cross = svgEl('line', {y1: padT, y2: H - padB,
+    stroke: 'var(--axis)', 'stroke-width': 1, visibility: 'hidden'});
+  svg.appendChild(cross);
+  const tip = document.getElementById('tooltip');
+  svg.addEventListener('pointermove', ev => {
+    const rect = svg.getBoundingClientRect();
+    const t = t0 + (ev.clientX - rect.left) / rect.width * W < padL ? t0
+      : t0 + ((ev.clientX - rect.left) / rect.width * W - padL)
+        / (W - padL - padR) * (t1 - t0);
+    const tt = Math.max(t0, Math.min(t1, t));
+    cross.setAttribute('x1', sx(tt));
+    cross.setAttribute('x2', sx(tt));
+    cross.setAttribute('visibility', 'visible');
+    tip.replaceChildren();
+    const head = el('div', 't', 't = ' + tt.toFixed(1) + 's');
+    tip.appendChild(head);
+    live.forEach((s, i) => {
+      let k = 0;
+      while (k + 1 < s.times.length
+             && Math.abs(s.times[k + 1] - tt) <= Math.abs(s.times[k] - tt))
+        k++;
+      const row = el('div');
+      const key = el('span', 'k');
+      key.style.borderTopColor = colors[i % colors.length];
+      row.appendChild(key);
+      row.appendChild(el('span', 'v', opts.fmt(s.values[k]) + ' '));
+      row.appendChild(document.createTextNode(s.label));
+      tip.appendChild(row);
+    });
+    tip.style.display = 'block';
+    tip.style.left = (ev.clientX + 14) + 'px';
+    tip.style.top = (ev.clientY + 10) + 'px';
+  });
+  svg.addEventListener('pointerleave', () => {
+    cross.setAttribute('visibility', 'hidden');
+    tip.style.display = 'none';
+  });
+  card.appendChild(svg);
+  if (live.length > 1) {
+    const legend = el('div', 'legend');
+    live.forEach((s, i) => {
+      const item = el('span');
+      const key = el('span', 'key');
+      key.style.borderTopColor = colors[i % colors.length];
+      item.appendChild(key);
+      item.appendChild(document.createTextNode(s.label));
+      legend.appendChild(item);
+    });
+    card.appendChild(legend);
+  }
+  const details = el('details');
+  details.appendChild(el('summary', null, 'table view'));
+  const table = el('table');
+  const head = el('tr');
+  head.appendChild(el('th', null, 't (s)'));
+  live.forEach(s => head.appendChild(el('th', 'num', s.label)));
+  table.appendChild(head);
+  const stride = Math.max(1, Math.floor(live[0].times.length / 12));
+  for (let k = 0; k < live[0].times.length; k += stride) {
+    const row = el('tr');
+    row.appendChild(el('td', 'num', live[0].times[k].toFixed(1)));
+    live.forEach(s => row.appendChild(
+      el('td', 'num', opts.fmt(s.values[Math.min(k, s.values.length - 1)]))));
+    table.appendChild(row);
+  }
+  details.appendChild(table);
+  card.appendChild(details);
+}
+
+function sparkSvg(values, color) {
+  const W = 120, H = 26;
+  if (!values || values.length < 2) {
+    return el('span', null, 'n/a');
+  }
+  const hi = Math.max(...values, 1e-9);
+  const svg = svgEl('svg', {viewBox: `0 0 ${W} ${H}`,
+                            style: 'width:120px;height:26px'});
+  const pts = values.map((v, i) =>
+    `${i / (values.length - 1) * (W - 4) + 2},` +
+    `${H - 3 - v / hi * (H - 6)}`);
+  svg.appendChild(svgEl('path', {fill: 'none', stroke: color,
+    'stroke-width': 2, 'stroke-linejoin': 'round',
+    d: 'M' + pts.join(' L')}));
+  return svg;
+}
+
+function statTile(label, value) {
+  const tile = el('div', 'stat');
+  tile.appendChild(el('div', 'label', label));
+  tile.appendChild(el('div', 'value', value));
+  return tile;
+}
+
+function hostTable(card, hosts) {
+  const table = el('table');
+  const head = el('tr');
+  for (const [cls, text] of [[null, 'host'], [null, 'state'],
+      [null, 'donated (guest bytes)'], ['num', 'peak'],
+      ['num', 'pool'], ['num', 'regions'],
+      ['num', 'recruits'], ['num', 'reclaims']])
+    head.appendChild(el('th', cls, text));
+  table.appendChild(head);
+  const color = SERIES()[0];
+  for (const h of hosts) {
+    const row = el('tr');
+    const name = el('td');
+    const dot = el('span', 'dot');
+    dot.style.background = h.up === false ? 'var(--ink-3)' : color;
+    name.appendChild(dot);
+    name.appendChild(document.createTextNode(h.name));
+    row.appendChild(name);
+    const state = (h.up === false ? 'down · ' : '')
+      + (h.idle_state || 'n/a');
+    row.appendChild(el('td', 'state', state));
+    const spark = el('td');
+    spark.appendChild(sparkSvg(h.guest && h.guest.values, color));
+    row.appendChild(spark);
+    row.appendChild(el('td', 'num', fmtBytes(h.guest_peak)));
+    row.appendChild(el('td', 'num', fmtBytes(h.pool_bytes)));
+    row.appendChild(el('td', 'num', fmtNum(h.regions_hosted)));
+    row.appendChild(el('td', 'num', fmtNum(h.recruits)));
+    row.appendChild(el('td', 'num', fmtNum(h.reclaims)));
+    table.appendChild(row);
+  }
+  card.appendChild(table);
+}
+
+function activityCard(card, rows) {
+  if (!rows.length) {
+    card.appendChild(el('div', 'err', 'no activity recorded'));
+    return;
+  }
+  const table = el('table');
+  const color = SERIES()[2];
+  for (const a of rows) {
+    const row = el('tr');
+    row.appendChild(el('td', null, a.label));
+    const spark = el('td');
+    spark.appendChild(sparkSvg(a.values, color));
+    row.appendChild(spark);
+    const last = a.unit === 'percent' ? a.last.toFixed(0) + '%'
+      : fmtBytes(a.last) + '/s';
+    row.appendChild(el('td', 'num', last));
+    table.appendChild(row);
+  }
+  card.appendChild(table);
+}
+
+function eventsCard(card, events, total) {
+  if (!events.length) {
+    card.appendChild(el('div', 'err', 'no events recorded'));
+    return;
+  }
+  card.appendChild(el('div', 'sub',
+    total + ' event(s) recorded; latest below'));
+  const table = el('table');
+  table.className = 'events';
+  for (const e of events.slice().reverse()) {
+    const row = el('tr');
+    row.appendChild(el('td', 'num', e.t.toFixed(2) + 's'));
+    row.appendChild(el('td', null, e.level));
+    row.appendChild(el('td', 'ev',
+      e.component + '/' + e.event + (e.host ? ' @' + e.host : '')));
+    row.appendChild(el('td', null, e.fields
+      ? Object.entries(e.fields).map(([k, v]) => k + '=' + v).join(' ')
+      : ''));
+    table.appendChild(row);
+  }
+  card.appendChild(table);
+}
+
+function insightsCard(card, doc) {
+  if (!doc.donors.length) {
+    card.appendChild(el('div', 'err', 'no donor telemetry'));
+    return;
+  }
+  const table = el('table');
+  const head = el('tr');
+  for (const [cls, text] of [[null, 'donor'], ['num', 'score'],
+      ['num', 'recruited'], ['num', 'stability'],
+      ['num', 'reclaims'], ['num', 'regions lost']])
+    head.appendChild(el('th', cls, text));
+  table.appendChild(head);
+  for (const d of doc.donors) {
+    const row = el('tr');
+    row.appendChild(el('td', null, d.host));
+    row.appendChild(el('td', 'num', d.score.toFixed(3)));
+    row.appendChild(el('td', 'num',
+      (d.frac_recruited * 100).toFixed(0) + '%'));
+    row.appendChild(el('td', 'num', d.stability.toFixed(2)));
+    row.appendChild(el('td', 'num', String(d.reclaims)));
+    row.appendChild(el('td', 'num', String(d.regions_lost)));
+    table.appendChild(row);
+  }
+  card.appendChild(table);
+  if (doc.recommendations.length) {
+    const list = el('ol', 'recs');
+    for (const r of doc.recommendations) {
+      const item = el('li');
+      item.appendChild(el('span', 'kind', r.kind));
+      const target = r.target ? ' → ' + r.target : '';
+      item.appendChild(document.createTextNode(
+        r.host + target + ': ' + r.reason));
+      list.appendChild(item);
+    }
+    card.appendChild(list);
+  }
+}
+
+function makeCard(title, wide) {
+  const card = el('div', wide ? 'card wide' : 'card');
+  card.appendChild(el('h2', null, title));
+  document.getElementById('cards').appendChild(card);
+  return card;
+}
+
+async function getJSON(url) {
+  const res = await fetch(url);
+  if (!res.ok) throw new Error(url + ' -> ' + res.status);
+  return res.json();
+}
+
+let refreshTimer = null;
+async function render() {
+  const [meta, fleet, insights] = await Promise.all([
+    getJSON('/api/meta'), getJSON('/api/fleet'),
+    getJSON('/api/insights')]);
+  const sub = meta.scenario
+    ? `${meta.scenario} · seed ${meta.seed}`
+      + (meta.chaos ? ' · chaos' : '') : 'telemetry';
+  document.getElementById('meta-line').textContent =
+    sub + (meta.live ? ' · live' : ' · recorded');
+  const stats = document.getElementById('stats');
+  stats.replaceChildren();
+  document.getElementById('cards').replaceChildren();
+  const main = fleet.main;
+  if (!main) {
+    stats.appendChild(statTile('runs', '0'));
+    makeCard('fleet', true).appendChild(
+      el('div', 'err', 'no cluster telemetry recorded'));
+    return;
+  }
+  const donated = main.cluster.donated_bytes;
+  const hosted = main.cluster.hosted_bytes;
+  const idle = main.cluster.idle_hosts;
+  stats.appendChild(statTile('donated peak',
+    fmtBytes(donated ? donated.max : null)));
+  stats.appendChild(statTile('hosted peak',
+    fmtBytes(hosted ? hosted.max : null)));
+  stats.appendChild(statTile('idle hosts now',
+    idle ? fmtNum(idle.last) : 'n/a'));
+  stats.appendChild(statTile('events', fmtNum(main.events_total)));
+  timeChart(makeCard('cluster memory over virtual time', true), [
+    donated && {...donated, label: 'donated'},
+    hosted && {...hosted, label: 'hosted'},
+  ].filter(Boolean), {fmt: fmtBytes, wash: true,
+                      label: 'cluster donated and hosted bytes'});
+  timeChart(makeCard('idle hosts'), [
+    idle && {...idle, label: 'idle hosts'}].filter(Boolean),
+    {fmt: v => v.toFixed(0), wash: false, label: 'idle host count'});
+  timeChart(makeCard('rpc outstanding'), [
+    main.rpc_outstanding
+    && {...main.rpc_outstanding, label: 'outstanding'}].filter(Boolean),
+    {fmt: v => v.toFixed(0), wash: false, label: 'outstanding RPCs'});
+  hostTable(makeCard('workstations', true), main.hosts);
+  activityCard(makeCard('cache / disk / network'), main.activity);
+  insightsCard(makeCard('donor insights'), insights);
+  eventsCard(makeCard('event log', true), main.events,
+             main.events_total);
+  if (meta.live && !refreshTimer)
+    refreshTimer = setInterval(() => render().catch(() => {}), 2000);
+}
+render().catch(err => {
+  document.getElementById('meta-line').textContent =
+    'failed to load: ' + err.message;
+});
+</script>
+</body>
+</html>
+"""
+
+
+def render_page() -> str:
+    """The complete dashboard document served at ``/``."""
+    return PAGE

@@ -1,0 +1,234 @@
+"""The fleet dashboard's HTTP serving layer (stdlib only).
+
+``repro serve`` points this at either a *recorded* run directory
+(:mod:`repro.obs.fleet.store`) or a *live* telemetry engine while a
+simulation is still appending samples — the endpoints are identical in
+both modes because everything routes through the shared render model
+(:mod:`repro.obs.fleet.model`).
+
+Endpoints (all JSON responses are canonical — sorted keys, tight
+separators, trailing newline — so serving the same recorded run twice
+yields byte-identical bytes, the property the determinism tests and the
+CI fleet smoke assert):
+
+========================  =============================================
+``/``                     the single-page dashboard (HTML)
+``/api/meta``             scenario / seed / policy / live flag
+``/api/fleet``            every run summarized + the richest in full
+``/api/host/<name>``      one workstation's full-resolution view
+``/api/events``           eventlog query (component/level/since/until…)
+``/api/insights``         donor scores + ranked recommendations
+``/api/timeseries``       raw series select (kind/name/gauge + window)
+========================  =============================================
+"""
+
+from __future__ import annotations
+
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional
+from urllib.parse import parse_qs, unquote, urlparse
+
+from repro.obs.eventlog import EventLog
+from repro.obs.fleet.insights import build_insights
+from repro.obs.fleet.model import build_fleet_view, build_run_view, pick_run
+from repro.obs.fleet.page import render_page
+from repro.obs.fleet.store import RunDir, load_run_dir
+from repro.obs.timeseries import Telemetry
+from repro.sweep.spec import canonical_text, jsonify
+
+
+class FleetSource:
+    """What the handler reads: telemetry + eventlog + meta, live or not.
+
+    For a recorded run the objects are rehydrated once and never change;
+    for a live run they are the installed engines, still being appended
+    to by the simulation thread (appends are atomic enough for a
+    read-only dashboard — a snapshot may be one sample stale, never
+    torn).
+    """
+
+    def __init__(self, telemetry: Telemetry,
+                 eventlog: Optional[EventLog] = None,
+                 meta: Optional[dict] = None, live: bool = False):
+        self.telemetry = telemetry
+        self.eventlog = eventlog if eventlog is not None else EventLog()
+        self.meta = dict(meta or {})
+        self.live = live
+
+    @classmethod
+    def from_run_dir(cls, run_dir) -> "FleetSource":
+        """A source over a recorded run directory (path or RunDir)."""
+        if not isinstance(run_dir, RunDir):
+            run_dir = load_run_dir(run_dir)
+        return cls(run_dir.telemetry, run_dir.eventlog,
+                   meta=run_dir.meta, live=False)
+
+    def meta_doc(self) -> dict:
+        doc = dict(self.meta)
+        doc["live"] = self.live
+        doc["runs"] = len(self.telemetry.runs())
+        return doc
+
+
+class HttpError(Exception):
+    """An error response with a status code."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+
+
+def _float_arg(args: dict, key: str) -> Optional[float]:
+    if key not in args:
+        return None
+    try:
+        return float(args[key][0])
+    except ValueError:
+        raise HttpError(400, f"bad {key!r}: not a number")
+
+
+def _int_arg(args: dict, key: str) -> Optional[int]:
+    if key not in args:
+        return None
+    try:
+        return int(args[key][0])
+    except ValueError:
+        raise HttpError(400, f"bad {key!r}: not an integer")
+
+
+def _str_arg(args: dict, key: str) -> Optional[str]:
+    return args[key][0] if key in args else None
+
+
+class FleetHandler(BaseHTTPRequestHandler):
+    """Routes ``/`` and ``/api/*`` over the server's FleetSource."""
+
+    server_version = "repro-fleet/1"
+    protocol_version = "HTTP/1.1"
+
+    # -- routing -----------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        parsed = urlparse(self.path)
+        path = unquote(parsed.path)
+        args = parse_qs(parsed.query)
+        try:
+            if path in ("/", "/index.html"):
+                self._send(200, render_page().encode(),
+                           "text/html; charset=utf-8")
+                return
+            doc = self._route_api(path, args)
+            body = (canonical_text(jsonify(doc)) + "\n").encode()
+            self._send(200, body, "application/json")
+        except HttpError as exc:
+            body = (canonical_text({"error": str(exc)}) + "\n").encode()
+            self._send(exc.status, body, "application/json")
+
+    def _route_api(self, path: str, args: dict) -> dict:
+        source: FleetSource = self.server.source  # type: ignore[attr-defined]
+        if path == "/api/meta":
+            return source.meta_doc()
+        if path == "/api/fleet":
+            return build_fleet_view(source.telemetry, source.eventlog)
+        if path.startswith("/api/host/"):
+            return self._host_doc(source, path[len("/api/host/"):])
+        if path == "/api/events":
+            return self._events_doc(source, args)
+        if path == "/api/insights":
+            return build_insights(source.telemetry, source.eventlog)
+        if path == "/api/timeseries":
+            return self._timeseries_doc(source, args)
+        raise HttpError(404, f"no such endpoint: {path}")
+
+    # -- endpoint bodies ---------------------------------------------------
+    def _host_doc(self, source: FleetSource, name: str) -> dict:
+        run = pick_run(source.telemetry)
+        if run is None:
+            raise HttpError(404, "no telemetry recorded")
+        view = build_run_view(run, eventlog=source.eventlog)
+        host = view.host(name)
+        if host is None:
+            raise HttpError(404, f"no such host: {name}")
+        return host.to_json()      # full resolution, no downsampling
+
+    def _events_doc(self, source: FleetSource, args: dict) -> dict:
+        events = source.eventlog.query(
+            component=_str_arg(args, "component"),
+            level=_str_arg(args, "level") or "debug",
+            since=_float_arg(args, "since"),
+            until=_float_arg(args, "until"),
+            event=_str_arg(args, "event"),
+            host=_str_arg(args, "host"),
+            run=_int_arg(args, "run"),
+            limit=_int_arg(args, "limit"))
+        return {"total": len(source.eventlog.events),
+                "matched": [e.to_dict() for e in events]}
+
+    def _timeseries_doc(self, source: FleetSource, args: dict) -> dict:
+        run = pick_run(source.telemetry)
+        if run is None:
+            return {"series": []}
+        since = _float_arg(args, "since")
+        until = _float_arg(args, "until")
+        max_points = _int_arg(args, "max_points")
+        out = []
+        for s in run.select(kind=_str_arg(args, "kind"),
+                            name=_str_arg(args, "name"),
+                            gauge=_str_arg(args, "gauge")):
+            times, values = s.window(since, until)
+            if max_points is not None and len(times) > max_points:
+                clone = type(s)(s.kind, s.name, s.gauge, s.unit)
+                clone.times, clone.values = times, values
+                times, values = clone.downsampled(max_points)
+            out.append({"kind": s.kind, "name": s.name, "gauge": s.gauge,
+                        "unit": s.unit, "times": times, "values": values})
+        return {"run": run.run_id, "series": out}
+
+    # -- plumbing ----------------------------------------------------------
+    def _send(self, status: int, body: bytes, content_type: str) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.send_header("Cache-Control", "no-store")
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, fmt: str, *log_args) -> None:
+        """Quiet by default; the CLI prints the URL once instead."""
+
+
+class FleetServer(ThreadingHTTPServer):
+    """A ThreadingHTTPServer carrying its FleetSource."""
+
+    daemon_threads = True
+
+    def __init__(self, source: FleetSource, host: str = "127.0.0.1",
+                 port: int = 0):
+        super().__init__((host, port), FleetHandler)
+        self.source = source
+
+    @property
+    def url(self) -> str:
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}/"
+
+    def serve_background(self) -> threading.Thread:
+        """serve_forever on a daemon thread; returns the thread."""
+        thread = threading.Thread(target=self.serve_forever,
+                                  name="fleet-server", daemon=True)
+        thread.start()
+        return thread
+
+
+def serve_run_dir(path: str, host: str = "127.0.0.1",
+                  port: int = 0) -> FleetServer:
+    """A server over one recorded run directory (not yet serving)."""
+    return FleetServer(FleetSource.from_run_dir(path), host, port)
+
+
+def serve_live(telemetry: Telemetry, eventlog: Optional[EventLog] = None,
+               meta: Optional[dict] = None, host: str = "127.0.0.1",
+               port: int = 0) -> FleetServer:
+    """A server over live (still-recording) engines (not yet serving)."""
+    return FleetServer(FleetSource(telemetry, eventlog, meta, live=True),
+                       host, port)

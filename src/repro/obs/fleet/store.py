@@ -1,0 +1,166 @@
+"""Run directories: recorded observability, rehydrated byte-identically.
+
+``repro record`` (and any experiment run with ``--fleet-out``) writes a
+*run directory* — the unit the fleet dashboard, insights engine and
+what-if replayer all consume::
+
+    <dir>/meta.json        scenario, seed, policy, canonical metrics
+    <dir>/telemetry.json   Telemetry.to_json() (canonical JSON)
+    <dir>/events.jsonl     EventLog JSONL export
+
+Everything is canonical JSON written atomically, so recording the same
+seeded scenario twice produces byte-identical directories — the
+determinism property the CI fleet smoke diffs for.  :func:`load_run_dir`
+rehydrates the telemetry and event log into the same in-memory types the
+live path uses; the render model and every ``/api/*`` endpoint work
+identically over live and recorded runs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Optional
+
+from repro.obs.eventlog import EventLog, LogEvent
+from repro.obs.files import atomic_write
+from repro.obs.timeseries import GaugeSeries, RunTelemetry, Telemetry
+from repro.sweep.spec import canonical_text, jsonify
+
+#: bumped when the on-disk layout changes incompatibly
+FORMAT_VERSION = 1
+
+META_FILE = "meta.json"
+TELEMETRY_FILE = "telemetry.json"
+EVENTS_FILE = "events.jsonl"
+
+
+class RunDirError(ValueError):
+    """A run directory that is missing, incomplete, or unreadable."""
+
+
+class RunDir:
+    """One loaded run directory: meta + rehydrated telemetry/eventlog."""
+
+    def __init__(self, path: str, meta: dict, telemetry: Telemetry,
+                 eventlog: EventLog):
+        self.path = path
+        self.meta = meta
+        self.telemetry = telemetry
+        self.eventlog = eventlog
+
+    @property
+    def scenario(self) -> str:
+        return self.meta.get("scenario", "")
+
+    @property
+    def seed(self) -> Optional[int]:
+        return self.meta.get("seed")
+
+    @property
+    def policy(self) -> dict:
+        return self.meta.get("policy", {})
+
+    @property
+    def metrics(self) -> dict:
+        return self.meta.get("metrics", {})
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<RunDir {self.path!r} scenario={self.scenario!r} "
+                f"seed={self.seed!r}>")
+
+
+def write_run_dir(path: str, telemetry: Telemetry,
+                  eventlog: Optional[EventLog] = None,
+                  meta: Optional[dict] = None) -> dict:
+    """Write one run directory (created if needed); returns the meta
+    dict actually written.  All three files are canonical JSON / JSONL
+    written atomically."""
+    os.makedirs(path, exist_ok=True)
+    doc = dict(meta or {})
+    doc["format"] = FORMAT_VERSION
+    doc = jsonify(doc)
+    with atomic_write(os.path.join(path, META_FILE)) as fp:
+        fp.write(canonical_text(doc))
+        fp.write("\n")
+    telemetry.write_json(os.path.join(path, TELEMETRY_FILE),
+                         meta={"scenario": doc.get("scenario", ""),
+                               "seed": doc.get("seed")})
+    log = eventlog if eventlog is not None else EventLog()
+    log.write_jsonl(os.path.join(path, EVENTS_FILE))
+    return doc
+
+
+def _rehydrate_telemetry(doc: dict) -> Telemetry:
+    """Rebuild a :class:`Telemetry` from its ``to_json`` document.
+
+    Runs are keyed by placeholder objects (no simulators exist any
+    more); series come back in recorded order, so the render model's
+    name/kind fallbacks see the original registration order.
+    """
+    telemetry = Telemetry()
+    for run_doc in doc.get("runs", []):
+        run = RunTelemetry(run_id=int(run_doc["run"]),
+                           interval_s=float(run_doc["interval_s"]))
+        run.samples = int(run_doc["samples"])
+        for s in run_doc.get("series", []):
+            series = GaugeSeries(s["kind"], s["name"], s["gauge"],
+                                 s["unit"])
+            for t, v in zip(s["times"], s["values"]):
+                series.record(float(t), float(v))
+            run.series[series.key] = series
+        telemetry._runs[object()] = run
+    return telemetry
+
+
+def _rehydrate_eventlog(path: str) -> EventLog:
+    """Rebuild an :class:`EventLog` from a JSONL export."""
+    log = EventLog(level="debug")
+    if not os.path.exists(path):
+        return log
+    with open(path) as fp:
+        for line in fp:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                d = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise RunDirError(f"bad event line in {path}: {exc}")
+            log.events.append(LogEvent(
+                run=int(d["run"]), time=float(d["t"]),
+                seq=int(d["seq"]), level=d["level"],
+                component=d["component"], host=d.get("host", ""),
+                event=d["event"], fields=d.get("fields", {})))
+    log._seq = log.events[-1].seq if log.events else 0
+    return log
+
+
+def load_run_dir(path: str) -> RunDir:
+    """Load a run directory written by :func:`write_run_dir`."""
+    meta_path = os.path.join(path, META_FILE)
+    telemetry_path = os.path.join(path, TELEMETRY_FILE)
+    if not os.path.isdir(path):
+        raise RunDirError(f"not a run directory: {path}")
+    if not os.path.exists(meta_path):
+        raise RunDirError(f"no {META_FILE} in {path} "
+                          "(not a recorded run directory?)")
+    with open(meta_path) as fp:
+        try:
+            meta = json.load(fp)
+        except json.JSONDecodeError as exc:
+            raise RunDirError(f"bad {META_FILE} in {path}: {exc}")
+    version = meta.get("format")
+    if version != FORMAT_VERSION:
+        raise RunDirError(f"run directory format {version!r} in {path}, "
+                          f"this build reads {FORMAT_VERSION}")
+    if not os.path.exists(telemetry_path):
+        raise RunDirError(f"no {TELEMETRY_FILE} in {path}")
+    with open(telemetry_path) as fp:
+        try:
+            telemetry_doc = json.load(fp)
+        except json.JSONDecodeError as exc:
+            raise RunDirError(f"bad {TELEMETRY_FILE} in {path}: {exc}")
+    telemetry = _rehydrate_telemetry(telemetry_doc)
+    eventlog = _rehydrate_eventlog(os.path.join(path, EVENTS_FILE))
+    return RunDir(path, meta, telemetry, eventlog)

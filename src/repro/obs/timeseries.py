@@ -35,6 +35,7 @@ its invariant checks at every sample point.
 from __future__ import annotations
 
 import json
+from bisect import bisect_left
 from typing import IO, Callable, Iterable, Optional
 
 from repro.obs.files import atomic_write
@@ -81,6 +82,17 @@ class GaugeSeries:
 
     def maximum(self) -> float:
         return max(self.values)
+
+    def window(self, since: Optional[float] = None,
+               until: Optional[float] = None
+               ) -> tuple[list[float], list[float]]:
+        """The samples with ``since <= time < until`` (either bound may
+        be None for unbounded).  Times are monotone (enforced by
+        :meth:`record`), so this is a binary-search slice."""
+        lo = 0 if since is None else bisect_left(self.times, since)
+        hi = len(self.times) if until is None \
+            else bisect_left(self.times, until)
+        return self.times[lo:hi], self.values[lo:hi]
 
     def downsampled(self, max_points: Optional[int]
                     ) -> tuple[list[float], list[float]]:
@@ -258,6 +270,40 @@ class RunTelemetry:
     def objects(self, kind: str) -> list[tuple[str, object]]:
         """Registered (name, obj) pairs of one kind, registration order."""
         return [(n, o) for k, n, o in self.components if k == kind]
+
+    def names(self, kind: str) -> list[str]:
+        """Component names of one kind, registration order.
+
+        Falls back to the recorded series keys when no component objects
+        are attached — the case for runs rehydrated from a run directory
+        (:mod:`repro.obs.fleet.store`), whose JSON export carries series
+        but not the live objects behind them.
+        """
+        if self.components:
+            return [n for k, n, _o in self.components if k == kind]
+        out: list[str] = []
+        for k, n, _g in self.series:  # dict: first-recorded order
+            if k == kind and n not in out:
+                out.append(n)
+        return out
+
+    def kinds(self) -> list[str]:
+        """Every component kind with at least one series, first-seen."""
+        out: list[str] = []
+        for k, _n, _g in self.series:
+            if k not in out:
+                out.append(k)
+        return out
+
+    def select(self, kind: Optional[str] = None,
+               name: Optional[str] = None,
+               gauge: Optional[str] = None) -> list["GaugeSeries"]:
+        """Read API: every series matching the given filters (None
+        matches anything), in recording order."""
+        return [s for s in self.series.values()
+                if (kind is None or s.kind == kind)
+                and (name is None or s.name == name)
+                and (gauge is None or s.gauge == gauge)]
 
     def record(self, kind: str, name: str, gauge: str, unit: str,
                time: float, value: float) -> None:

@@ -1,0 +1,129 @@
+"""Insights engine: scoring, recommendations, golden-file stability.
+
+The golden files pin the full canonical-JSON insights document of two
+fixture runs.  Regenerate after an intentional behavior change with::
+
+    REPRO_REGOLDEN=1 PYTHONPATH=src python -m pytest \
+        tests/obs/fleet/test_insights.py
+"""
+
+import os
+
+import pytest
+
+from repro.obs.eventlog import EventLog
+from repro.obs.fleet.insights import (build_insights, emit_insights,
+                                      format_insights, score_host)
+from repro.obs.fleet.whatif import run_scenario
+from repro.obs.timeseries import RunTelemetry, Telemetry
+from repro.sim import Simulator
+from repro.sweep.spec import canonical_text
+
+GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "golden")
+
+FIXTURES = {
+    "insights_fig7_seed3.json": dict(scenario="fig7", seed=3),
+    "insights_nondedicated_chaos_seed5.json":
+        dict(scenario="nondedicated", seed=5, chaos=True),
+}
+
+
+@pytest.mark.parametrize("golden_name,kwargs", sorted(FIXTURES.items()))
+def test_insights_match_golden_files(golden_name, kwargs):
+    doc = run_scenario(**kwargs)["insights"]
+    text = canonical_text(doc) + "\n"
+    path = os.path.join(GOLDEN_DIR, golden_name)
+    if os.environ.get("REPRO_REGOLDEN"):
+        with open(path, "w") as fp:
+            fp.write(text)
+    with open(path) as fp:
+        assert fp.read() == text, \
+            f"insights drifted from {golden_name}; if intentional, " \
+            "regenerate with REPRO_REGOLDEN=1"
+
+
+def make_flappy_run():
+    run = RunTelemetry(run_id=1, interval_s=1.0)
+    run.samples = 10
+    for i in range(10):
+        t = float(i)
+        # wstable: recruited throughout; wflaky: flapping every sample
+        run.record("rmd", "wstable", "idle_state", "state", t, 2.0)
+        run.record("rmd", "wstable", "recruited", "bool", t, 1.0)
+        run.record("rmd", "wflaky", "idle_state", "state", t,
+                   2.0 if i % 2 == 0 else 0.0)
+        run.record("rmd", "wflaky", "recruited", "bool", t,
+                   1.0 if i % 2 == 0 else 0.0)
+        run.record("imd", "wflaky", "regions.hosted", "count", t, 3.0)
+        # wquiet: quiet the whole run, never recruited
+        run.record("rmd", "wquiet", "idle_state", "state", t, 1.0)
+        run.record("rmd", "wquiet", "recruited", "bool", t, 0.0)
+    return run
+
+
+def make_flappy_eventlog(run_id=1):
+    sim = Simulator(seed=1)
+    log = EventLog(level="debug")
+    log._run_ids[sim] = run_id
+    for _ in range(3):
+        log.info(sim, "rmd", "node.recruited", host="wflaky")
+        log.info(sim, "rmd", "node.reclaimed", host="wflaky")
+    log.info(sim, "imd", "imd.killed", host="wflaky", regions_lost=2)
+    log.info(sim, "rmd", "node.recruited", host="wstable")
+    return sim, log
+
+
+def test_scoring_separates_stable_from_flaky():
+    run = make_flappy_run()
+    _, log = make_flappy_eventlog()
+    stable = score_host(run, "wstable", log)
+    flaky = score_host(run, "wflaky", log)
+    assert stable["score"] > flaky["score"]
+    assert stable["stability"] == 1.0 and stable["reclaims"] == 0
+    assert flaky["flaps"] == 9 and flaky["reclaims"] == 4
+    assert flaky["regions_lost"] == 2
+
+
+def test_recommendations_cover_all_kinds():
+    run = make_flappy_run()
+    _, log = make_flappy_eventlog()
+    telemetry = Telemetry()
+    telemetry._runs[object()] = run
+    doc = build_insights(telemetry, log)
+    kinds = {(r["kind"], r["host"]) for r in doc["recommendations"]}
+    assert ("avoid", "wflaky") in kinds
+    assert ("migrate", "wflaky") in kinds
+    assert ("placement", "wstable") in kinds
+    assert ("recruit", "wquiet") in kinds
+    migrate = next(r for r in doc["recommendations"]
+                   if r["kind"] == "migrate")
+    assert migrate["target"] == "wstable"
+    # donors ranked by score desc, deterministic
+    scores = [d["score"] for d in doc["donors"]]
+    assert scores == sorted(scores, reverse=True)
+    assert "wflaky" in format_insights(doc)
+
+
+def test_empty_telemetry_yields_empty_insights():
+    doc = build_insights(Telemetry(), EventLog())
+    assert doc == {"run": None, "donors": [], "recommendations": []}
+    assert "no donor telemetry" in format_insights(doc)
+
+
+def test_emit_insights_writes_structured_events():
+    run = make_flappy_run()
+    sim, log = make_flappy_eventlog()
+    telemetry = Telemetry()
+    telemetry._runs[object()] = run
+    doc = build_insights(telemetry, log)
+    n = emit_insights(log, sim, doc)
+    scored = log.query(component="insights", event="donor.scored")
+    recs = log.query(component="insights", event="recommendation")
+    assert n == len(scored) + len(recs) > 0
+    assert len(scored) == len(doc["donors"])
+    assert [e.fields["rank"] for e in recs] == \
+        list(range(1, len(recs) + 1))
+    # inert on a disabled log
+    from repro.obs.eventlog import NULL_EVENTLOG
+    assert emit_insights(NULL_EVENTLOG, sim, doc) == 0
+    assert emit_insights(None, sim, doc) == 0

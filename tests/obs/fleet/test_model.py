@@ -1,0 +1,121 @@
+"""The shared fleet render model: views, degenerate runs, JSON shape."""
+
+from repro.obs.dashboard import render_dashboard, render_run
+from repro.obs.eventlog import EventLog
+from repro.obs.fleet.model import (build_fleet_view, build_run_view,
+                                   pick_run, rate_per_s)
+from repro.obs.timeseries import GaugeSeries, RunTelemetry, Telemetry
+from repro.sim import Simulator
+
+
+def make_run(run_id=1, samples=5, donated=100.0, hosts=()):
+    run = RunTelemetry(run_id=run_id, interval_s=1.0)
+    run.samples = samples
+    for i in range(samples):
+        t = float(i)
+        run.record("cluster", "cluster", "donated_bytes", "bytes", t,
+                   donated * (i + 1))
+        run.record("cluster", "cluster", "hosted_bytes", "bytes", t,
+                   donated * i / 2)
+        run.record("cluster", "cluster", "idle_hosts", "count", t, float(i))
+        run.record("rpc", "rpc", "outstanding", "count", t, 0.0)
+        for name in hosts:
+            run.record("workstation", name, "mem.guest_bytes", "bytes",
+                       t, donated * i)
+            run.record("workstation", name, "up", "bool", t, 1.0)
+            run.record("rmd", name, "idle_state", "state", t, 2.0)
+            run.record("rmd", name, "quiet_s", "seconds", t, 60.0 + i)
+            run.record("imd", name, "up", "bool", t, 1.0)
+            run.record("imd", name, "pool.bytes", "bytes", t, 1000.0)
+            run.record("imd", name, "regions.hosted", "count", t, 2.0)
+    return run
+
+
+def test_run_view_covers_cluster_hosts_and_events():
+    run = make_run(hosts=("w0", "w1"))
+    sim = Simulator(seed=1)
+    log = EventLog(level="debug")
+    log._run_ids[sim] = run.run_id
+    log.info(sim, "rmd", "node.recruited", host="w0")
+    log.info(sim, "rmd", "node.reclaimed", host="w0")
+    view = build_run_view(run, eventlog=log)
+    assert view.run_id == 1 and view.samples == 5
+    assert view.cluster["donated_bytes"].maximum() == 500.0
+    assert [h.name for h in view.hosts] == ["w0", "w1"]
+    w0 = view.host("w0")
+    assert w0.idle_state == "recruited"
+    assert w0.up is True and w0.pool_bytes == 1000.0
+    assert (w0.recruits, w0.reclaims) == (1, 1)
+    assert view.host("w1").recruits == 0
+    assert view.events_total == 2
+    doc = view.to_json()
+    assert doc["hosts"][0]["idle_state"] == "recruited"
+    assert doc["cluster"]["hosted_regions"] is None  # never sampled
+
+
+def test_degenerate_zero_donor_run_renders_without_raising():
+    run = RunTelemetry(run_id=1, interval_s=1.0)
+    run.samples = 3
+    # no cluster series at all, one host with only an idle state
+    for i in range(3):
+        run.record("rmd", "w0", "idle_state", "state", float(i), 0.0)
+    view = build_run_view(run)
+    assert view.cluster["donated_bytes"] is None
+    assert view.host("w0").idle_state == "busy"
+    text = render_run(run)
+    assert "n/a" in text
+    assert "w0" in text
+
+
+def test_empty_run_and_empty_eventlog_render_na():
+    run = RunTelemetry(run_id=1, interval_s=1.0)
+    view = build_run_view(run, eventlog=EventLog())
+    assert view.hosts == [] and view.events == []
+    text = render_run(run, eventlog=EventLog())
+    assert "hosted bytes" in text and "n/a" in text
+
+
+def test_pick_run_falls_back_to_richest_run_without_donation_series():
+    telemetry = Telemetry()
+    a = RunTelemetry(run_id=1, interval_s=1.0)
+    a.samples = 2
+    a.record("rmd", "w0", "idle_state", "state", 0.0, 0.0)
+    b = RunTelemetry(run_id=2, interval_s=1.0)
+    b.samples = 7
+    b.record("rmd", "w0", "idle_state", "state", 0.0, 0.0)
+    telemetry._runs[object()] = a
+    telemetry._runs[object()] = b
+    assert pick_run(telemetry).run_id == 2
+    # full dashboard render over a donor-less telemetry must not raise
+    assert "run 2" in render_dashboard(telemetry)
+
+
+def test_dedicated_host_idle_state_falls_back_to_imd():
+    run = RunTelemetry(run_id=1, interval_s=1.0)
+    run.samples = 1
+    run.record("imd", "mem00", "up", "bool", 0.0, 1.0)
+    run.record("imd", "mem01", "up", "bool", 0.0, 0.0)
+    view = build_run_view(run)
+    assert view.host("mem00").idle_state == "recruited"
+    assert view.host("mem01").idle_state == "busy"
+    assert view.host("mem01").up is False
+
+
+def test_rate_per_s_handles_short_and_flat_series():
+    s = GaugeSeries("disk", "d0", "read.bytes", "bytes")
+    s.record(0.0, 0.0)
+    assert rate_per_s(s) == [0.0]
+    s.record(2.0, 100.0)
+    s.record(2.0, 100.0)  # same-time sample: rate guarded to 0
+    assert rate_per_s(s) == [50.0, 0.0]
+
+
+def test_fleet_view_document_shape():
+    telemetry = Telemetry()
+    telemetry._runs[object()] = make_run(run_id=1, hosts=("w0",))
+    doc = build_fleet_view(telemetry)
+    assert [r["run"] for r in doc["runs"]] == [1]
+    assert doc["main"]["run"] == 1
+    assert doc["main"]["hosts"][0]["name"] == "w0"
+    empty = build_fleet_view(Telemetry())
+    assert empty == {"runs": [], "main": None}

@@ -1,0 +1,89 @@
+"""The checked-in fleet API schema stays true to the live documents.
+
+CI validates curl'd HTTP responses with tools/check_fleet_api.py; this
+test exercises the same validator against in-process documents so a
+shape drift fails locally, before CI."""
+
+import importlib.util
+import json
+import os
+
+import pytest
+
+from repro.obs.fleet.insights import build_insights
+from repro.obs.fleet.model import build_fleet_view, build_run_view, pick_run
+from repro.obs.fleet.whatif import run_scenario
+from repro.sweep.spec import jsonify
+
+REPO = os.path.join(os.path.dirname(__file__), "..", "..", "..")
+SCHEMA_PATH = os.path.join(REPO, "docs", "schemas", "fleet_api.json")
+TOOL_PATH = os.path.join(REPO, "tools", "check_fleet_api.py")
+
+
+def load_tool():
+    spec = importlib.util.spec_from_file_location("check_fleet_api",
+                                                  TOOL_PATH)
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    return mod
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return run_scenario("fig7", seed=3)
+
+
+@pytest.fixture(scope="module")
+def schema():
+    with open(SCHEMA_PATH) as fp:
+        return json.load(fp)
+
+
+def test_live_documents_match_schema(scenario, schema):
+    tool = load_tool()
+    telemetry, eventlog = scenario["telemetry"], scenario["eventlog"]
+    fleet = build_fleet_view(telemetry, eventlog)
+    tool.validate(fleet, schema["endpoints"]["/api/fleet"], schema)
+    insights = build_insights(telemetry, eventlog)
+    tool.validate(insights, schema["endpoints"]["/api/insights"], schema)
+    run = pick_run(telemetry)
+    view = build_run_view(run, eventlog=eventlog)
+    host = jsonify(view.hosts[0].to_json())
+    tool.validate(host, schema["endpoints"]["/api/host"], schema)
+    events = {"total": len(eventlog.events),
+              "matched": [e.to_dict() for e in eventlog.query(limit=20)]}
+    tool.validate(jsonify(events), schema["endpoints"]["/api/events"],
+                  schema)
+
+
+def test_validator_rejects_shape_drift(schema):
+    tool = load_tool()
+    with pytest.raises(tool.SchemaError, match="missing required key"):
+        tool.validate({"runs": []}, schema["endpoints"]["/api/fleet"],
+                      schema)
+    with pytest.raises(tool.SchemaError, match="not in"):
+        tool.validate(
+            {"run": 1, "donors": [],
+             "recommendations": [{"kind": "bogus", "host": "w1",
+                                  "score": 1.0, "reason": "x"}]},
+            schema["endpoints"]["/api/insights"], schema)
+    with pytest.raises(tool.SchemaError, match="expected"):
+        tool.validate({"total": "three", "matched": []},
+                      schema["endpoints"]["/api/events"], schema)
+
+
+def test_validator_cli_reports_ok_and_failures(tmp_path, scenario,
+                                               schema, capsys):
+    tool = load_tool()
+    telemetry, eventlog = scenario["telemetry"], scenario["eventlog"]
+    good = tmp_path / "fleet.json"
+    good.write_text(json.dumps(build_fleet_view(telemetry, eventlog)))
+    bad = tmp_path / "bad.json"
+    bad.write_text(json.dumps({"nope": 1}))
+    assert tool.main(["--schema", SCHEMA_PATH,
+                      f"/api/fleet={good}"]) == 0
+    assert tool.main(["--schema", SCHEMA_PATH,
+                      f"/api/fleet={bad}"]) == 1
+    assert tool.main(["--schema", SCHEMA_PATH,
+                      f"/api/nosuch={good}"]) == 2
+    capsys.readouterr()

@@ -1,0 +1,165 @@
+"""The fleet HTTP layer: endpoints, determinism, live mode, errors."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.obs.eventlog import EventLog
+from repro.obs.fleet.server import (FleetSource, serve_live,
+                                    serve_run_dir)
+from repro.obs.fleet.whatif import record_run
+from repro.obs.timeseries import Telemetry
+
+ENDPOINTS = ("/api/meta", "/api/fleet", "/api/events", "/api/insights",
+             "/api/timeseries")
+
+
+@pytest.fixture(scope="module")
+def recorded(tmp_path_factory):
+    path = str(tmp_path_factory.mktemp("runs") / "fig7")
+    record_run(path, "fig7", seed=3)
+    return path
+
+
+@pytest.fixture()
+def server(recorded):
+    srv = serve_run_dir(recorded, port=0)
+    srv.serve_background()
+    yield srv
+    srv.shutdown()
+    srv.server_close()
+
+
+def fetch(srv, path):
+    with urllib.request.urlopen(srv.url.rstrip("/") + path) as res:
+        return res.status, res.headers.get("Content-Type"), res.read()
+
+
+def test_every_api_endpoint_returns_valid_json(server):
+    for path in ENDPOINTS:
+        status, ctype, body = fetch(server, path)
+        assert status == 200, path
+        assert ctype == "application/json"
+        assert body.endswith(b"\n")
+        json.loads(body)    # must parse
+
+
+def test_root_serves_the_dashboard_page(server):
+    status, ctype, body = fetch(server, "/")
+    assert status == 200
+    assert ctype.startswith("text/html")
+    text = body.decode()
+    assert "repro fleet" in text and "/api/fleet" in text
+
+
+def test_fleet_and_insights_docs_have_expected_shape(server):
+    _, _, body = fetch(server, "/api/fleet")
+    fleet = json.loads(body)
+    assert fleet["runs"] and fleet["main"] is not None
+    assert [h["name"] for h in fleet["main"]["hosts"]]
+    _, _, body = fetch(server, "/api/insights")
+    insights = json.loads(body)
+    assert insights["donors"]
+    assert all(r["kind"] in ("recruit", "placement", "migrate", "avoid")
+               for r in insights["recommendations"])
+    _, _, body = fetch(server, "/api/meta")
+    meta = json.loads(body)
+    assert meta["scenario"] == "fig7" and meta["live"] is False
+
+
+def test_host_endpoint_full_resolution_and_404(server):
+    _, _, body = fetch(server, "/api/fleet")
+    name = json.loads(body)["main"]["hosts"][0]["name"]
+    status, _, body = fetch(server, "/api/host/" + name)
+    assert status == 200
+    host = json.loads(body)
+    assert host["name"] == name
+    with pytest.raises(urllib.error.HTTPError) as err:
+        fetch(server, "/api/host/nosuch")
+    assert err.value.code == 404
+    with pytest.raises(urllib.error.HTTPError) as err:
+        fetch(server, "/api/nosuch")
+    assert err.value.code == 404
+
+
+def test_events_endpoint_filters_and_validates(server):
+    _, _, body = fetch(server, "/api/events?component=insights&limit=3")
+    doc = json.loads(body)
+    assert doc["total"] > 0
+    assert 0 < len(doc["matched"]) <= 3
+    assert all(e["component"] == "insights" for e in doc["matched"])
+    with pytest.raises(urllib.error.HTTPError) as err:
+        fetch(server, "/api/events?since=bogus")
+    assert err.value.code == 400
+
+
+def test_timeseries_endpoint_selects_and_windows(server):
+    _, _, body = fetch(
+        server, "/api/timeseries?kind=cluster&gauge=donated_bytes")
+    doc = json.loads(body)
+    assert len(doc["series"]) == 1
+    s = doc["series"][0]
+    assert s["gauge"] == "donated_bytes" and len(s["times"]) > 2
+    until = s["times"][len(s["times"]) // 2]
+    _, _, body = fetch(
+        server, "/api/timeseries?kind=cluster&gauge=donated_bytes"
+        f"&until={until}")
+    windowed = json.loads(body)["series"][0]
+    assert windowed["times"] == [t for t in s["times"] if t < until]
+    _, _, body = fetch(
+        server, "/api/timeseries?kind=cluster&gauge=donated_bytes"
+        "&max_points=5")
+    assert len(json.loads(body)["series"][0]["times"]) <= 5
+
+
+def test_responses_byte_identical_across_runs_and_servers(
+        recorded, tmp_path):
+    """The determinism acceptance: two same-seed recordings, two
+    servers, every endpoint byte-identical."""
+    other = str(tmp_path / "again")
+    record_run(other, "fig7", seed=3)
+    a = serve_run_dir(recorded, port=0)
+    b = serve_run_dir(other, port=0)
+    a.serve_background()
+    b.serve_background()
+    try:
+        for path in ENDPOINTS:
+            assert fetch(a, path)[2] == fetch(b, path)[2], path
+        # and stable across repeated requests to the same server
+        assert fetch(a, "/api/fleet")[2] == fetch(a, "/api/fleet")[2]
+    finally:
+        for srv in (a, b):
+            srv.shutdown()
+            srv.server_close()
+
+
+def test_live_source_serves_during_and_after_append():
+    telemetry = Telemetry(interval_s=0.25)
+    eventlog = EventLog(level="debug", telemetry=telemetry)
+    srv = serve_live(telemetry, eventlog, meta={"scenario": "fig7"},
+                     port=0)
+    srv.serve_background()
+    try:
+        _, _, body = fetch(srv, "/api/meta")
+        assert json.loads(body)["live"] is True
+        # nothing recorded yet: endpoints degrade, never 500
+        assert json.loads(fetch(srv, "/api/fleet")[2])["main"] is None
+        assert json.loads(fetch(srv, "/api/insights")[2])["donors"] == []
+        from repro.obs.fleet.whatif import run_scenario
+        run_scenario("fig7", seed=3, telemetry=telemetry,
+                     eventlog=eventlog)
+        fleet = json.loads(fetch(srv, "/api/fleet")[2])
+        assert fleet["main"] is not None
+        assert json.loads(fetch(srv, "/api/insights")[2])["donors"]
+    finally:
+        srv.shutdown()
+        srv.server_close()
+
+
+def test_source_meta_doc_counts_runs(recorded):
+    source = FleetSource.from_run_dir(recorded)
+    doc = source.meta_doc()
+    assert doc["runs"] == len(source.telemetry.runs()) > 0
+    assert doc["live"] is False and doc["scenario"] == "fig7"

@@ -1,0 +1,108 @@
+"""Run directories: write, load, byte-identical round trip, errors."""
+
+import json
+import os
+
+import pytest
+
+from repro.obs.eventlog import EventLog
+from repro.obs.fleet.model import build_fleet_view
+from repro.obs.fleet.store import (EVENTS_FILE, FORMAT_VERSION, META_FILE,
+                                   TELEMETRY_FILE, RunDirError,
+                                   load_run_dir, write_run_dir)
+from repro.obs.timeseries import RunTelemetry, Telemetry
+from repro.sim import Simulator
+
+
+def make_telemetry():
+    telemetry = Telemetry()
+    run = RunTelemetry(run_id=1, interval_s=0.5)
+    run.samples = 3
+    for i in range(3):
+        t = float(i)
+        run.record("cluster", "cluster", "donated_bytes", "bytes", t,
+                   100.0 * i)
+        run.record("workstation", "w0", "mem.guest_bytes", "bytes", t,
+                   50.0 * i)
+        run.record("imd", "w0", "up", "bool", t, 1.0)
+    telemetry._runs[object()] = run
+    return telemetry
+
+
+def make_eventlog():
+    sim = Simulator(seed=1)
+    log = EventLog(level="debug")
+    log.info(sim, "rmd", "node.recruited", host="w0", pool_bytes=1024)
+    log.warn(sim, "manager", "region.stale", host="w0")
+    return log
+
+
+def dir_bytes(path):
+    return {name: open(os.path.join(path, name), "rb").read()
+            for name in sorted(os.listdir(path))}
+
+
+def test_round_trip_preserves_everything(tmp_path):
+    out = str(tmp_path / "run")
+    meta = write_run_dir(out, make_telemetry(), make_eventlog(),
+                         meta={"scenario": "fig7", "seed": 3,
+                               "policy": {"replacement": "lru"}})
+    assert meta["format"] == FORMAT_VERSION
+    loaded = load_run_dir(out)
+    assert loaded.scenario == "fig7" and loaded.seed == 3
+    assert loaded.policy == {"replacement": "lru"}
+    run = loaded.telemetry.runs()[0]
+    assert run.run_id == 1 and run.samples == 3
+    assert run.interval_s == 0.5
+    donated = run.get("cluster", "cluster", "donated_bytes")
+    assert donated.values == [0.0, 100.0, 200.0]
+    assert run.names("workstation") == ["w0"]  # series-key fallback
+    assert [e.event for e in loaded.eventlog.events] == \
+        ["node.recruited", "region.stale"]
+    assert loaded.eventlog.events[0].fields == {"pool_bytes": 1024}
+    # the render model works over the rehydrated form
+    doc = build_fleet_view(loaded.telemetry, loaded.eventlog)
+    assert doc["main"]["hosts"][0]["name"] == "w0"
+
+
+def test_rewrite_is_byte_identical(tmp_path):
+    a, b = str(tmp_path / "a"), str(tmp_path / "b")
+    for out in (a, b):
+        write_run_dir(out, make_telemetry(), make_eventlog(),
+                      meta={"scenario": "fig7", "seed": 3})
+    assert dir_bytes(a) == dir_bytes(b)
+    assert sorted(os.listdir(a)) == [EVENTS_FILE, META_FILE, TELEMETRY_FILE]
+    # load → write again: still identical (rehydration is lossless)
+    loaded = load_run_dir(a)
+    c = str(tmp_path / "c")
+    write_run_dir(c, loaded.telemetry, loaded.eventlog,
+                  meta={k: v for k, v in loaded.meta.items()
+                        if k != "format"})
+    assert dir_bytes(c) == dir_bytes(a)
+
+
+def test_missing_and_malformed_directories_raise(tmp_path):
+    with pytest.raises(RunDirError):
+        load_run_dir(str(tmp_path / "nope"))
+    empty = tmp_path / "empty"
+    empty.mkdir()
+    with pytest.raises(RunDirError):
+        load_run_dir(str(empty))
+    bad = tmp_path / "bad"
+    bad.mkdir()
+    (bad / META_FILE).write_text("{not json")
+    with pytest.raises(RunDirError):
+        load_run_dir(str(bad))
+    futuristic = tmp_path / "future"
+    futuristic.mkdir()
+    (futuristic / META_FILE).write_text(json.dumps({"format": 99}))
+    with pytest.raises(RunDirError, match="format"):
+        load_run_dir(str(futuristic))
+
+
+def test_eventlog_is_optional(tmp_path):
+    out = str(tmp_path / "run")
+    write_run_dir(out, make_telemetry(), eventlog=None,
+                  meta={"scenario": "x", "seed": 1})
+    loaded = load_run_dir(out)
+    assert loaded.eventlog.events == []

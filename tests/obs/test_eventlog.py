@@ -46,6 +46,46 @@ def test_select_and_counts(sim):
     assert log.counts() == {"net/fastpath.engage": 2, "nic/nic.down": 1}
 
 
+def test_query_filters_and_time_window(sim):
+    log = EventLog(level="debug")
+    log.info(sim, "rmd", "node.recruited", host="w0")
+    sim.run(until=5.0)
+    log.info(sim, "rmd", "node.reclaimed", host="w0")
+    log.warn(sim, "manager", "region.stale", host="w1")
+    sim.run(until=10.0)
+    log.debug(sim, "net", "fastpath.engage", host="w1")
+
+    assert [e.event for e in log.query(component="rmd")] == \
+        ["node.recruited", "node.reclaimed"]
+    assert [e.event for e in log.query(level="warn")] == ["region.stale"]
+    assert [e.event for e in log.query(host="w1")] == \
+        ["region.stale", "fastpath.engage"]
+    assert [e.time for e in log.query(since=5.0)] == [5.0, 5.0, 10.0]
+    # until is exclusive: events at t=5 survive since=0, until=5 drops them
+    assert [e.event for e in log.query(until=5.0)] == ["node.recruited"]
+    assert [e.event for e in log.query(since=5.0, until=10.0)] == \
+        ["node.reclaimed", "region.stale"]
+    assert [e.event for e in log.query(event="node.reclaimed")] == \
+        ["node.reclaimed"]
+    assert log.query(run=2) == []
+
+
+def test_query_limit_keeps_the_tail(sim):
+    log = EventLog(level="debug")
+    for i in range(6):
+        log.info(sim, "manager", "region.placed", host="w0", n=i)
+    tail = log.query(limit=2)
+    assert [e.fields["n"] for e in tail] == [4, 5]
+    assert log.query(limit=0) == []
+    assert len(log.query(limit=None)) == 6
+
+
+def test_query_rejects_unknown_level(sim):
+    log = EventLog(level="debug")
+    with pytest.raises(ValueError):
+        log.query(level="loud")
+
+
 def test_jsonl_export_shape(sim):
     log = EventLog(level="info")
     log.info(sim, "rmd", "node.recruited", host="w1", epoch=3,

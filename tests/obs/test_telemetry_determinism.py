@@ -95,6 +95,29 @@ def test_telemetry_covers_the_cluster():
     assert {"imd/imd.start", "manager/region.placed"} <= events
 
 
+def test_fleet_layer_is_read_only_and_inert_when_disabled():
+    """Deriving fleet views/insights is post-processing: it must not
+    mutate the recorded data, and emission into disabled engines is a
+    no-op — the fleet layer adds zero overhead when observability is
+    off."""
+    from repro.obs.fleet import build_fleet_view
+    from repro.obs.fleet.insights import build_insights, emit_insights
+    plain, _, _ = run_workload(seed=11, telemetered=False)
+    sampled, telemetry, eventlog = run_workload(seed=11, telemetered=True)
+    assert sampled == plain
+    before_csv = csv_bytes(telemetry)
+    before_jsonl = jsonl_bytes(eventlog)
+    fleet = build_fleet_view(telemetry, eventlog)
+    insights = build_insights(telemetry, eventlog)
+    assert fleet["main"] is not None and insights["donors"]
+    assert_identical(csv_bytes(telemetry), before_csv,
+                     "CSVs before/after view building")
+    assert_identical(jsonl_bytes(eventlog), before_jsonl,
+                     "event logs before/after view building")
+    assert emit_insights(NULL_EVENTLOG, None, insights) == 0
+    assert not NULL_EVENTLOG.events
+
+
 def test_csv_shape_and_downsampling():
     _, telemetry, _ = run_workload(seed=11, telemetered=True)
     lines = csv_bytes(telemetry).splitlines()

@@ -30,6 +30,41 @@ def test_gauge_series_rejects_time_travel():
         s.record(4.0, 2.0)
 
 
+def test_window_slices_by_virtual_time():
+    s = GaugeSeries("k", "n", "g", "u")
+    for i in range(10):
+        s.record(float(i), float(i * 10))
+    assert s.window() == (s.times, s.values)
+    times, values = s.window(since=3.0)
+    assert times[0] == 3.0 and len(times) == 7
+    times, values = s.window(until=3.0)  # until is exclusive
+    assert times == [0.0, 1.0, 2.0] and values == [0.0, 10.0, 20.0]
+    assert s.window(since=2.5, until=4.5) == ([3.0, 4.0], [30.0, 40.0])
+    assert s.window(since=99.0) == ([], [])
+
+
+def test_run_select_and_names():
+    run = RunTelemetry(run_id=1, interval_s=1.0)
+    run.record("imd", "w0", "pool.bytes", "bytes", 0.0, 1.0)
+    run.record("imd", "w1", "pool.bytes", "bytes", 0.0, 2.0)
+    run.record("imd", "w0", "up", "bool", 0.0, 1.0)
+    run.record("rmd", "w0", "idle_state", "state", 0.0, 2.0)
+    assert len(run.select()) == 4
+    assert len(run.select(kind="imd")) == 3
+    assert [s.name for s in run.select(kind="imd", gauge="pool.bytes")] == \
+        ["w0", "w1"]
+    assert [s.gauge for s in run.select(name="w0")] == \
+        ["pool.bytes", "up", "idle_state"]
+    assert run.select(kind="disk") == []
+    # no component objects attached: names fall back to series keys
+    assert run.names("imd") == ["w0", "w1"]
+    assert run.names("rmd") == ["w0"]
+    assert run.kinds() == ["imd", "rmd"]
+    # with components registered, registration order wins
+    run.components.append(("imd", "w9", object()))
+    assert run.names("imd") == ["w9"]
+
+
 def test_downsampling_bucket_averages():
     s = GaugeSeries("k", "n", "g", "u")
     for i in range(10):

@@ -1,0 +1,138 @@
+#!/usr/bin/env python3
+"""Validate fleet dashboard /api/* responses against the checked-in
+schema (docs/schemas/fleet_api.json) — no third-party dependencies.
+
+Usage (the CI fleet smoke)::
+
+    python tools/check_fleet_api.py --schema docs/schemas/fleet_api.json \
+        /api/meta=/tmp/meta.json /api/fleet=/tmp/fleet.json \
+        /api/host=/tmp/host.json /api/events=/tmp/events.json \
+        /api/insights=/tmp/insights.json \
+        /api/timeseries=/tmp/timeseries.json
+
+Each positional argument maps an endpoint name (a key of the schema's
+``endpoints`` object) to a file holding one captured response body.  The
+validator implements the subset of JSON Schema the fleet schema uses:
+``type`` (string or list, with ``integer`` ⊂ ``number``), ``properties``
++ ``required``, ``items``, ``enum``, ``oneOf``, ``$ref`` into
+``#/definitions``, and ``additionalProperties`` as a value schema.
+Exit code 0 when every document validates, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+TYPES = {
+    "object": dict, "array": list, "string": str, "boolean": bool,
+    "null": type(None),
+}
+
+
+class SchemaError(ValueError):
+    """A document that does not match the schema (with a JSON path)."""
+
+
+def _type_ok(value, name: str) -> bool:
+    if name == "number":
+        return isinstance(value, (int, float)) \
+            and not isinstance(value, bool)
+    if name == "integer":
+        return (isinstance(value, int) and not isinstance(value, bool)) \
+            or (isinstance(value, float) and value.is_integer())
+    return isinstance(value, TYPES[name])
+
+
+def validate(value, schema: dict, root: dict, path: str = "$") -> None:
+    """Recursively check ``value`` against ``schema``; raises
+    :class:`SchemaError` naming the first offending path."""
+    if "$ref" in schema:
+        ref = schema["$ref"]
+        prefix = "#/definitions/"
+        if not ref.startswith(prefix):
+            raise SchemaError(f"{path}: unsupported $ref {ref!r}")
+        validate(value, root["definitions"][ref[len(prefix):]], root, path)
+        return
+    if "oneOf" in schema:
+        errors = []
+        for sub in schema["oneOf"]:
+            try:
+                validate(value, sub, root, path)
+                return
+            except SchemaError as exc:
+                errors.append(str(exc))
+        raise SchemaError(f"{path}: matched no oneOf branch "
+                          f"({'; '.join(errors)})")
+    if "enum" in schema:
+        if value not in schema["enum"]:
+            raise SchemaError(f"{path}: {value!r} not in {schema['enum']}")
+        return
+    types = schema.get("type")
+    if types is not None:
+        names = [types] if isinstance(types, str) else types
+        if not any(_type_ok(value, n) for n in names):
+            raise SchemaError(f"{path}: expected {'|'.join(names)}, "
+                              f"got {type(value).__name__} {value!r:.60}")
+    if isinstance(value, dict):
+        for key in schema.get("required", []):
+            if key not in value:
+                raise SchemaError(f"{path}: missing required key {key!r}")
+        props = schema.get("properties", {})
+        extra = schema.get("additionalProperties")
+        for key, item in value.items():
+            if key in props:
+                validate(item, props[key], root, f"{path}.{key}")
+            elif isinstance(extra, dict):
+                validate(item, extra, root, f"{path}.{key}")
+    if isinstance(value, list) and "items" in schema:
+        for i, item in enumerate(value):
+            validate(item, schema["items"], root, f"{path}[{i}]")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--schema", required=True,
+                        help="path to fleet_api.json")
+    parser.add_argument("pairs", nargs="+", metavar="ENDPOINT=FILE",
+                        help="endpoint name = captured response file")
+    args = parser.parse_args(argv)
+    with open(args.schema) as fp:
+        root = json.load(fp)
+    failures = 0
+    for pair in args.pairs:
+        endpoint, _, filename = pair.partition("=")
+        if not filename:
+            print(f"check_fleet_api: bad argument {pair!r} "
+                  "(want ENDPOINT=FILE)", file=sys.stderr)
+            return 2
+        schema = root["endpoints"].get(endpoint)
+        if schema is None:
+            print(f"check_fleet_api: unknown endpoint {endpoint!r}; "
+                  f"schema defines {sorted(root['endpoints'])}",
+                  file=sys.stderr)
+            return 2
+        with open(filename) as fp:
+            try:
+                doc = json.load(fp)
+            except json.JSONDecodeError as exc:
+                print(f"FAIL {endpoint} ({filename}): not JSON: {exc}")
+                failures += 1
+                continue
+        try:
+            validate(doc, schema, root)
+            print(f"ok   {endpoint} ({filename})")
+        except SchemaError as exc:
+            print(f"FAIL {endpoint} ({filename}): {exc}")
+            failures += 1
+    if failures:
+        print(f"check_fleet_api: {failures} endpoint(s) failed",
+              file=sys.stderr)
+        return 1
+    print(f"check_fleet_api: all {len(args.pairs)} endpoint(s) validate")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
