@@ -42,23 +42,38 @@ BULK_BYTES = 256 * MB
 BULK_BYTES_FULL = 1024 * MB
 
 
-def bench_events_per_sec(n_events: int = 300_000) -> dict:
-    """Kernel dispatch throughput: a chain of bare timeouts."""
+def bench_events_per_sec(n_events: int = 300_000, repeats: int = 3) -> dict:
+    """Kernel dispatch throughput: a chain of bare timeouts.
+
+    Best of ``repeats`` runs — on shared/virtualized CPUs, steal time
+    can halve a single run's wall clock, and the best run is the least
+    contaminated estimate of what the kernel actually costs.  The
+    per-run CPU-time figure is reported alongside as a noise-immune
+    cross-check (``events_per_cpu_sec``).
+    """
     from repro.sim import Simulator
 
-    sim = Simulator(seed=0)
+    best = None
+    for _ in range(max(1, repeats)):
+        sim = Simulator(seed=0)
 
-    def ticker():
-        for _ in range(n_events):
-            yield sim.timeout(1e-7)
+        def ticker():
+            for _ in range(n_events):
+                yield sim.timeout(1e-7)
 
-    sim.process(ticker())
-    t0 = time.perf_counter()
-    sim.run()
-    wall = time.perf_counter() - t0
-    return {"events_per_sec": sim.events_processed / wall,
-            "kernel_events": sim.events_processed,
-            "kernel_wall_s": wall}
+        sim.process(ticker())
+        t0 = time.perf_counter()
+        c0 = time.process_time()
+        sim.run()
+        wall = time.perf_counter() - t0
+        cpu = time.process_time() - c0
+        run = {"events_per_sec": sim.events_processed / wall,
+               "events_per_cpu_sec": sim.events_processed / cpu,
+               "kernel_events": sim.events_processed,
+               "kernel_wall_s": wall}
+        if best is None or run["events_per_sec"] > best["events_per_sec"]:
+            best = run
+    return best
 
 
 def _bulk_once(size: int, fastpath: bool) -> dict:
@@ -92,9 +107,19 @@ def _bulk_once(size: int, fastpath: bool) -> dict:
             "engaged": network.stats.count("fastpath.transfers")}
 
 
-def bench_bulk(size: int) -> dict:
-    fast = _bulk_once(size, fastpath=True)
-    pkt = _bulk_once(size, fastpath=False)
+def bench_bulk(size: int, repeats: int = 3) -> dict:
+    """Bulk transfer walls, best of ``repeats`` runs per path.
+
+    The fast-path wall is sub-millisecond — a single steal burst on a
+    shared CPU can triple it — so, as with :func:`bench_events_per_sec`,
+    the best run is the least contaminated estimate and the speedup is
+    the ratio of the two bests.
+    """
+    runs = max(1, repeats)
+    fast = min((_bulk_once(size, fastpath=True) for _ in range(runs)),
+               key=lambda r: r["wall_s"])
+    pkt = min((_bulk_once(size, fastpath=False) for _ in range(runs)),
+              key=lambda r: r["wall_s"])
     assert fast["engaged"] == 1, "fast path failed to engage"
     assert fast["virtual_s"] == pkt["virtual_s"], \
         "fast path changed simulated time — this is a correctness bug"
@@ -137,10 +162,15 @@ def collect(full: bool = False) -> dict:
     return metrics
 
 
-#: metrics compared directly (machine-independent): value, lower-is-better
+#: metrics compared directly: value, lower-is-better.  ``events_per_sec``
+#: is the one machine-sensitive entry (the calendar-queue kernel's raw
+#: dispatch trajectory must not slide back); best-of-N sampling plus the
+#: 30% tolerance absorbs ordinary runner variance, and ``--tolerance``
+#: widens it for known-slower machines.
 _DIRECT_CHECKS = {
     "bulk_fast_events": True,          # event count is deterministic
     "bulk_fast_speedup_x": False,      # ratio of two walls on one machine
+    "events_per_sec": False,           # kernel throughput trajectory
 }
 #: wall-clock metrics, normalized by kernel throughput before comparing
 _NORMALIZED_CHECKS = ["bulk_fast_wall_s", "fig7_lu_runtime_s"]
@@ -149,6 +179,10 @@ _NORMALIZED_CHECKS = ["bulk_fast_wall_s", "fig7_lu_runtime_s"]
 #: on the large lossless transfer no matter what the baseline says
 MIN_SPEEDUP = 5.0
 
+#: absolute kernel-throughput floor — a backstop that catches an
+#: event-dispatch regression even when the baseline file is stale
+MIN_EVENTS_PER_SEC = 400_000.0
+
 
 def check(metrics: dict, baseline: dict, tolerance: float) -> list[str]:
     failures = []
@@ -156,6 +190,10 @@ def check(metrics: dict, baseline: dict, tolerance: float) -> list[str]:
         failures.append(
             f"bulk_fast_speedup_x {metrics['bulk_fast_speedup_x']:.1f} "
             f"below the {MIN_SPEEDUP}x floor")
+    if metrics["events_per_sec"] < MIN_EVENTS_PER_SEC:
+        failures.append(
+            f"events_per_sec {metrics['events_per_sec']:,.0f} below the "
+            f"{MIN_EVENTS_PER_SEC:,.0f} floor")
     for name, lower_better in _DIRECT_CHECKS.items():
         if name not in baseline:
             continue
@@ -192,7 +230,8 @@ def main(argv=None) -> int:
     args = ap.parse_args(argv)
 
     metrics = collect(full=args.full)
-    for key in ("events_per_sec", "bulk_fast_wall_s", "bulk_packet_wall_s",
+    for key in ("events_per_sec", "events_per_cpu_sec",
+                "bulk_fast_wall_s", "bulk_packet_wall_s",
                 "bulk_fast_speedup_x", "bulk_fast_events",
                 "bulk_mb_per_wall_s", "fig7_lu_runtime_s",
                 "fig7_fastpath_speedup_x"):

@@ -113,6 +113,21 @@ def cmd_fig8(args) -> None:
                                          jobs=getattr(args, "jobs", 1))))
 
 
+def cmd_scale(args) -> None:
+    """Thousand-host scale-out series: simulator throughput table."""
+    import json
+
+    from repro.exp import scale as sc
+    hosts = tuple(args.hosts)
+    results = sc.run_scaling(hosts, jobs=getattr(args, "jobs", 1),
+                             num_iter=args.iters, owners=not args.no_owners)
+    print(sc.format_scale(results))
+    if args.out:
+        with open(args.out, "w") as f:
+            json.dump(results, f, indent=1, sort_keys=True)
+        print(f"wrote {args.out}")
+
+
 def cmd_nondedicated(args) -> None:
     """Section 5.3.1: Dodo on a desktop cluster with owner churn."""
     from repro.exp import nondedicated as nd
@@ -306,6 +321,7 @@ COMMANDS: dict[str, tuple[str, Callable]] = {
     "disk": ("Section 5.1 disk bandwidth table", cmd_disk),
     "fig7": ("Figure 7: lu and dmine speedups", cmd_fig7),
     "fig8": ("Figure 8: synthetic benchmark panels", cmd_fig8),
+    "scale": ("thousand-host scale-out throughput series", cmd_scale),
     "nondedicated": ("Section 5.3.1 desktop-cluster run", cmd_nondedicated),
     "ablations": ("design-choice ablations", cmd_ablations),
     "chaos": ("nemesis fault-injection run with invariant auditing",
@@ -341,6 +357,18 @@ def _add_experiment_args(p: argparse.ArgumentParser, name: str) -> None:
                        help="worker processes for the panel grid "
                             "(default: 1; results are identical at "
                             "any value)")
+    if name == "scale":
+        p.add_argument("--hosts", type=int, nargs="+",
+                       default=[500, 1000, 2000],
+                       help="host counts of the series "
+                            "(default: 500 1000 2000)")
+        p.add_argument("--iters", type=int, default=2)
+        p.add_argument("--jobs", type=int, default=1,
+                       help="worker processes, one scaling point each")
+        p.add_argument("--no-owners", action="store_true",
+                       help="skip the background owner processes")
+        p.add_argument("--out", metavar="FILE", default=None,
+                       help="also write the series as JSON")
     if name == "nondedicated":
         p.add_argument("--iters", type=int, default=4)
     if name == "ablations":

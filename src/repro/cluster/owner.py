@@ -44,12 +44,17 @@ class Owner:
 
     def __init__(self, sim: Simulator, ws: Workstation,
                  params: OwnerParams | None = None,
-                 start_active: bool = False):
+                 start_active: bool = False, batched: bool = True):
+        """``batched=True`` (the default) runs each active session as one
+        simulator event plus a lazily evaluated console script — bit-
+        identical signals and RNG draws to the per-keystroke stepping
+        loop (``batched=False``), at a fraction of the event count."""
         self.sim = sim
         self.ws = ws
         self.params = params or OwnerParams()
         self.rng = sim.rng(f"owner.{ws.name}")
         self._start_active = start_active
+        self.batched = batched
         self.active = False
         self.proc = sim.process(self._run())
 
@@ -83,12 +88,24 @@ class Owner:
                                     host=self.ws.name,
                                     duration_s=round(duration, 3))
         end = self.sim.now + duration
-        while self.sim.now < end:
-            self.ws.touch_console()
-            step = min(p.console_interval_s, end - self.sim.now)
-            if step <= 0:
-                break
-            yield self.sim.timeout(step)
+        if not self.batched:
+            while self.sim.now < end:
+                self.ws.touch_console()
+                step = min(p.console_interval_s, end - self.sim.now)
+                if step <= 0:
+                    break
+                yield self.sim.timeout(step)
+            self._leave()
+            return
+        # Batched: the whole keystroke schedule becomes one lazily
+        # evaluated console script and the session one absolute-time
+        # event at the exact instant the stepping loop would exit.
+        exit_time = self.ws.begin_console_script(
+            self.sim.now, end, p.console_interval_s)
+        try:
+            yield self.sim.at(exit_time)
+        finally:
+            self.ws.end_console_script()
         self._leave()
 
     def _leave(self) -> None:

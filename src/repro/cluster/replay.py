@@ -8,6 +8,14 @@ onto a live :class:`~repro.cluster.workstation.Workstation`, driving the
 exact signals the resource monitor samples — console access times, load,
 and the memory components that determine how much an idle memory daemon
 may pin.
+
+Replay is *lazy* by default: instead of one simulator event per trace
+sample (a 4-day trace at 60 s steps is 5760 events per host — ruinous at
+a thousand hosts), pending samples are applied on first observation
+through the workstation's signal accessors, with a single wake-up per
+full trace pass to settle the tail.  Sample instants replicate the
+eager stepping loop's float accumulation bit for bit, so both modes are
+observationally identical (``tests/cluster/test_replay_lazy.py``).
 """
 
 from __future__ import annotations
@@ -18,13 +26,15 @@ from repro.sim import Interrupt, Simulator
 
 
 class TraceReplayer:
-    """A process feeding one host's trace into its workstation state."""
+    """A feed applying one host's trace onto its workstation state."""
 
     def __init__(self, sim: Simulator, ws: Workstation, trace: HostTrace,
-                 speedup: float = 1.0, loop: bool = False):
+                 speedup: float = 1.0, loop: bool = False,
+                 lazy: bool = True):
         """``speedup`` compresses trace time (a 60 s sample becomes
         ``60/speedup`` simulated seconds) so multi-day traces can drive
-        minutes-long experiments; ``loop`` wraps around at the end."""
+        minutes-long experiments; ``loop`` wraps around at the end;
+        ``lazy=False`` forces the one-event-per-sample stepping loop."""
         if speedup <= 0:
             raise ValueError("speedup must be positive")
         self.sim = sim
@@ -32,33 +42,91 @@ class TraceReplayer:
         self.trace = trace
         self.speedup = speedup
         self.loop = loop
-        self.samples_applied = 0
+        self.lazy = lazy
+        self._step = trace.dt_s / speedup
+        self._applied = 0
+        #: lazy cursor: index and instant of the next sample to apply
+        self._next_i = 0
+        self._next_t = sim.now
+        self._live = lazy
+        if lazy:
+            ws._trace_feed = self
         self.proc = sim.process(self._run())
+
+    @property
+    def samples_applied(self) -> int:
+        """Samples whose instant has passed (synced on read)."""
+        if self._live:
+            self.sync(self.sim.now)
+        return self._applied
 
     def stop(self) -> None:
         if self.proc.is_alive:
             self.proc.interrupt("replay-stop")
 
-    def _apply(self, i: int) -> None:
+    def sync(self, now: float) -> None:
+        """Apply every pending sample whose instant is <= ``now``.
+
+        Called from the workstation's signal accessors (via
+        :meth:`Workstation.refresh`); amortized O(1) per observation
+        since the cursor only moves forward.
+        """
+        if not self._live:
+            return
+        n = len(self.trace.load)
+        while self._next_t <= now:
+            if self._next_i >= n:
+                if not self.loop:
+                    break
+                self._next_i = 0
+            self._apply(self._next_i, self._next_t)
+            self._next_i += 1
+            self._next_t += self._step
+
+    def _apply(self, i: int, at_time: float) -> None:
+        # Writes go to the private fields: the public accessors trigger
+        # refresh() -> sync() -> here, so using them would recurse.
         tr = self.trace
         ws = self.ws
-        ws.owner_load = float(tr.load[i])
-        if tr.console_active[i]:
-            ws.touch_console()
-        ws.mem.kernel = int(tr.kernel[i]) * KB_TO_BYTES
-        ws.mem.process = int(tr.process[i]) * KB_TO_BYTES
+        ws._owner_load = float(tr.load[i])
+        if tr.console_active[i] and at_time > ws._console_last:
+            ws._console_last = at_time
+        ws._mem.kernel = int(tr.kernel[i]) * KB_TO_BYTES
+        ws._mem.process = int(tr.process[i]) * KB_TO_BYTES
         if ws.fs is None:
-            ws.mem.filecache = int(tr.filecache[i]) * KB_TO_BYTES
-        self.samples_applied += 1
+            ws._mem.filecache = int(tr.filecache[i]) * KB_TO_BYTES
+        self._applied += 1
+
+    def _detach(self) -> None:
+        self._live = False
+        if self.ws._trace_feed is self:
+            self.ws._trace_feed = None
 
     def _run(self):
-        step = self.trace.dt_s / self.speedup
+        step = self._step
+        n = len(self.trace.load)
         try:
+            if not self.lazy:
+                while True:
+                    for i in range(n):
+                        self._apply(i, self.sim.now)
+                        yield self.sim.timeout(step)
+                    if not self.loop:
+                        return
             while True:
-                for i in range(len(self.trace.load)):
-                    self._apply(i)
-                    yield self.sim.timeout(step)
+                # One wake-up per full pass: settle any unobserved tail
+                # samples at the exact instant the eager loop would have
+                # finished the pass (same float accumulation).
+                t = self.sim.now
+                for _ in range(n):
+                    t += step
+                yield self.sim.at(t)
+                self.sync(self.sim.now)
                 if not self.loop:
                     return
         except Interrupt:
+            if self.lazy:
+                self.sync(self.sim.now)
             return
+        finally:
+            self._detach()

@@ -69,9 +69,9 @@ class Workstation:
         if kernel_mem_bytes is None:
             # roughly the paper's Table 1: ~20% of installed memory
             kernel_mem_bytes = total_mem_bytes // 5
-        self.mem = MemoryState(total=total_mem_bytes,
-                               kernel=kernel_mem_bytes,
-                               process=process_mem_bytes)
+        self._mem = MemoryState(total=total_mem_bytes,
+                                kernel=kernel_mem_bytes,
+                                process=process_mem_bytes)
 
         self.disk: Optional[Disk] = None
         self.fs: Optional[FileSystem] = None
@@ -82,10 +82,19 @@ class Workstation:
                                  params=fs_params, store_data=store_data,
                                  name=f"{name}.fs")
 
-        #: virtual time of the last keyboard/mouse event; starts "long ago"
-        self.console_last_activity: float = float("-inf")
+        #: virtual time of the last *materialized* keyboard/mouse event;
+        #: starts "long ago" (see :attr:`console_last_activity`)
+        self._console_last: float = float("-inf")
         #: instantaneous load average as `w` would report it (owner jobs)
-        self.owner_load: float = 0.0
+        self._owner_load: float = 0.0
+        #: active console script ``[cursor, end, interval]`` — an owner
+        #: session's keystroke schedule, evaluated lazily instead of one
+        #: simulator event per keystroke burst (see
+        #: :meth:`begin_console_script`)
+        self._console_script: Optional[list] = None
+        #: lazy trace feed (a :class:`~repro.cluster.replay.TraceReplayer`)
+        #: whose pending samples are applied on first observation
+        self._trace_feed = None
         #: load contributed by the screen saver and Dodo's own daemons —
         #: the resource monitor subtracts this before judging idleness
         self.daemon_load: float = 0.0
@@ -101,13 +110,95 @@ class Workstation:
         if sim.telemetry.enabled:
             sim.telemetry.register(sim, "workstation", name, self)
 
+    # -- lazy signal plumbing ---------------------------------------------------
+    def refresh(self) -> None:
+        """Apply any pending lazy trace samples up to the current time.
+
+        Every observable signal accessor calls this, so readers always
+        see the state an eagerly stepped replay would have produced —
+        without one simulator event per trace sample.
+        """
+        feed = self._trace_feed
+        if feed is not None:
+            feed.sync(self.sim.now)
+
+    @property
+    def mem(self) -> MemoryState:
+        """Memory components, synced with any lazy trace feed."""
+        self.refresh()
+        return self._mem
+
     # -- console / load signals ------------------------------------------------
     def touch_console(self) -> None:
         """Record keyboard/mouse activity at the current time."""
-        self.console_last_activity = self.sim.now
+        self._console_last = self.sim.now
+
+    def begin_console_script(self, start: float, end: float,
+                             interval: float) -> float:
+        """Declare keystroke bursts at ``start``, then every ``interval``
+        until ``end`` — evaluated lazily on observation instead of one
+        simulator event each.  The touch instants replicate the float
+        accumulation of the stepping loop this replaces
+        (``t += min(interval, end - t)``) bit for bit; returns the
+        instant that loop would exit.
+        """
+        t = start
+        if t < end:
+            self._console_script = [t, end, interval]
+            while t < end:
+                t += min(interval, end - t)
+        return t
+
+    def end_console_script(self) -> None:
+        """Close the active console script, materializing the last touch
+        at or before the current time into the activity timestamp."""
+        script = self._console_script
+        self._console_script = None
+        if script is not None:
+            t = self._advance_script(script, self.sim.now)
+            if t > self._console_last:
+                self._console_last = t
+
+    def _advance_script(self, script: list, now: float) -> float:
+        """Move the script cursor to the last touch instant <= now."""
+        t, end, interval = script
+        while True:
+            nxt = t + min(interval, end - t)
+            if nxt <= now and nxt < end:
+                t = nxt
+            else:
+                break
+        script[0] = t
+        return t
+
+    @property
+    def console_last_activity(self) -> float:
+        """Virtual time of the last keyboard/mouse event, script-aware."""
+        self.refresh()
+        last = self._console_last
+        script = self._console_script
+        if script is not None:
+            t = self._advance_script(script, self.sim.now)
+            if t > last:
+                last = t
+        return last
+
+    @console_last_activity.setter
+    def console_last_activity(self, when: float) -> None:
+        self._console_last = when
 
     def console_idle_seconds(self) -> float:
         return self.sim.now - self.console_last_activity
+
+    @property
+    def owner_load(self) -> float:
+        """Owner-attributable load, synced with any lazy trace feed."""
+        self.refresh()
+        return self._owner_load
+
+    @owner_load.setter
+    def owner_load(self, value: float) -> None:
+        self._owner_load = value
 
     @property
     def load(self) -> float:

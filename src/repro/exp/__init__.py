@@ -7,6 +7,7 @@
 * :mod:`repro.exp.fig8` — synthetic-benchmark speedup panels A-D
 * :mod:`repro.exp.nondedicated` — Section 5.3.1's desktop-cluster claims
 * :mod:`repro.exp.ablations` — allocator / refraction / policy / pregrant
+* :mod:`repro.exp.scale` — thousand-host scale-out throughput series
 """
 
 from repro.exp.platform import Platform, PlatformParams, build_platform

@@ -57,6 +57,8 @@ class PlatformParams:
     #: engage the flow-level bulk fast path (timing-identical; False
     #: forces every transfer through the packet-by-packet simulation)
     bulk_fastpath: bool = True
+    #: engage the flow-level datagram (RPC) fast path, same contract
+    dgram_fastpath: bool = True
 
     def scaled(self, scale: float) -> "PlatformParams":
         """Shrink every size by ``scale``, preserving ratios."""
@@ -99,7 +101,8 @@ class Platform:
             hosts.append(HostSpec(f"mem{i:02d}", total_mem_bytes=128 * MB))
         self.cluster = Cluster(sim, ClusterConfig(
             hosts=hosts, frame_loss_prob=p.frame_loss_prob,
-            store_data=p.store_payload))
+            store_data=p.store_payload,
+            dgram_fastpath=p.dgram_fastpath))
 
         self.app = self.cluster["app"]
         self.mgr = self.cluster["mgr"]

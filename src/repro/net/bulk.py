@@ -226,14 +226,14 @@ def _fast_clearance(sock: USocket, dst: tuple[str, int],
             return None
     elif mode != "pregranted" or window != dst_sock.recvbuf:
         return None
-    for nic in (src_nic, dst_nic):
-        if nic.tx.in_use or nic.rx.in_use \
-                or nic.tx.queue_length or nic.rx.queue_length:
-            return None
+    if not (src_nic.quiescent and dst_nic.quiescent):
+        return None
     # This transfer already registered itself on both hosts, so a count
-    # above one means somebody else's transfer is in flight there.
+    # above one means somebody else's transfer is in flight there.  A
+    # fast-path datagram in flight occupies an engine at a *future*
+    # instant this plan cannot see, so it disqualifies the hosts too.
     for host in {ep.addr, dst[0]}:
-        if net.bulk_active(host) != 1:
+        if net.bulk_active(host) != 1 or net.dgram_inflight(host):
             return None
     return dst_sock
 

@@ -25,7 +25,7 @@ from repro.metrics.recorder import Recorder
 from repro.net.nic import NIC
 from repro.net.packet import Datagram
 from repro.net.params import LinkParams, TransportParams
-from repro.sim import Simulator
+from repro.sim import Event, Simulator
 
 
 class BulkToken:
@@ -55,6 +55,14 @@ class Network:
         #: in-flight bulk transfers, for fast-path contention clearance
         self._bulk_tokens: list[BulkToken] = []
         self._bulk_counts: dict[str, int] = {}
+        #: engage the flow-level datagram fast path (see fast_transmit);
+        #: timing-identical to the packet path, False forces every
+        #: datagram through the packet-by-packet simulation
+        self.dgram_fastpath: bool = True
+        #: hosts touched by in-flight fast-path datagrams; the bulk fast
+        #: path consults these counts (its closed-form plan must not
+        #: overlap a pending analytic RX occupancy it cannot see)
+        self._dgram_inflight: dict[str, int] = {}
         #: fault injection: extra per-frame loss probability folded into
         #: every endpoint's own loss model (nemesis loss bursts)
         self.extra_loss_prob: float = 0.0
@@ -107,10 +115,13 @@ class Network:
         """Number of registered bulk transfers touching ``host``."""
         return self._bulk_counts.get(host, 0)
 
+    def dgram_inflight(self, host: str) -> int:
+        """Number of in-flight fast-path datagrams touching ``host``."""
+        return self._dgram_inflight.get(host, 0)
+
     def fast_arm(self, token: BulkToken):
         """Arm (and return) the token's mid-transfer abort event."""
         if token.abort is None:
-            from repro.sim import Event
             token.abort = Event(self.sim)
         return token.abort
 
@@ -197,7 +208,14 @@ class Network:
         self.stats.add("tx.datagrams", dgram.count)
         self.stats.add("tx.bytes", dgram.size)
         self.stats.add("tx.frames", frames)
+        delivered = yield from self._transmit_tail(src_nic, dgram, params,
+                                                   hold, first)
+        return delivered
 
+    def _transmit_tail(self, src_nic: NIC, dgram: Datagram,
+                       params: TransportParams, hold: float, first: float):
+        """Packet path from the TX-engine grant onward (also the fallback
+        continuation when a fast datagram finds its TX engine busy)."""
         yield src_nic.tx.acquire()
         rx_proc = self.sim.process(self._rx_side(dgram, params, hold, first))
         yield self.sim.timeout(hold)
@@ -232,6 +250,14 @@ class Network:
             tail = cpu_total
             hold = wire
 
+        delivered = yield from self._rx_finish(dst_nic, dgram, params,
+                                               hold, tail)
+        return delivered
+
+    def _rx_finish(self, dst_nic: NIC, dgram: Datagram,
+                   params: TransportParams, hold: float, tail: float):
+        """Packet path from the RX-engine grant onward (also the fallback
+        continuation when a fast datagram finds its RX engine busy)."""
         yield dst_nic.rx.acquire()
         yield self.sim.timeout(hold)
         dst_nic.rx.release()
@@ -242,6 +268,168 @@ class Network:
         yield self.sim.timeout(tail)
         dst_nic.deliver(dgram)
         return True
+
+    # -- datagram fast path -----------------------------------------------------
+    # The RPC-rate twin of the bulk fast path (net/bulk.py): on the common
+    # lossless, uncontended configuration a single datagram costs ~13
+    # events across three generator processes just to prove that nothing
+    # contended.  fast_transmit computes the same timeline in closed form
+    # and walks it with five plain events and zero processes.  Each stage
+    # *re-validates* the condition the packet path would have checked at
+    # that instant and falls back to the exact packet-path continuation
+    # when the world changed mid-flight, so virtual times, stats and
+    # deliveries are identical either way (ties at equal timestamps may
+    # interleave differently; see docs/PERFORMANCE.md).
+
+    def fast_transmit(self, dgram: Datagram,
+                      params: TransportParams) -> Optional["Event"]:
+        """Carry a single uncontended datagram with O(1) events.
+
+        Returns the send event — firing with ``dgram.size`` after the
+        sender-side CPU overhead, exactly like ``USocket._send_proc`` —
+        or None when the fast path cannot engage (burst, lossy transport,
+        engines busy, competing bulk/datagram traffic, partition, either
+        NIC down): the caller then uses the packet path unchanged.
+        """
+        if not self.dgram_fastpath or dgram.is_burst or dgram.count != 1 \
+                or dgram.src == dgram.dst:
+            return None
+        if params.frame_loss_prob > 0.0 or self.extra_loss_prob > 0.0:
+            return None
+        src_nic = self._nics.get(dgram.src)
+        dst_nic = self._nics.get(dgram.dst)
+        if src_nic is None or src_nic.down or dst_nic is None \
+                or dst_nic.down:
+            return None
+        if not self.reachable(dgram.src, dgram.dst):
+            return None
+        if not (src_nic.quiescent and dst_nic.quiescent):
+            return None
+        counts = self._bulk_counts
+        inflight = self._dgram_inflight
+        src, dst = dgram.src, dgram.dst
+        if counts.get(src, 0) or counts.get(dst, 0) \
+                or inflight.get(src, 0) or inflight.get(dst, 0):
+            return None
+
+        # The packet path's exact schedule, replayed float-for-float:
+        #   t1      sender CPU done; TX engine taken       (_send_proc)
+        #   t1+wire TX engine released                     (_transmit)
+        #   t_arr   leading frame through the switch       (_rx_side)
+        #   t_rx    RX engine released, loss point         (_rx_side)
+        #   t_dlv   receiver CPU done; datagram delivered  (_rx_side)
+        sim = self.sim
+        link = self.link
+        frames = self.frames_for(dgram.size)
+        wire = link.wire_time(dgram.size, frames)
+        first = link.frame_time(min(dgram.size, link.mtu_bytes - 28))
+        t1 = sim.now + params.cpu_time(dgram.size, frames, 1,
+                                       params.send_overhead_s)
+        tail = params.cpu_time(dgram.size, frames, 1,
+                               params.recv_overhead_s)
+        t_arr = t1 + (link.switch_latency_s + first)
+        t_rx = t_arr + wire
+        t_dlv = t_rx + tail
+
+        inflight[src] = inflight.get(src, 0) + 1
+        inflight[dst] = inflight.get(dst, 0) + 1
+        self.stats.add("fastpath.dgrams")
+
+        def finish():
+            inflight[src] -= 1
+            inflight[dst] -= 1
+
+        def stage_send(_evt):
+            # t1: the NIC takes the datagram (packet path: _transmit entry)
+            nic = self._nics.get(src)
+            if nic is None or nic.down:
+                self.stats.add("tx.dropped.src_down")
+                finish()
+                return
+            self.stats.add("tx.datagrams", 1)
+            self.stats.add("tx.bytes", dgram.size)
+            self.stats.add("tx.frames", frames)
+            tx = nic.tx
+            if tx._in_use or tx._waiters:
+                # the engine got busy since clearance: packet continuation
+                self.stats.add("fastpath.dgram_fallbacks")
+                sim.process(self._dgram_fallback_tx(
+                    nic, dgram, params, wire, first, finish))
+                return
+            # grant the idle engine directly — release() below restores
+            # the normal waiter-granting path for anyone who queues up
+            tx._in_use += 1
+            sim.call_at(t1 + wire, tx.release)
+            arr = sim.at(t_arr)
+            arr.callbacks.append(stage_arrive)
+
+        def stage_arrive(_evt):
+            # t_arr: leading frame at the receiver (packet: _rx_side checks)
+            nic = self._nics.get(dst)
+            if nic is None or nic.down:
+                self.stats.add("rx.dropped.dst_down")
+                finish()
+                return
+            if not self.reachable(src, dst):
+                self.stats.add("rx.dropped.partitioned")
+                finish()
+                return
+            rx = nic.rx
+            if rx._in_use or rx._waiters:
+                self.stats.add("fastpath.dgram_fallbacks")
+                sim.process(self._dgram_fallback_rx(
+                    nic, dgram, params, wire, tail, finish))
+                return
+            rx._in_use += 1
+            done = sim.at(t_rx)
+            done.callbacks.append(stage_rx_done)
+
+        def stage_rx_done(_evt):
+            # t_rx: serialization complete; the loss point.  _apply_loss
+            # is a no-op draw-for-draw match of the packet path: it only
+            # consumes RNG when a loss burst started mid-flight.
+            self._nics[dst].rx.release()
+            survived = self._apply_loss(dgram, params)
+            if survived is None:
+                finish()
+                return
+            dlv = sim.at(t_dlv)
+            dlv.callbacks.append(
+                lambda _e, d=survived: stage_deliver(d))
+
+        def stage_deliver(d):
+            # t_dlv: receiver CPU charged; deliver() re-checks NIC state
+            self._nics[dst].deliver(d)
+            finish()
+
+        evt = sim.at(t1, value=dgram.size)
+        evt.callbacks.append(stage_send)
+        return evt
+
+    def _dgram_fallback_tx(self, src_nic: NIC, dgram: Datagram,
+                           params: TransportParams, hold: float,
+                           first: float, finish):
+        """Fast datagram whose TX engine got busy between clearance and
+        handoff: finish on the packet path, keeping the host registered
+        until delivery so no new fast traffic engages over it."""
+        try:
+            delivered = yield from self._transmit_tail(
+                src_nic, dgram, params, hold, first)
+        finally:
+            finish()
+        return delivered
+
+    def _dgram_fallback_rx(self, dst_nic: NIC, dgram: Datagram,
+                           params: TransportParams, hold: float,
+                           tail: float, finish):
+        """Fast datagram whose RX engine got busy mid-flight: finish on
+        the packet path from the RX-engine grant onward."""
+        try:
+            delivered = yield from self._rx_finish(
+                dst_nic, dgram, params, hold, tail)
+        finally:
+            finish()
+        return delivered
 
     # -- loss model ------------------------------------------------------------
     def _apply_loss(self, dgram: Datagram,

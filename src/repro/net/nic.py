@@ -39,6 +39,13 @@ class NIC:
             sim.telemetry.register(sim, "nic", addr, self)
 
     @property
+    def quiescent(self) -> bool:
+        """Both serialization engines idle with empty wait queues — the
+        state the flow-level fast paths require at engage time."""
+        tx, rx = self.tx, self.rx
+        return not (tx._in_use or rx._in_use or tx._waiters or rx._waiters)
+
+    @property
     def down(self) -> bool:
         """A downed NIC (crashed / powered-off host) drops all traffic."""
         return self._down

@@ -139,6 +139,12 @@ class USocket:
             chunks=tuple(chunks))
         self.stats.add("tx.datagrams", dgram.count)
         self.stats.add("tx.bytes", size)
+        # Single uncontended datagrams take the flow-level fast path:
+        # same virtual timing, ~5 plain events instead of ~13 events
+        # across three processes (see Network.fast_transmit).
+        fast = self.endpoint.network.fast_transmit(dgram, params)
+        if fast is not None:
+            return fast
         return self.sim.process(self._send_proc(dgram, params))
 
     def send_iovec(self, iov: Sequence[bytes],
@@ -176,6 +182,19 @@ class USocket:
         or socket close (paper: ``u_recv`` takes an explicit timeout)."""
         if self.closed:
             raise SocketClosed(f"recv on closed socket {self.port}")
+        queue = self._queue
+        if queue._items:
+            # Data already queued: resolve synchronously on the already-
+            # triggered get event instead of spawning a process (the
+            # caller still resumes at the current instant, exactly as on
+            # the process path — the get fires on the next dispatch).
+            get = queue.get()
+            dgram = get._value
+            if dgram is not None:
+                self._queued_bytes -= dgram.size
+                self.stats.add("rx.datagrams", dgram.count)
+                self.stats.add("rx.bytes", dgram.size)
+            return get
         self._pending_recvs += 1
         return self.sim.process(self._recv_proc(timeout))
 

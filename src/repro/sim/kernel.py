@@ -1,15 +1,42 @@
 """The discrete-event simulation core: events, timeouts and the scheduler.
 
 Time is a ``float`` number of **seconds** of virtual time.  Determinism is a
-hard requirement for reproducible experiments, so ties in the event heap are
+hard requirement for reproducible experiments, so ties in the event queue are
 broken by a monotonically increasing insertion counter, never by object
 identity.
+
+The pending-event set lives in a **ladder queue** (a calendar queue with a
+sorted front; Brown 1988, Tang et al. 2005): a small binary heap — the
+*front* — holds every pending event earlier than a moving time fence
+``_ftop``, and an array of coarse time buckets (the *calendar*) holds
+everything later, indexed by ``floor(when / width)`` modulo the bucket
+count.  Dispatch pops the front exactly like the old global heap did —
+one C ``heappop`` — but the heap only ever contains the events of the
+current fence window, so its depth stays O(1) instead of O(log n) no
+matter how many far-future events are pending; those cost a single list
+append each.  When the front drains, the fence advances bucket by bucket,
+sweeping each bucket's now-due entries into the front.  The bucket width
+is re-fit to the observed timestamp distribution (pending-event span /
+count) whenever the population outgrows the structure, so both a
+microsecond-spaced network burst and multi-second keep-alive timers keep
+O(1) amortized access.  Entries are the same ``(when, counter, event)``
+triples the old binary heap used, compared the same way, and the front
+always holds *every* pending entry below the fence — the dispatch order
+is *identical* to the heap's, which the golden-file and differential
+determinism tests assert byte-for-byte (see docs/PERFORMANCE.md for the
+ordering argument).
+
+Two further hot-path optimizations live here: ``Simulator.timeout``
+recycles processed :class:`Timeout` objects from a free pool (the dispatch
+loop returns an event to the pool only when its refcount proves nobody can
+still observe it), and the dispatch loop inlines the pop/advance so the
+common case costs one C heap operation and no Python function calls.
 """
 
 from __future__ import annotations
 
-import heapq
-from heapq import heappop, heappush
+from heapq import heapify, heappop, heappush
+from sys import getrefcount
 from typing import Any, Callable, Iterable, Optional
 
 from repro.obs.eventlog import default_eventlog
@@ -19,6 +46,18 @@ from repro.sim.errors import SimulationError, StopSimulation
 from repro.sim.rng import RngRegistry
 
 _PENDING = object()
+
+#: calendar sizing bounds (powers of two; see _resize)
+_MIN_BUCKETS = 16
+_MAX_BUCKETS = 1 << 16
+#: target entries per bucket: one fence advance sweeps ~this many events
+#: into the front, amortizing the Python-level refill across the batch
+#: (the per-event front ops are C heap calls on a ~16-entry heap)
+_OCCUPANCY = 16
+#: the front heap may grow to this many entries before a re-fit is tried
+_FGROW_MIN = 1024
+#: cap on the recycled-Timeout free pool
+_POOL_MAX = 256
 
 
 class Event:
@@ -115,7 +154,7 @@ class Timeout(Event):
 
 
 class Simulator:
-    """The event loop: a time-ordered heap of triggered events.
+    """The event loop: a ladder queue of triggered events.
 
     Parameters
     ----------
@@ -125,10 +164,40 @@ class Simulator:
         adding a component never perturbs another's random sequence.
     """
 
+    # Slots turn the many instance-attribute reads per dispatched event
+    # into array indexing instead of dict lookups.  ``_bulk_xfer_ids`` is
+    # declared for net/bulk.py, which lazily attaches a per-sim counter.
+    __slots__ = ("_now", "_counter", "_front", "_ftop", "_fgrow",
+                 "_nbuckets", "_mask", "_buckets", "_width", "_inv_width",
+                 "_qcount", "_day", "_tpool", "rng", "events_processed",
+                 "tracer", "telemetry", "eventlog", "_trace_kernel",
+                 "active_process", "_pid_counter", "_bulk_xfer_ids",
+                 "__weakref__")
+
     def __init__(self, seed: int = 0):
         self._now: float = 0.0
-        self._heap: list[tuple[float, int, Event]] = []
         self._counter: int = 0
+        # -- ladder queue --------------------------------------------------
+        # Entries are (when, counter, event) triples.  The front heap holds
+        # every pending entry with when < _ftop; the calendar buckets hold
+        # the rest, each in bucket floor(when/width) & mask.  _day is the
+        # absolute bucket index of the fence: _ftop == (_day + 1) * _width,
+        # and every calendar entry's bucket index is > _day.  The front
+        # list's *identity* is permanent (refill/resize mutate it in
+        # place) so the dispatch loop may cache it in a local.
+        self._front: list = []
+        self._ftop: float = 1.0
+        self._fgrow: int = _FGROW_MIN
+        self._nbuckets: int = _MIN_BUCKETS
+        self._mask: int = _MIN_BUCKETS - 1
+        self._buckets: list[list] = [[] for _ in range(_MIN_BUCKETS)]
+        self._width: float = 1.0
+        self._inv_width: float = 1.0
+        #: number of entries in the calendar (the front is sized by len())
+        self._qcount: int = 0
+        self._day: int = 0
+        #: free pool of processed Timeout objects (see run())
+        self._tpool: list[Timeout] = []
         self.rng = RngRegistry(seed)
         #: number of events processed so far (exposed for perf reporting)
         self.events_processed: int = 0
@@ -140,6 +209,10 @@ class Simulator:
         #: the tracer (NULL_* unless opted in before construction)
         self.telemetry = default_telemetry()
         self.eventlog = default_eventlog()
+        #: cached ``tracer.enabled and tracer.kernel_events`` (refreshed at
+        #: every run() entry) so the per-resume check is one attribute read
+        self._trace_kernel: bool = (
+            self.tracer.enabled and self.tracer.kernel_events)
         #: the process currently being resumed (tracks span ownership)
         self.active_process = None
         self._pid_counter: int = 0
@@ -160,14 +233,44 @@ class Simulator:
         return Event(self)
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
-        """An event firing ``delay`` seconds from now."""
-        return Timeout(self, delay, value)
+        """An event firing ``delay`` seconds from now.
+
+        The hottest constructor in the simulator: it reuses a pooled
+        (processed, unobservable) Timeout when one is available and inlines
+        both the field setup and the ladder insert, so the common case
+        runs one C heappush and no nested Python calls.
+        """
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay}")
+        pool = self._tpool
+        if pool:
+            evt = pool.pop()
+            evt.delay = delay
+            evt._value = value
+        else:
+            evt = Timeout.__new__(Timeout)
+            evt.sim = self
+            evt.callbacks = []
+            evt._ok = True
+            evt.defused = False
+            evt._value = value
+            evt.delay = delay
+        self._counter = count = self._counter + 1
+        when = self._now + delay
+        if when < self._ftop:
+            front = self._front
+            heappush(front, (when, count, evt))
+            if len(front) > self._fgrow:
+                self._resize()
+        else:
+            self._place(when, (when, count, evt))
+        return evt
 
     def at(self, when: float, value: Any = None) -> Event:
         """An event firing at the *absolute* virtual time ``when``.
 
-        The absolute counterpart of :meth:`timeout`.  The flow-level bulk
-        fast path uses it to complete transfers at analytically computed
+        The absolute counterpart of :meth:`timeout`.  The flow-level fast
+        paths use it to complete transfers at analytically computed
         instants that are bit-identical to the packet path's event times —
         ``timeout(when - now)`` cannot guarantee that under float rounding
         (``now + (when - now) != when`` in general).
@@ -179,7 +282,26 @@ class Simulator:
         evt._ok = True
         evt._value = value
         self._counter = count = self._counter + 1
-        heappush(self._heap, (when, count, evt))
+        if when < self._ftop:
+            front = self._front
+            heappush(front, (when, count, evt))
+            if len(front) > self._fgrow:
+                self._resize()
+        else:
+            self._place(when, (when, count, evt))
+        return evt
+
+    def call_at(self, when: float, func: Callable[[], None],
+                value: Any = None) -> Event:
+        """Schedule ``func()`` to run at absolute time ``when``.
+
+        Sugar for ``at(when)`` plus a callback that ignores the event;
+        the flow-level fast paths use it for their closed-form completion
+        actions (engine releases, deliveries).  Returns the event so the
+        caller may also wait on it.
+        """
+        evt = self.at(when, value)
+        evt.callbacks.append(lambda _e: func())
         return evt
 
     def process(self, generator) -> "Process":
@@ -201,17 +323,164 @@ class Simulator:
     # -- scheduling --------------------------------------------------------
     def _enqueue(self, delay: float, event: Event) -> None:
         self._counter = count = self._counter + 1
-        heappush(self._heap, (self._now + delay, count, event))
+        when = self._now + delay
+        if when < self._ftop:
+            # Common case: zero/short delays land inside the fence window.
+            front = self._front
+            heappush(front, (when, count, event))
+            if len(front) > self._fgrow:
+                self._resize()
+        else:
+            self._place(when, (when, count, event))
+
+    def _bucket_index(self, when: float) -> int:
+        """Absolute bucket index ``k`` with ``k*width <= when < (k+1)*width``.
+
+        ``int(when * inv_width)`` can land one bucket off under float
+        rounding; the two guards repair it so placement and the fence
+        windows (which use the same ``k * width`` arithmetic) always
+        agree — the property the ordering proof in docs/PERFORMANCE.md
+        relies on.
+        """
+        width = self._width
+        k = int(when * self._inv_width)
+        if when < k * width:
+            k -= 1
+        elif when >= (k + 1) * width:
+            k += 1
+        return k
+
+    def _place(self, when: float, entry: tuple) -> None:
+        """Insert a beyond-the-fence ``entry`` into its calendar bucket."""
+        self._buckets[self._bucket_index(when) & self._mask].append(entry)
+        self._qcount += 1
+        # Grow once mean occupancy doubles past target (re-fit leaves it
+        # at ~_OCCUPANCY/2, so the trigger stays amortized O(1)).
+        if self._qcount > (self._nbuckets * (_OCCUPANCY << 1)) \
+                and self._nbuckets < _MAX_BUCKETS:
+            self._resize()
+
+    def _resize(self) -> None:
+        """Re-fit the ladder to the pending-event distribution.
+
+        Deterministic by construction: triggered purely by the queue
+        population crossing a fixed threshold (calendar count > 2x the
+        bucket count, or the front heap outgrowing ``_fgrow``), and the
+        new width is a pure function of the pending entries — their time
+        span divided by their count, i.e. the mean inter-event gap, so
+        average bucket occupancy stays O(1).  No clock, no RNG — two
+        identical runs resize identically.
+        """
+        entries = list(self._front)
+        for b in self._buckets:
+            entries.extend(b)
+        n = len(entries)
+        nbuckets = _MIN_BUCKETS
+        while nbuckets < (n // (_OCCUPANCY >> 1)) and nbuckets < _MAX_BUCKETS:
+            nbuckets <<= 1
+        if n:
+            lo = min(e[0] for e in entries)
+            hi = max(e[0] for e in entries)
+            span = hi - lo
+            width = span * _OCCUPANCY / n if span > 0.0 else self._width
+        else:
+            lo = self._now
+            width = self._width
+        if width <= 0.0 or width != width:  # zero/NaN guard
+            width = 1.0
+        self._nbuckets = nbuckets
+        self._mask = mask = nbuckets - 1
+        self._width = width
+        self._inv_width = 1.0 / width
+        self._buckets = buckets = [[] for _ in range(nbuckets)]
+        day = self._bucket_index(lo)
+        self._day = day
+        self._ftop = ftop = (day + 1) * width
+        front = self._front
+        front[:] = [e for e in entries if e[0] < ftop]
+        heapify(front)
+        qcount = 0
+        index = self._bucket_index
+        for e in entries:
+            if e[0] >= ftop:
+                buckets[index(e[0]) & mask].append(e)
+                qcount += 1
+        self._qcount = qcount
+        # Degenerate distributions (span 0) cannot be split across the
+        # fence; doubling the trigger keeps the re-fit amortized O(1).
+        self._fgrow = max(_FGROW_MIN, len(front) << 1)
+
+    def _refill(self) -> None:
+        """Advance the fence until due entries fill the (empty) front.
+
+        Walks the calendar day by day, sweeping each bucket's entries that
+        fall inside the new fence window into the front heap.  If a whole
+        rotation finds nothing due (the next event is more than
+        nbuckets*width away), jumps straight to the bucket of the globally
+        earliest entry.  Called only with ``_qcount > 0`` and an empty
+        front.
+        """
+        if self._qcount < (self._nbuckets >> 3) \
+                and self._nbuckets > _MIN_BUCKETS:
+            self._resize()
+            if self._front:
+                return
+        buckets, mask, width = self._buckets, self._mask, self._width
+        front = self._front
+        nbuckets = self._nbuckets
+        day = self._day
+        scanned = 0
+        while True:
+            day += 1
+            bucket = buckets[day & mask]
+            if bucket:
+                top = (day + 1) * width
+                due = [e for e in bucket if e[0] < top]
+                if due:
+                    if len(due) == len(bucket):
+                        del bucket[:]
+                    else:
+                        bucket[:] = [e for e in bucket if e[0] >= top]
+                    front.extend(due)
+                    heapify(front)
+                    self._qcount -= len(due)
+                    self._day = day
+                    self._ftop = top
+                    return
+            scanned += 1
+            if scanned > nbuckets:
+                # A full rotation without a due entry: jump to the bucket
+                # holding the globally earliest one.
+                earliest = min(m for m in (min(b) for b in buckets if b))
+                day = self._bucket_index(earliest[0])
+                top = (day + 1) * width
+                bucket = buckets[day & mask]
+                due = [e for e in bucket if e[0] < top]
+                bucket[:] = [e for e in bucket if e[0] >= top]
+                front.extend(due)
+                heapify(front)
+                self._qcount -= len(due)
+                self._day = day
+                self._ftop = top
+                return
 
     def peek(self) -> float:
         """Time of the next event, or ``inf`` if none are queued."""
-        return self._heap[0][0] if self._heap else float("inf")
+        front = self._front
+        if front:
+            return front[0][0]
+        if self._qcount:
+            return min(m for m in (min(b) for b in self._buckets if b))[0]
+        return float("inf")
 
     def step(self) -> None:
         """Process exactly one event."""
-        if not self._heap:
-            raise SimulationError("step() on an empty event queue")
-        when, _, event = heapq.heappop(self._heap)
+        front = self._front
+        if not front:
+            if not self._qcount:
+                raise SimulationError("step() on an empty event queue")
+            self._refill()
+        when, _, event = heappop(front)
         self._now = when
         tracer = self.tracer
         if tracer.enabled and tracer.kernel_events:
@@ -253,28 +522,57 @@ class Simulator:
                 raise SimulationError(
                     f"run(until={horizon}) is in the past (now={self._now})")
 
-        # The dispatch loop is the simulator's hottest code: it inlines
-        # step() with the heap, pop function, tracer flags and event
-        # counter held in locals, so the common iteration costs one heap
-        # pop, one callback sweep and two attribute-free flag checks.
-        # step()/peek() remain for external single-stepping.
-        heap = self._heap
-        pop = heappop
+        # The dispatch loop is the simulator's hottest code: it inlines the
+        # ladder pop (the common case is one C heappop from the front), the
+        # tracer flag and the Timeout free pool, so one iteration costs one
+        # heap operation, one callback sweep and two flag checks.  The
+        # front local stays valid because refill/resize mutate the list in
+        # place.  step()/peek() remain for external single-stepping.
         tracer = self.tracer
         kernel_trace = tracer.enabled and tracer.kernel_events
+        self._trace_kernel = kernel_trace
+        pool = self._tpool
+        pool_append = pool.append
+        front = self._front
+        pop = heappop
         processed = 0
         try:
-            while heap and heap[0][0] <= horizon:
-                when, _, event = pop(heap)
+            while True:
+                if front:
+                    entry = pop(front)
+                elif self._qcount:
+                    self._refill()
+                    entry = pop(front)
+                else:
+                    break
+                when = entry[0]
+                if when > horizon:
+                    # Not due within this run: put it back and stop.
+                    heappush(front, entry)
+                    break
+                event = entry[2]
+                entry = None
                 self._now = when
                 if kernel_trace:
                     tracer.instant(self, "dispatch", "kernel",
                                    {"event": type(event).__name__})
                 callbacks, event.callbacks = event.callbacks, None
-                for cb in callbacks:
-                    cb(event)
+                if len(callbacks) == 1:
+                    callbacks[0](event)
+                else:
+                    for cb in callbacks:
+                        cb(event)
                 processed += 1
-                if not event._ok and not event.defused:
+                if event.__class__ is Timeout:
+                    # Timeouts are born succeeded, so the failure check is
+                    # skipped.  Recycle when nobody can still observe this
+                    # event (the two refs are our local and getrefcount's
+                    # argument) — the pool reuses object and callback list.
+                    if getrefcount(event) == 2 and len(pool) < _POOL_MAX:
+                        del callbacks[:]
+                        event.callbacks = callbacks
+                        pool_append(event)
+                elif not event._ok and not event.defused:
                     # An unhandled failure: surface it rather than losing it.
                     raise event._value
         except StopSimulation:

@@ -23,7 +23,7 @@ class Process(Event):
     loop raises the exception, so component crashes are never silent.
     """
 
-    __slots__ = ("_generator", "_target", "pid", "trace_parent")
+    __slots__ = ("_generator", "_target", "pid", "trace_parent", "_rcb")
 
     def __init__(self, sim: Simulator, generator: Generator[Event, Any, Any]):
         if not hasattr(generator, "send"):
@@ -42,7 +42,10 @@ class Process(Event):
         init._ok = True
         init._value = None
         sim._enqueue(0.0, init)
-        init.callbacks.append(self._resume)
+        #: cached bound method — appended once per resume on the hot path,
+        #: so we pay the bound-method allocation a single time
+        self._rcb = self._resume
+        init.callbacks.append(self._rcb)
         self._target: Optional[Event] = init
 
     @property
@@ -77,7 +80,7 @@ class Process(Event):
             return  # terminated before delivery
         if self._target is not None and self._target.callbacks is not None:
             try:
-                self._target.callbacks.remove(self._resume)
+                self._target.callbacks.remove(self._rcb)
             except ValueError:
                 pass
         self._resume(event)
@@ -93,9 +96,8 @@ class Process(Event):
         sim = self.sim
         prev_active = sim.active_process
         sim.active_process = self
-        tracer = sim.tracer
-        if tracer.enabled and tracer.kernel_events:
-            tracer.instant(sim, "wakeup", "kernel", {"pid": self.pid})
+        if sim._trace_kernel:
+            sim.tracer.instant(sim, "wakeup", "kernel", {"pid": self.pid})
         try:
             if event._ok:
                 nxt = generator.send(event._value)
@@ -112,12 +114,21 @@ class Process(Event):
         finally:
             sim.active_process = prev_active
 
-        if nxt.__class__ is not Event and not isinstance(nxt, Event):
+        # Duck-typed on the hot path: a yielded Event always has a
+        # ``callbacks`` attribute, so the common case pays no isinstance.
+        try:
+            cbs = nxt.callbacks
+        except AttributeError:
+            cbs = None
+            nxt_is_event = isinstance(nxt, Event)
+        else:
+            nxt_is_event = True
+        if not nxt_is_event:
             self._generator = None
             self.fail(SimulationError(
                 f"process yielded a non-event: {nxt!r}"))
             return
-        if nxt.callbacks is None:
+        if cbs is None:
             # Already processed: redeliver its outcome on a fresh event so
             # the process resumes on the next scheduler step.
             proxy = Event(sim)
@@ -125,7 +136,8 @@ class Process(Event):
             proxy._value = nxt._value
             sim._enqueue(0.0, proxy)
             nxt = proxy
-        nxt.callbacks.append(self._resume)
+            cbs = proxy.callbacks
+        cbs.append(self._rcb)
         self._target = nxt
 
 

@@ -149,20 +149,30 @@ class Store:
 class PriorityStore(Store):
     """A store that hands out the smallest item first.
 
-    Items must be orderable; ties are broken by insertion order so equal
-    priorities remain FIFO.
+    Heap entries are ``(key, seq, item)`` triples: ``key`` is the sort key
+    (``key(item)``, or the item itself by default), ``seq`` a unique
+    insertion serial.  Because ``seq`` never ties, comparison is always
+    decided by ``(key, seq)`` and the item itself is **never** compared —
+    so equal-priority items need not be orderable, and ties remain strictly
+    FIFO.  Pass ``key=`` to store non-comparable payloads (e.g. messages
+    prioritized by an integer field); the default identity key requires
+    the items themselves to be orderable.
     """
 
-    def __init__(self, sim: Simulator, capacity: float = float("inf")):
+    def __init__(self, sim: Simulator, capacity: float = float("inf"),
+                 key: Optional[Any] = None):
         super().__init__(sim, capacity)
         self._heap: list[tuple[Any, int, Any]] = []
         self._seq = itertools.count()
+        self._key = key if key is not None else lambda item: item
 
     def __len__(self) -> int:
         return len(self._heap)
 
     @property
     def items(self) -> tuple:
+        # sorted() compares (key, seq) only — seq is unique, so the
+        # comparison never recurses into the items.
         return tuple(item for _, _, item in sorted(self._heap))
 
     def put(self, item: Any) -> Event:
@@ -174,13 +184,15 @@ class PriorityStore(Store):
             return evt
         if getter is not None:
             # Keep ordering: push then pop the minimum for the getter.
-            heapq.heappush(self._heap, (item, next(self._seq), item))
+            heapq.heappush(self._heap,
+                           (self._key(item), next(self._seq), item))
             _, _, smallest = heapq.heappop(self._heap)
             getter.succeed(smallest)
             evt.succeed()
             return evt
         if len(self._heap) < self.capacity:
-            heapq.heappush(self._heap, (item, next(self._seq), item))
+            heapq.heappush(self._heap,
+                           (self._key(item), next(self._seq), item))
             evt.succeed()
         else:
             self._putters.append((evt, item))
@@ -193,7 +205,8 @@ class PriorityStore(Store):
             evt.succeed(item)
             if self._putters and len(self._heap) < self.capacity:
                 pevt, pitem = self._putters.popleft()
-                heapq.heappush(self._heap, (pitem, next(self._seq), pitem))
+                heapq.heappush(self._heap,
+                               (self._key(pitem), next(self._seq), pitem))
                 pevt.succeed()
         else:
             self._getters.append(evt)

@@ -21,7 +21,7 @@ import math
 from dataclasses import dataclass
 
 from repro.metrics.recorder import Recorder
-from repro.sim import Resource, Simulator
+from repro.sim import Event, Resource, Simulator
 
 
 @dataclass(frozen=True)
@@ -73,6 +73,10 @@ class Disk:
         #: fault-injection hook: service times are multiplied by this
         #: (1.0 = healthy; the nemesis raises it to model a degraded disk)
         self.slowdown: float = 1.0
+        #: engage the flow-level fast path for uncontended requests
+        #: (timing-identical; False forces every request through the
+        #: per-request process path)
+        self.fastpath: bool = True
         self.stats = Recorder(name)
         if sim.telemetry.enabled:
             sim.telemetry.register(sim, "disk", name, self)
@@ -102,12 +106,116 @@ class Disk:
 
     # -- I/O ----------------------------------------------------------------------
     def read(self, offset: int, nbytes: int):
-        """Process performing one read; value = service time."""
-        return self.sim.process(self._io(offset, nbytes, write=False))
+        """One read; yields the service time (excluding queueing)."""
+        return self._access(((offset, nbytes),), write=False)
 
     def write(self, offset: int, nbytes: int):
-        """Process performing one write; value = service time."""
-        return self.sim.process(self._io(offset, nbytes, write=True))
+        """One write; yields the service time (excluding queueing)."""
+        return self._access(((offset, nbytes),), write=True)
+
+    def read_batch(self, runs):
+        """One FIFO batch of reads; yields the summed service time.
+
+        ``runs`` is a sequence of ``(offset, nbytes)`` pairs served
+        back to back.  Timing-identical to yielding each run's ``read``
+        in order, but an uncontended batch costs one plain event per run
+        instead of a process (and its bootstrap, acquire and timeout
+        events) per run.  A request that queues mid-batch is granted the
+        arm between members, exactly as on the per-request path.
+        """
+        return self._access(tuple(runs), write=False)
+
+    def write_batch(self, runs):
+        """One FIFO batch of writes; see :meth:`read_batch`."""
+        return self._access(tuple(runs), write=True)
+
+    def _access(self, runs, write: bool):
+        """Route a batch to the fast path or the per-request processes.
+
+        The fast path engages only when it is provably timing-identical:
+        the arm idle with no queued waiters (so service starts now), the
+        tracer off (the process path emits per-request spans) and every
+        run already valid (invalid ones must raise through a process,
+        as they always have).
+        """
+        arm = self.arm
+        cap = self.params.capacity_bytes
+        if (self.fastpath and runs and not arm._in_use and not arm._waiters
+                and not self.sim.tracer.enabled
+                and all(n > 0 and 0 <= o and o + n <= cap for o, n in runs)):
+            return self._fast_access(runs, write)
+        return self.sim.process(self._batch_io(runs, write))
+
+    def _batch_io(self, runs, write: bool):
+        """Per-request process path for a whole batch; value = total."""
+        total = 0.0
+        for offset, nbytes in runs:
+            total += yield from self._io(offset, nbytes, write)
+        return total
+
+    def _fast_access(self, runs, write: bool) -> Event:
+        """Closed-form batch service: one event per run boundary.
+
+        Replays the per-request path's exact arithmetic — each run's
+        service time is computed *at its start instant* (so a nemesis
+        slowdown change mid-batch lands on the same runs) with the head
+        state the previous run left behind, and completion bookkeeping
+        (head position, stats) happens at the same virtual time the
+        process path would perform it.  If another request queues on the
+        arm mid-batch, the remaining runs fall back to the per-request
+        path so the waiter is granted the arm between members.
+        """
+        sim = self.sim
+        arm = self.arm
+        kind = "write" if write else "read"
+        arm._in_use += 1
+        done = Event(sim)
+        state = [0, 0.0]  # [next run index, accumulated service time]
+        self.stats.add("fastpath.batches")
+
+        def start_next() -> None:
+            offset, nbytes = runs[state[0]]
+            service = self.service_time(offset, nbytes, write)
+            sequential = offset == self._last_end
+            evt = sim.at(sim.now + service)
+            evt.callbacks.append(
+                lambda _e, o=offset, n=nbytes, s=service, q=sequential:
+                finish_one(o, n, s, q))
+
+        def finish_one(offset: int, nbytes: int, service: float,
+                       sequential: bool) -> None:
+            end = offset + nbytes
+            self._head = end
+            self._last_end = end
+            state[0] += 1
+            state[1] += service
+            last = state[0] >= len(runs)
+            contended = not last and bool(arm._waiters)
+            if last or contended:
+                arm.release()
+            self.stats.add(f"{kind}.ops")
+            self.stats.add(f"{kind}.bytes", nbytes)
+            if sequential:
+                self.stats.add(f"{kind}.sequential")
+            self.stats.sample("service_s", service)
+            if last:
+                done.succeed(state[1])
+            elif contended:
+                self.stats.add("fastpath.fallbacks")
+                sim.process(self._drain(runs, state, write, done))
+            else:
+                start_next()
+
+        start_next()
+        return done
+
+    def _drain(self, runs, state, write: bool, done: Event):
+        """Finish a contended batch on the per-request path."""
+        while state[0] < len(runs):
+            offset, nbytes = runs[state[0]]
+            state[1] += yield from self._io(offset, nbytes, write)
+            state[0] += 1
+        done.succeed(state[1])
 
     def _io(self, offset: int, nbytes: int, write: bool):
         if nbytes <= 0:

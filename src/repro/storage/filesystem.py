@@ -309,10 +309,14 @@ class FileSystem:
             start = pages[i] * ps
             length = min((pages[j] + 1) * ps, self._alloc_size(f)) - start
             if length > 0:
-                for disk_off, run_len in self._disk_runs(f, start, length):
-                    yield self.disk.read(disk_off, run_len)
-            for pg in pages[i:j + 1]:
-                writeback.extend(self.cache.insert((f.inode, pg)))
+                runs = list(self._disk_runs(f, start, length))
+                if runs:
+                    # One batch per contiguous page run: an uncontended
+                    # fetch costs one event per extent instead of a
+                    # process per extent, with identical timing.
+                    yield self.disk.read_batch(runs)
+            writeback.extend(self.cache.insert_many(
+                (f.inode, pg) for pg in pages[i:j + 1]))
             i = j + 1
         yield from self._writeback(writeback)
 
@@ -393,8 +397,9 @@ class FileSystem:
                 start = pages[i] * ps
                 length = min((pages[j] + 1) * ps, self._alloc_size(f)) - start
                 if length > 0:
-                    for disk_off, run_len in self._disk_runs(f, start, length):
-                        yield self.disk.write(disk_off, run_len)
+                    runs = list(self._disk_runs(f, start, length))
+                    if runs:
+                        yield self.disk.write_batch(runs)
                     self.stats.add("writeback.bytes", length)
                 i = j + 1
 

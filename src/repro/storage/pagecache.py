@@ -71,6 +71,18 @@ class PageCache:
                 writeback.append(old_key)
         return writeback
 
+    def insert_many(self, keys, dirty: bool = False) -> list[PageKey]:
+        """Insert several pages in order; one combined write-back list.
+
+        Exactly equivalent to calling :meth:`insert` on each key in
+        sequence (same final LRU order, same evictions in the same
+        order), concatenating the write-back lists.
+        """
+        writeback: list[PageKey] = []
+        for key in keys:
+            writeback.extend(self.insert(key, dirty=dirty))
+        return writeback
+
     def mark_dirty(self, key: PageKey) -> None:
         if key not in self._pages:
             raise KeyError(f"page {key} not resident")

@@ -199,6 +199,23 @@ def _ablation_pregrant(size: int = 8192, n: int = 50,
                                  seed=seed)
 
 
+# -- scale-out ----------------------------------------------------------------
+
+@experiment("scale")
+def _scale(n_hosts: int = 1000, seed: int = 11, pattern: str = "hotcold",
+           num_iter: int = 2, transport: str = "unet",
+           owners: bool = True) -> dict:
+    """One thousand-host-class scaling point (throughput-focused).
+
+    Wall-clock fields vary run to run, so cached results record the
+    machine they were measured on; the simulation outcome fields
+    (``virtual_s``, ``events``, ``requests``) are deterministic.
+    """
+    from repro.exp.scale import run_scale
+    return run_scale(n_hosts=n_hosts, seed=seed, pattern=pattern,
+                     num_iter=num_iter, transport=transport, owners=owners)
+
+
 # -- chaos --------------------------------------------------------------------
 
 @experiment("chaos")

@@ -126,3 +126,48 @@ def test_process_return_none_by_default():
         yield sim.timeout(1.0)
 
     assert sim.run(until=sim.process(proc())) is None
+
+
+class _Payload:
+    """Deliberately non-comparable (no __lt__, default object identity)."""
+
+    def __init__(self, tag):
+        self.tag = tag
+
+
+def test_priority_store_key_non_comparable_items_stay_fifo():
+    """Regression: heap entries are (key, seq, item), so equal-priority
+    non-comparable items must never be compared — ties stay FIFO."""
+    sim = Simulator()
+    ps = PriorityStore(sim, key=lambda m: m[0])
+    a, b, c = _Payload("a"), _Payload("b"), _Payload("c")
+    ps.put((2, a))
+    ps.put((1, b))
+    ps.put((2, c))          # same priority as a: would raise pre-fix
+    assert [ps.get().value[1] for _ in range(3)] == [b, a, c]
+
+
+def test_priority_store_key_items_snapshot_and_putter_admission():
+    sim = Simulator()
+    ps = PriorityStore(sim, capacity=2, key=lambda m: m[0])
+    a, b, c = _Payload("a"), _Payload("b"), _Payload("c")
+    ps.put((1, a))
+    ps.put((1, b))
+    blocked = ps.put((0, c))           # over capacity: queued as putter
+    assert not blocked.triggered
+    assert ps.items == ((1, a), (1, b))
+    got = ps.get()
+    assert got.value == (1, a)
+    assert blocked.triggered           # admitted through the keyed push
+    assert ps.items == ((0, c), (1, b))
+
+
+def test_priority_store_key_with_waiting_getter():
+    sim = Simulator()
+    ps = PriorityStore(sim, key=lambda m: m[0])
+    a, b = _Payload("a"), _Payload("b")
+    ps.put((3, a))
+    assert ps.get().value == (3, a)
+    waiting = ps.get()
+    ps.put((3, b))                     # direct hand-off, empty heap
+    assert waiting.value == (3, b)

@@ -1,0 +1,163 @@
+#!/usr/bin/env python
+"""Schema check for the checked-in benchmark baselines.
+
+Validates ``benchmarks/BENCH_primitives.json`` and
+``benchmarks/BENCH_scaling.json`` (or any files passed as arguments,
+matched by name) with nothing but the standard library, so the CI step
+needs no installed package — the gate scripts themselves read these
+files, and a malformed refresh would otherwise surface as a confusing
+gate failure instead of a schema diagnosis.
+
+Checks per file:
+
+* every required field is present with the right type;
+* throughput, wall-clock and footprint numbers are finite and positive;
+* the scaling series is sorted by strictly increasing host count.
+
+Exit 1 with one line per problem.  Run from the repo root::
+
+    python tools/check_bench_schema.py            # both defaults
+    python tools/check_bench_schema.py FILE...    # explicit files
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import sys
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+DEFAULTS = [
+    os.path.join(ROOT, "benchmarks", "BENCH_primitives.json"),
+    os.path.join(ROOT, "benchmarks", "BENCH_scaling.json"),
+]
+
+#: required top-level numeric fields of BENCH_primitives.json
+PRIMITIVES_NUMBERS = [
+    "events_per_sec", "events_per_cpu_sec", "kernel_wall_s",
+    "bulk_fast_wall_s", "bulk_packet_wall_s", "bulk_fast_speedup_x",
+    "bulk_mb_per_wall_s", "bulk_virtual_s",
+    "fig7_lu_runtime_s", "fig7_lu_packet_runtime_s",
+    "fig7_fastpath_speedup_x", "fig7_lu_speedup",
+]
+PRIMITIVES_INTS = ["bulk_bytes", "bulk_fast_events", "bulk_packet_events",
+                   "kernel_events"]
+
+#: required per-point numeric fields of BENCH_scaling.json
+SCALING_POINT_NUMBERS = ["virtual_s", "elapsed_s", "wall_s", "build_wall_s",
+                         "events_per_sec", "peak_rss_mb"]
+SCALING_POINT_INTS = ["hosts", "seed", "events", "requests"]
+SCALING_FASTPATH = ["dgrams", "bulk_transfers", "disk_batches"]
+
+
+def _positive_number(value) -> bool:
+    return (isinstance(value, (int, float)) and not isinstance(value, bool)
+            and math.isfinite(value) and value > 0)
+
+
+def _require(problems: list, where: str, obj: dict, key: str,
+             kind: str) -> None:
+    """Append a problem line unless ``obj[key]`` matches ``kind``."""
+    if key not in obj:
+        problems.append(f"{where}: missing {key!r}")
+        return
+    value = obj[key]
+    if kind == "number" and not _positive_number(value):
+        problems.append(f"{where}: {key!r} must be a finite positive "
+                        f"number, got {value!r}")
+    elif kind == "int" and (isinstance(value, bool)
+                            or not isinstance(value, int) or value <= 0):
+        problems.append(f"{where}: {key!r} must be a positive integer, "
+                        f"got {value!r}")
+    elif kind == "str" and not isinstance(value, str):
+        problems.append(f"{where}: {key!r} must be a string, got {value!r}")
+
+
+def check_primitives(doc: dict, where: str) -> list:
+    """BENCH_primitives.json: flat metrics dict from perf_smoke.py."""
+    problems: list = []
+    if not isinstance(doc, dict):
+        return [f"{where}: top level must be an object"]
+    for key in PRIMITIVES_NUMBERS:
+        _require(problems, where, doc, key, "number")
+    for key in PRIMITIVES_INTS:
+        _require(problems, where, doc, key, "int")
+    _require(problems, where, doc, "python", "str")
+    if not isinstance(doc.get("full"), bool):
+        problems.append(f"{where}: 'full' must be a boolean")
+    return problems
+
+
+def check_scaling(doc: dict, where: str) -> list:
+    """BENCH_scaling.json: kernel anchor + host-count series."""
+    problems: list = []
+    if not isinstance(doc, dict):
+        return [f"{where}: top level must be an object"]
+    _require(problems, where, doc, "kernel_events_per_sec", "number")
+    _require(problems, where, doc, "python", "str")
+    points = doc.get("points")
+    if not isinstance(points, list) or not points:
+        problems.append(f"{where}: 'points' must be a non-empty list")
+        return problems
+    hosts_seen = []
+    for i, point in enumerate(points):
+        at = f"{where}: points[{i}]"
+        if not isinstance(point, dict):
+            problems.append(f"{at}: must be an object")
+            continue
+        for key in SCALING_POINT_NUMBERS:
+            _require(problems, at, point, key, "number")
+        for key in SCALING_POINT_INTS:
+            _require(problems, at, point, key, "int")
+        fastpath = point.get("fastpath")
+        if not isinstance(fastpath, dict):
+            problems.append(f"{at}: missing 'fastpath' object")
+        else:
+            for key in SCALING_FASTPATH:
+                if not _positive_number(fastpath.get(key)):
+                    problems.append(
+                        f"{at}: fastpath[{key!r}] must be a positive "
+                        f"number, got {fastpath.get(key)!r}")
+        if isinstance(point.get("hosts"), int):
+            hosts_seen.append(point["hosts"])
+    if hosts_seen != sorted(set(hosts_seen)):
+        problems.append(f"{where}: host counts must be strictly "
+                        f"increasing, got {hosts_seen}")
+    return problems
+
+
+def check_file(path: str) -> list:
+    """Dispatch on the file name; unknown names are a problem too."""
+    name = os.path.basename(path)
+    if not os.path.exists(path):
+        return [f"{name}: file not found at {path}"]
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except ValueError as exc:
+        return [f"{name}: invalid JSON ({exc})"]
+    if "primitives" in name:
+        return check_primitives(doc, name)
+    if "scaling" in name:
+        return check_scaling(doc, name)
+    return [f"{name}: unrecognized benchmark file (expected a name "
+            f"containing 'primitives' or 'scaling')"]
+
+
+def main(argv=None) -> int:
+    """Check the given files (default: both checked-in baselines)."""
+    paths = (argv if argv is not None else sys.argv[1:]) or DEFAULTS
+    problems = []
+    for path in paths:
+        problems.extend(check_file(path))
+    for line in problems:
+        print(f"BENCH SCHEMA: {line}", file=sys.stderr)
+    if not problems:
+        print(f"bench schema ok: {', '.join(os.path.basename(p) for p in paths)}")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
