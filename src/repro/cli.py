@@ -9,6 +9,7 @@ Examples::
     python -m repro fig7 --trace-out fig7.json --metrics-out fig7-metrics.json
     python -m repro trace fig7 --out fig7.json
     python -m repro top fig7
+    python -m repro slo fig7 --out fig7-slo.json
     python -m repro fig7 --telemetry-out fig7.csv --events-out fig7.jsonl \\
         --audit raise
     python -m repro chaos fig7 --seed 3 --plan-out plan.json
@@ -28,7 +29,10 @@ prints the fetch-path latency breakdown.  ``--telemetry-out`` /
 ``--events-out`` sample cluster state over virtual time and record
 lifecycle events; ``--audit`` cross-checks directory/allocator/network
 invariants while the run executes; ``repro top <exp>`` renders the
-sampled series as an ASCII dashboard.  See docs/OBSERVABILITY.md.
+sampled series as an ASCII dashboard.  ``repro slo <exp>`` collects
+per-request SLIs (tail-latency sketches, outcome classes, critical-path
+stage blame) and evaluates SLO burn-rate alerts over the run.  See
+docs/OBSERVABILITY.md.
 
 ``repro chaos <exp>`` runs a scaled-down experiment under a
 seed-deterministic nemesis fault schedule with the invariant auditor in
@@ -291,7 +295,7 @@ def cmd_serve(args) -> None:
             kwargs=dict(scenario=args.target, seed=args.seed,
                         chaos=args.chaos, horizon_s=args.horizon,
                         interval_s=args.interval, telemetry=telemetry,
-                        eventlog=eventlog)).start()
+                        eventlog=eventlog, slo=True)).start()
     print(f"serving fleet dashboard at {server.url} (Ctrl-C to stop)",
           file=sys.stderr)
     try:
@@ -311,6 +315,12 @@ def cmd_trace(args) -> None:
 def cmd_top(args) -> None:
     """Run one experiment with telemetry forced on; delegate to its
     cmd_*.  The dashboard itself renders in :func:`main` afterwards."""
+    COMMANDS[args.experiment][1](args)
+
+
+def cmd_slo(args) -> None:
+    """Run one experiment with SLI collection + SLO evaluation forced
+    on; delegate to its cmd_*.  The report renders afterwards."""
     COMMANDS[args.experiment][1](args)
 
 
@@ -509,6 +519,22 @@ def build_parser() -> argparse.ArgumentParser:
     topp.add_argument("experiment", choices=_TRACEABLE)
     _add_telemetry_args(topp)
     topp.set_defaults(func=cmd_top, _top_shorthand=True)
+
+    slop = sub.add_parser(
+        "slo", help="run one experiment with per-request SLI collection "
+                    "on and report tail latencies, the critical-path "
+                    "blame table and SLO burn-rate verdicts")
+    slop.add_argument("experiment", choices=_TRACEABLE)
+    slop.add_argument("--out", metavar="FILE", default=None,
+                      help="also write the report as canonical JSON")
+    slop.add_argument("--alpha", type=float, default=0.01,
+                      help="latency-sketch relative-error bound "
+                           "(default: 0.01)")
+    slop.add_argument("--trace-out", metavar="FILE", default=None,
+                      help="also write the Chrome trace (with the "
+                           "critical-path track) of the run")
+    _add_telemetry_args(slop)
+    slop.set_defaults(func=cmd_slo, _slo_shorthand=True)
     return parser
 
 
@@ -552,13 +578,13 @@ def _add_telemetry_args(p: argparse.ArgumentParser) -> None:
                         "and teardown (warn: report; raise: fail the run)")
 
 
-def _finish_observability(args, tracer) -> None:
+def _finish_observability(args, tracer, sli=None) -> None:
     from repro.obs.breakdown import fetch_breakdown, format_fetch_breakdown
     from repro.obs.export import write_chrome_trace
     from repro.obs.snapshot import write_snapshot
 
     if getattr(args, "trace_out", None):
-        n = write_chrome_trace(tracer, args.trace_out)
+        n = write_chrome_trace(tracer, args.trace_out, sli=sli)
         print(f"\nwrote {n} trace events to {args.trace_out}",
               file=sys.stderr)
         breakdown = fetch_breakdown(tracer.spans)
@@ -594,6 +620,22 @@ def _finish_telemetry(args, telemetry, eventlog, auditor) -> None:
         print(auditor.format_report(), file=sys.stderr)
 
 
+def _finish_slo(args, sli, engine) -> None:
+    """Print the ``repro slo`` report; honor ``--out``."""
+    from repro.obs.slo import build_slo_report, format_slo_report
+    doc = build_slo_report(sli, engine,
+                           meta={"command": args.experiment})
+    print()
+    print(format_slo_report(doc))
+    if getattr(args, "out", None):
+        from repro.obs.files import atomic_write
+        from repro.sweep.spec import canonical_text
+        with atomic_write(args.out) as fp:
+            fp.write(canonical_text(doc))
+            fp.write("\n")
+        print(f"wrote SLO report to {args.out}", file=sys.stderr)
+
+
 def main(argv=None) -> int:
     """Parse arguments and dispatch; returns the process exit code.
 
@@ -622,8 +664,9 @@ def _dispatch(args) -> int:
         return 0
 
     if getattr(args, "_trace_shorthand", False) \
-            or getattr(args, "_top_shorthand", False):
-        # "repro trace/top <exp>": reuse the experiment's own arg defaults
+            or getattr(args, "_top_shorthand", False) \
+            or getattr(args, "_slo_shorthand", False):
+        # "repro trace/top/slo <exp>": reuse the experiment's arg defaults
         exp_parser = argparse.ArgumentParser()
         _add_experiment_args(exp_parser, args.experiment)
         for key, value in vars(exp_parser.parse_args([])).items():
@@ -634,20 +677,23 @@ def _dispatch(args) -> int:
         # (they must wrap only the simulations, not the CLI plumbing)
         return args.func(args) or 0
 
+    wants_slo = bool(getattr(args, "_slo_shorthand", False))
     wants_trace = bool(getattr(args, "trace_out", None)
                        or getattr(args, "metrics_out", None)
-                       or getattr(args, "_trace_shorthand", False))
+                       or getattr(args, "_trace_shorthand", False)
+                       or wants_slo)
     wants_telemetry = bool(getattr(args, "telemetry_out", None)
                            or getattr(args, "telemetry_json", None)
                            or getattr(args, "events_out", None)
                            or getattr(args, "audit_mode", "off") != "off"
-                           or getattr(args, "_top_shorthand", False))
+                           or getattr(args, "_top_shorthand", False)
+                           or wants_slo)
     if not wants_trace and not wants_telemetry:
         args.func(args)
         return 0
 
     from repro.metrics.recorder import start_collection, stop_collection
-    tracer = telemetry = eventlog = auditor = None
+    tracer = telemetry = eventlog = auditor = sli = slo_engine = None
     prev_tracer = prev_telemetry = prev_eventlog = None
     if wants_trace:
         from repro.obs.tracer import Tracer, install
@@ -670,15 +716,24 @@ def _dispatch(args) -> int:
         eventlog.telemetry = telemetry  # shared run numbering
         prev_telemetry = install_telemetry(telemetry)
         prev_eventlog = install_eventlog(eventlog)
+    if wants_slo:
+        from repro.obs.slo import SliCollector, SloEngine, attach_sli
+        sli = SliCollector(alpha=getattr(args, "alpha", 0.01))
+        attach_sli(tracer, sli)
+        slo_engine = SloEngine(sli=sli, eventlog=eventlog)
+        sli.engine = slo_engine
+        telemetry.slo = slo_engine
     collected = start_collection()  # keep recorders alive for the snapshot
     try:
         args.func(args)
         if telemetry is not None:
             telemetry.finalize()  # may raise AuditError in --audit raise
         if tracer is not None:
-            _finish_observability(args, tracer)
+            _finish_observability(args, tracer, sli)
         if telemetry is not None:
             _finish_telemetry(args, telemetry, eventlog, auditor)
+        if wants_slo:
+            _finish_slo(args, sli, slo_engine)
     finally:
         stop_collection(collected)
         if wants_trace:

@@ -182,11 +182,15 @@ class DodoRuntime:
                                   "length": length})
             except (RpcTimeout, RpcRemoteError):
                 self.stats.add("mopen.cmd_unreachable")
+                if span is not None:
+                    span.tag("err", "enomem")
                 return -1, ENOMEM
             if not reply.get("ok"):
                 self._refraction_until = \
                     self.sim.now + self.config.refraction_period_s
                 self.stats.add("mopen.enomem")
+                if span is not None:
+                    span.tag("err", "enomem")
                 return -1, ENOMEM
             struct = RegionStruct.from_wire(reply["region"])
             desc = self._next_desc
@@ -221,8 +225,12 @@ class DodoRuntime:
                     "check_alloc",
                     {"key": [key.inode, key.offset, key.client]})
             except (RpcTimeout, RpcRemoteError):
+                if span is not None:
+                    span.tag("err", "enomem")
                 return -1, ENOMEM
             if not reply.get("ok") or reply["region"]["length"] < length:
+                if span is not None:
+                    span.tag("err", "enomem")
                 return -1, ENOMEM
             struct = RegionStruct.from_wire(reply["region"])
             desc = self._next_desc
@@ -289,6 +297,8 @@ class DodoRuntime:
             if failed:
                 self.drop_host(struct.host)
                 self.stats.add("mread.enomem")
+                if span is not None:
+                    span.tag("err", "enomem")
                 return -1, ENOMEM, None
             data, total, _src = result
             self.stats.add("mread.ok")
@@ -336,10 +346,14 @@ class DodoRuntime:
             if not disk_ok:
                 # the paper passes through the backing write()'s errno
                 self.stats.add("mwrite.eio")
+                if span is not None:
+                    span.tag("err", "eio")
                 return -1, EIO
             if not remote_ok:
                 self.drop_host(entry.remote.host)
                 self.stats.add("mwrite.enomem")
+                if span is not None:
+                    span.tag("err", "enomem")
                 return -1, ENOMEM
             self.stats.add("mwrite.ok")
             self.stats.add("mwrite.bytes", length)
@@ -401,6 +415,8 @@ class DodoRuntime:
                 entry.remote, offset, length, data))
             if not ok:
                 self.drop_host(entry.remote.host)
+                if span is not None:
+                    span.tag("err", "enomem")
                 return -1, ENOMEM
             self.stats.add("mpush.bytes", length)
             return length, 0

@@ -51,6 +51,45 @@ def _spark_row(label: str, values, suffix: str = "") -> str:
     return f"  {label:<18s} {sparkline(values, WIDTH - 22)} {suffix}".rstrip()
 
 
+def _fmt_ms(seconds: Optional[float]) -> str:
+    """Seconds → a fixed-width ms cell, ``n/a`` when never sampled."""
+    if seconds is None:
+        return "     n/a"
+    return f"{seconds * 1e3:8.3f}"
+
+
+def _slo_rows(view: RunView) -> list[str]:
+    """The request-SLI / SLO-status panel (empty without SLO data)."""
+    out: list[str] = []
+    if view.slo_kinds:
+        out.append("request SLIs (latest sample):")
+        out.append(f"  {'kind':<14s} {'reqs':>7s} {'p50 ms':>8s} "
+                   f"{'p99 ms':>8s} {'p999 ms':>8s}")
+        for row in view.slo_kinds:
+            reqs = row.get("requests")
+            out.append(
+                f"  {row['kind']:<14s} "
+                f"{'n/a' if reqs is None else format(int(reqs), 'd'):>7s} "
+                f"{_fmt_ms(row.get('p50'))} {_fmt_ms(row.get('p99'))} "
+                f"{_fmt_ms(row.get('p999'))}")
+    if view.slo_specs:
+        out.append("SLO status:")
+        for row in view.slo_specs:
+            compliance = row.get("compliance")
+            comp = "n/a" if compliance is None else f"{compliance:8.2%}"
+            target = row.get("target")
+            tgt = "" if target is None else f" (target {target:.2%})"
+            burn = ""
+            if row.get("burn_fast") is not None:
+                burn = (f"  burn {row['burn_fast']:.2f}/"
+                        f"{row.get('burn_slow', 0.0):.2f}")
+            out.append(f"  {row['spec']:<22s} {comp}{tgt}{burn}"
+                       f"  [{row['status']}]")
+    if out:
+        out.append("")
+    return out
+
+
 def render_view(view: RunView, events: int = 10) -> str:
     """The dashboard body for one run's render model."""
     out: list[str] = []
@@ -117,6 +156,8 @@ def render_view(view: RunView, events: int = 10) -> str:
                     row.label, [v / MB for v in row.values],
                     f"(peak {row.peak / MB:.1f} MB/s)"))
         out.append("")
+
+    out.extend(_slo_rows(view))
 
     if view.events_total:
         out.append(f"events ({view.events_total} recorded, "

@@ -22,12 +22,18 @@ from repro.obs.files import atomic_write
 from repro.obs.tracer import Tracer
 
 
-def chrome_trace(tracer: Tracer) -> dict:
+def chrome_trace(tracer: Tracer, sli=None) -> dict:
     """Build the trace-event JSON object for ``tracer``'s spans.
 
     Unfinished spans (a component crashed mid-request or the run was cut
     short) are exported as instant events tagged ``unfinished`` so they
     remain visible rather than silently vanishing.
+
+    With an ``sli`` collector (:mod:`repro.obs.slo.sli`) the export
+    gains a dedicated **critical-path** pseudo-process: one thread per
+    request kind, whose events are each request's dominant-stage
+    segments laid out contiguously — the "where did this request's time
+    go" view, directly scrubbing-aligned with the raw spans above it.
     """
     pids: dict[str, int] = {}
     events: list[dict] = []
@@ -59,6 +65,8 @@ def chrome_trace(tracer: Tracer) -> dict:
             event["ph"] = "X"
             event["dur"] = (span.end - span.start) * 1e6
         events.append(event)
+    if sli is not None:
+        events.extend(_critical_path_events(sli, pids))
     metadata = [
         {"name": "process_name", "ph": "M", "pid": pid, "tid": 0,
          "args": {"name": component}}
@@ -67,15 +75,49 @@ def chrome_trace(tracer: Tracer) -> dict:
     return {"traceEvents": metadata + events, "displayTimeUnit": "ms"}
 
 
-def dump_chrome_trace(tracer: Tracer, fp: IO[str]) -> None:
+def _critical_path_events(sli, pids: dict) -> list[dict]:
+    """Complete events for the critical-path pseudo-process: each kept
+    request record contributes one event per attributed stage segment,
+    on a thread named by its request kind (deterministic: kinds are
+    numbered in first-record order, segments in record order)."""
+    pid = len(pids) + 1
+    pids["critical-path"] = pid
+    tids: dict[str, int] = {}
+    events: list[dict] = []
+    for record in sli.iter_records():
+        tid = tids.get(record.kind)
+        if tid is None:
+            tid = tids[record.kind] = len(tids) + 1
+        for t0, t1, stage in record.segments:
+            events.append({
+                "name": stage,
+                "cat": "critical-path",
+                "ph": "X",
+                "pid": pid,
+                "tid": tid,
+                "ts": t0 * 1e6,
+                "dur": (t1 - t0) * 1e6,
+                "args": {"kind": record.kind,
+                         "request": record.span_id,
+                         "outcome": record.outcome,
+                         "dominant": record.dominant},
+            })
+    events.extend(
+        {"name": "thread_name", "ph": "M", "pid": pid, "tid": tid,
+         "args": {"name": kind}}
+        for kind, tid in tids.items())
+    return events
+
+
+def dump_chrome_trace(tracer: Tracer, fp: IO[str], sli=None) -> None:
     """Serialize the trace to ``fp`` in Chrome trace-event JSON."""
-    json.dump(chrome_trace(tracer), fp, sort_keys=True,
+    json.dump(chrome_trace(tracer, sli=sli), fp, sort_keys=True,
               separators=(",", ":"))
 
 
-def write_chrome_trace(tracer: Tracer, path: str) -> int:
+def write_chrome_trace(tracer: Tracer, path: str, sli=None) -> int:
     """Write the trace to ``path``; returns the number of events."""
-    obj = chrome_trace(tracer)
+    obj = chrome_trace(tracer, sli=sli)
     with atomic_write(path) as fp:
         json.dump(obj, fp, sort_keys=True, separators=(",", ":"))
     return len(obj["traceEvents"])

@@ -29,6 +29,11 @@ MB = 1024 * 1024
 CLUSTER_GAUGES = ("donated_bytes", "hosted_bytes", "hosted_regions",
                   "idle_hosts")
 
+#: per-request-kind SLI gauges recorded by the SLO engine (kind ``slo``)
+SLO_KIND_GAUGES = ("requests", "p50", "p99", "p999")
+#: per-spec gauges recorded by the SLO engine (kind ``slo``)
+SLO_SPEC_GAUGES = ("compliance", "burn_fast", "burn_slow", "alerting")
+
 
 @dataclass
 class SeriesView:
@@ -138,6 +143,8 @@ class RunView:
     rpc_outstanding: Optional[SeriesView] = None
     hosts: list[HostView] = field(default_factory=list)
     activity: list[ActivityRow] = field(default_factory=list)
+    slo_kinds: list[dict] = field(default_factory=list)  # per-kind SLI rows
+    slo_specs: list[dict] = field(default_factory=list)  # per-spec verdicts
     events: list[dict] = field(default_factory=list)   # tail, to_dict form
     events_total: int = 0
 
@@ -158,6 +165,7 @@ class RunView:
             else self.rpc_outstanding.to_json(max_points),
             "hosts": [h.to_json(max_points) for h in self.hosts],
             "activity": [a.to_json() for a in self.activity],
+            "slo_kinds": self.slo_kinds, "slo_specs": self.slo_specs,
             "events": self.events, "events_total": self.events_total,
         }
 
@@ -258,6 +266,73 @@ def _activity_rows(run: RunTelemetry) -> list[ActivityRow]:
     return rows
 
 
+def _slo_last(run: RunTelemetry, name: str, gauge: str) -> Optional[float]:
+    series = run.get("slo", name, gauge)
+    if series is None or not len(series):
+        return None
+    return series.last()
+
+
+def slo_status(row: dict) -> str:
+    """One word for a spec row: ``n/a`` (no traffic), ``burning``
+    (multi-window alert active), ``violated`` (compliance below
+    target), or ``ok`` — the same vocabulary the ``repro slo`` report
+    uses, so operators see one story everywhere."""
+    if row.get("compliance") is None:
+        return "n/a"
+    if row.get("alerting"):
+        return "burning"
+    met = row.get("met")
+    if met is None and row.get("target") is not None:
+        met = row["compliance"] >= row["target"]
+    if met is False:
+        return "violated"
+    return "ok"
+
+
+def build_slo_summary(run: RunTelemetry, eventlog=None):
+    """Split a run's ``slo``-kind series into per-kind SLI rows and
+    per-spec verdict rows (plain dicts, latest sample of each gauge).
+
+    Series carrying a ``requests`` gauge are request kinds; series
+    carrying a ``compliance`` gauge are SLO specs.  ``slo.summary``
+    event-log records (present once a run finalized) enrich spec rows
+    with target / good / total / met / alerts; without them those keys
+    are ``None`` and the status degrades honestly.  Runs recorded
+    before this PR — or with the engine disabled — simply yield two
+    empty lists.
+    """
+    kinds: list[dict] = []
+    specs: list[dict] = []
+    summaries: dict[str, dict] = {}
+    if eventlog is not None and eventlog.enabled:
+        for e in eventlog.query(component="slo", event="slo.summary",
+                                run=run.run_id):
+            summaries[e.fields.get("spec", "")] = e.fields
+    # series keys, not run.names(): "slo" is a synthetic series kind
+    # with no registered component behind it
+    names = {s.name for s in run.select(kind="slo")}
+    for name in sorted(names):
+        if run.get("slo", name, "requests") is not None:
+            row = {"kind": name}
+            for gauge in SLO_KIND_GAUGES:
+                row[gauge] = _slo_last(run, name, gauge)
+            kinds.append(row)
+        elif run.get("slo", name, "compliance") is not None:
+            row = {"spec": name}
+            for gauge in ("compliance", "burn_fast", "burn_slow"):
+                row[gauge] = _slo_last(run, name, gauge)
+            alerting = _slo_last(run, name, "alerting")
+            row["alerting"] = None if alerting is None else bool(alerting)
+            fields = summaries.get(name, {})
+            for key in ("kind", "objective", "target", "good", "total",
+                        "met", "alerts"):
+                row[key] = fields.get(key)
+            row["status"] = slo_status(row)
+            specs.append(row)
+    return kinds, specs
+
+
 def build_run_view(run: RunTelemetry, eventlog=None,
                    events_tail: int = 10) -> RunView:
     """Derive one run's complete render model."""
@@ -272,6 +347,7 @@ def build_run_view(run: RunTelemetry, eventlog=None,
     view.hosts = [_host_view(run, name, eventlog)
                   for name in _host_names(run)]
     view.activity = _activity_rows(run)
+    view.slo_kinds, view.slo_specs = build_slo_summary(run, eventlog)
     if eventlog is not None and eventlog.enabled:
         mine = eventlog.query(run=run.run_id)
         view.events_total = len(mine)
@@ -316,4 +392,28 @@ def build_fleet_view(telemetry: Telemetry, eventlog=None,
         doc["main"] = build_run_view(
             main, eventlog=eventlog, events_tail=events_tail).to_json(
             max_points=240)
+    return doc
+
+
+def build_slo_view(telemetry: Telemetry, eventlog=None,
+                   events_tail: int = 20) -> dict:
+    """The ``/api/slo`` document: the richest run's per-kind tail
+    latencies, per-spec verdicts, and the ``slo/*`` event tail.
+
+    Built from the run's recorded ``slo``-kind telemetry series and
+    event-log records, so live runs and rehydrated run directories
+    share one code path; a run with no SLO engine attached yields
+    empty ``kinds``/``specs`` rather than an error.  Canonical plain
+    data (see ``docs/schemas/slo_api.json``).
+    """
+    run = pick_run(telemetry)
+    doc: dict = {"run": None, "kinds": [], "specs": [],
+                 "events": [], "events_total": 0}
+    if run is not None:
+        doc["run"] = run.run_id
+        doc["kinds"], doc["specs"] = build_slo_summary(run, eventlog)
+    if eventlog is not None and eventlog.enabled:
+        mine = eventlog.query(component="slo")
+        doc["events_total"] = len(mine)
+        doc["events"] = [e.to_dict() for e in mine[-events_tail:]]
     return doc

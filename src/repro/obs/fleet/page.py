@@ -413,6 +413,57 @@ function insightsCard(card, doc) {
   }
 }
 
+const fmtMs = s => s == null ? 'n/a' : (s * 1e3).toFixed(3);
+const fmtPct = r => r == null ? 'n/a' : (r * 100).toFixed(2) + '%';
+
+function sloCard(card, doc) {
+  if (!doc.kinds.length && !doc.specs.length) {
+    card.appendChild(el('div', 'err',
+      'no SLO telemetry (record with repro slo / repro record)'));
+    return;
+  }
+  if (doc.kinds.length) {
+    const table = el('table');
+    const head = el('tr');
+    for (const [cls, text] of [[null, 'request kind'], ['num', 'reqs'],
+        ['num', 'p50 ms'], ['num', 'p99 ms'], ['num', 'p999 ms']])
+      head.appendChild(el('th', cls, text));
+    table.appendChild(head);
+    for (const k of doc.kinds) {
+      const row = el('tr');
+      row.appendChild(el('td', null, k.kind));
+      row.appendChild(el('td', 'num', fmtNum(k.requests)));
+      row.appendChild(el('td', 'num', fmtMs(k.p50)));
+      row.appendChild(el('td', 'num', fmtMs(k.p99)));
+      row.appendChild(el('td', 'num', fmtMs(k.p999)));
+      table.appendChild(row);
+    }
+    card.appendChild(table);
+  }
+  if (doc.specs.length) {
+    const table = el('table');
+    const head = el('tr');
+    for (const [cls, text] of [[null, 'SLO'], ['num', 'compliance'],
+        ['num', 'target'], ['num', 'burn fast'], ['num', 'burn slow'],
+        [null, 'status']])
+      head.appendChild(el('th', cls, text));
+    table.appendChild(head);
+    for (const s of doc.specs) {
+      const row = el('tr');
+      row.appendChild(el('td', null, s.spec));
+      row.appendChild(el('td', 'num', fmtPct(s.compliance)));
+      row.appendChild(el('td', 'num', fmtPct(s.target)));
+      row.appendChild(el('td', 'num',
+        s.burn_fast == null ? 'n/a' : s.burn_fast.toFixed(2)));
+      row.appendChild(el('td', 'num',
+        s.burn_slow == null ? 'n/a' : s.burn_slow.toFixed(2)));
+      row.appendChild(el('td', 'state', s.status));
+      table.appendChild(row);
+    }
+    card.appendChild(table);
+  }
+}
+
 function makeCard(title, wide) {
   const card = el('div', wide ? 'card wide' : 'card');
   card.appendChild(el('h2', null, title));
@@ -428,9 +479,9 @@ async function getJSON(url) {
 
 let refreshTimer = null;
 async function render() {
-  const [meta, fleet, insights] = await Promise.all([
+  const [meta, fleet, insights, slo] = await Promise.all([
     getJSON('/api/meta'), getJSON('/api/fleet'),
-    getJSON('/api/insights')]);
+    getJSON('/api/insights'), getJSON('/api/slo')]);
   const sub = meta.scenario
     ? `${meta.scenario} · seed ${meta.seed}`
       + (meta.chaos ? ' · chaos' : '') : 'telemetry';
@@ -471,6 +522,7 @@ async function render() {
   hostTable(makeCard('workstations', true), main.hosts);
   activityCard(makeCard('cache / disk / network'), main.activity);
   insightsCard(makeCard('donor insights'), insights);
+  sloCard(makeCard('request SLIs & SLOs', true), slo);
   eventsCard(makeCard('event log', true), main.events,
              main.events_total);
   if (meta.live && !refreshTimer)

@@ -18,6 +18,7 @@ CI fleet smoke assert):
 ``/api/host/<name>``      one workstation's full-resolution view
 ``/api/events``           eventlog query (component/level/since/until…)
 ``/api/insights``         donor scores + ranked recommendations
+``/api/slo``              request SLIs, SLO verdicts, ``slo/*`` events
 ``/api/timeseries``       raw series select (kind/name/gauge + window)
 ========================  =============================================
 """
@@ -31,7 +32,8 @@ from urllib.parse import parse_qs, unquote, urlparse
 
 from repro.obs.eventlog import EventLog
 from repro.obs.fleet.insights import build_insights
-from repro.obs.fleet.model import build_fleet_view, build_run_view, pick_run
+from repro.obs.fleet.model import (build_fleet_view, build_run_view,
+                                   build_slo_view, pick_run)
 from repro.obs.fleet.page import render_page
 from repro.obs.fleet.store import RunDir, load_run_dir
 from repro.obs.timeseries import Telemetry
@@ -136,6 +138,8 @@ class FleetHandler(BaseHTTPRequestHandler):
             return self._events_doc(source, args)
         if path == "/api/insights":
             return build_insights(source.telemetry, source.eventlog)
+        if path == "/api/slo":
+            return build_slo_view(source.telemetry, source.eventlog)
         if path == "/api/timeseries":
             return self._timeseries_doc(source, args)
         raise HttpError(404, f"no such endpoint: {path}")

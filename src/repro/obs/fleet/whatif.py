@@ -208,7 +208,8 @@ def run_scenario(scenario: str, seed: int = 0,
                  interval_s: float = 0.25,
                  eventlog_level: str = "debug",
                  audit: str = "off",
-                 telemetry=None, eventlog=None) -> dict:
+                 telemetry=None, eventlog=None,
+                 slo: bool = False) -> dict:
     """Run one recordable scenario with full observability.
 
     Returns ``{"telemetry", "eventlog", "auditor", "result", "metrics",
@@ -217,10 +218,19 @@ def run_scenario(scenario: str, seed: int = 0,
     ``eventlog`` engines may be passed in so an already-running fleet
     server (``repro serve <scenario>``) can watch the run live while it
     executes; by default fresh engines are created.
+
+    ``slo=True`` additionally traces the run through an SLI collector
+    and SLO engine (:mod:`repro.obs.slo`): the telemetry gains
+    ``slo``-kind series (per-kind tail percentiles, per-spec compliance
+    and burn rates), the event log gains ``slo/*`` records, and the
+    returned dict gains ``"sli"``, ``"slo"`` and ``"slo_report"``.
+    SLI collection only *reads* spans, so metrics and virtual times are
+    identical either way.
     """
     from repro.obs.audit import make_auditor
     from repro.obs.eventlog import EventLog, install_eventlog
     from repro.obs.timeseries import Telemetry, install_telemetry
+    from repro.obs.tracer import Tracer, install
 
     if scenario not in SCENARIOS:
         raise ValueError(f"unknown scenario {scenario!r}, "
@@ -230,6 +240,17 @@ def run_scenario(scenario: str, seed: int = 0,
         telemetry = Telemetry(interval_s=interval_s)
     if eventlog is None:
         eventlog = EventLog(level=eventlog_level, telemetry=telemetry)
+    sli = engine = tracer = None
+    prev_tracer = None
+    if slo:
+        from repro.obs.slo import SliCollector, SloEngine, attach_sli
+        tracer = Tracer()
+        sli = SliCollector()
+        attach_sli(tracer, sli)
+        engine = SloEngine(sli=sli, eventlog=eventlog)
+        sli.engine = engine
+        telemetry.slo = engine
+        prev_tracer = install(tracer)
     # the auditor rides the nemesis (audit after every injection/heal)
     # and the teardown pass, NOT the periodic sampler: during a fault
     # window directory entries are invalidated lazily (epoch checks), so
@@ -246,15 +267,25 @@ def run_scenario(scenario: str, seed: int = 0,
     finally:
         install_telemetry(prev_t)
         install_eventlog(prev_e)
+        if slo:
+            install(prev_tracer)
     metrics = collect_metrics(out["runner"], out["result"], eventlog,
                               evictions=out["evictions"])
     meta = {"scenario": scenario, "seed": seed, "chaos": bool(chaos),
             "horizon_s": horizon_s, "interval_s": interval_s,
             "policy": policy.to_meta(), "metrics": metrics}
-    return {"telemetry": telemetry, "eventlog": eventlog,
-            "auditor": auditor, "result": out["result"],
-            "metrics": metrics, "insights": insights,
-            "meta": jsonify(meta)}
+    result = {"telemetry": telemetry, "eventlog": eventlog,
+              "auditor": auditor, "result": out["result"],
+              "metrics": metrics, "insights": insights,
+              "meta": jsonify(meta)}
+    if slo:
+        from repro.obs.slo import build_slo_report
+        result["sli"] = sli
+        result["slo"] = engine
+        result["slo_report"] = build_slo_report(
+            sli, engine, meta={"scenario": scenario, "seed": seed,
+                               "chaos": bool(chaos)})
+    return result
 
 
 def _run_fig7(seed, policy: WhatIfPolicy, chaos, horizon_s,
@@ -390,10 +421,12 @@ def record_run(out_dir: str, scenario: str, seed: int = 0,
                chaos: bool = False, horizon_s: float = 20.0,
                interval_s: float = 0.25, audit: str = "off") -> dict:
     """``repro record``: run a scenario and write its run directory.
-    Returns the meta dict written."""
+    Returns the meta dict written.  Recordings carry the SLO layer
+    (``slo``-kind telemetry series and ``slo/*`` events) so ``repro
+    serve`` can answer ``/api/slo`` over them."""
     run = run_scenario(scenario, seed=seed, policy=policy, chaos=chaos,
                        horizon_s=horizon_s, interval_s=interval_s,
-                       audit=audit)
+                       audit=audit, slo=True)
     return write_run_dir(out_dir, run["telemetry"], run["eventlog"],
                          meta=run["meta"])
 

@@ -1,0 +1,42 @@
+"""Request-level SLIs, streaming tail-latency sketches, SLO alerting.
+
+The measurement substrate for the ROADMAP's serving workload, built on
+the existing observability stack:
+
+* :mod:`repro.obs.slo.sketch` — deterministic log-bucket percentile
+  sketches with a proven relative-error bound (no sample retention);
+* :mod:`repro.obs.slo.sli` — per-request records with outcome classes
+  and critical-path stage extraction, fed from tracer span ends;
+* :mod:`repro.obs.slo.engine` — declarative :class:`SLOSpec` objectives
+  evaluated at telemetry sample points with multi-window burn-rate
+  alerts emitted as ``slo/*`` event-log records;
+* :mod:`repro.obs.slo.report` — the ``repro slo`` report document and
+  its tables.
+
+Wire-up (the CLI's ``repro slo`` does all of this)::
+
+    tracer = Tracer()
+    sli = SliCollector()
+    attach_sli(tracer, sli)          # span ends feed request records
+    engine = SloEngine(sli=sli, eventlog=eventlog)
+    sli.engine = engine              # records feed SLO counters
+    telemetry.slo = engine           # sampler evaluates + records series
+
+Everything is byte-identical deterministic, reads simulated state only
+(zero perturbation even when enabled), and costs nothing when disabled.
+See docs/OBSERVABILITY.md.
+"""
+
+from repro.obs.slo.engine import DEFAULT_SPECS, SloEngine, SLOSpec
+from repro.obs.slo.report import build_slo_report, format_slo_report
+from repro.obs.slo.sketch import LatencySketch
+from repro.obs.slo.sli import (OUTCOMES, STAGE_ORDER, KindStats,
+                               RequestRecord, SliCollector, attach_sli,
+                               request_kind, stage_of)
+
+__all__ = [
+    "DEFAULT_SPECS", "KindStats", "LatencySketch", "OUTCOMES",
+    "RequestRecord", "STAGE_ORDER", "SLOSpec", "SliCollector",
+    "SloEngine", "attach_sli", "build_slo_report", "format_slo_report",
+    "request_kind", "stage_of",
+]

@@ -1,0 +1,288 @@
+"""Declarative SLO evaluation with multi-window burn-rate alerting.
+
+An :class:`SLOSpec` states an objective over one request kind — either
+*latency* ("99% of ``mread`` requests complete within 20 ms") or
+*availability* ("99.9% of ``mread`` requests do not fail") — plus the
+two alerting windows of the classic multi-window multi-burn-rate rule:
+an alert fires only when the error budget is burning faster than
+``burn_threshold`` over *both* the fast window (catches cliffs quickly)
+and the slow window (suppresses blips).  Burn rate is the standard
+definition: the bad-request fraction over a window divided by the
+budget fraction ``1 - target``, so a burn rate of 1.0 spends the budget
+exactly at the sustainable pace.
+
+The engine rides the telemetry sampler exactly like the invariant
+auditor does: :meth:`SloEngine.sample` is invoked from
+``Telemetry.sample_now`` at every sample point, appends the per-spec
+compliance / burn-rate / alert series to the run's telemetry (kind
+``slo``, so CSV/JSON exports, run directories and the fleet dashboard
+pick them up with zero extra plumbing), and emits ``slo/*`` event-log
+records on alert transitions and at finalize.  Everything reads
+simulated state only — times are virtual, ordering is deterministic,
+and a seeded run produces byte-identical ``slo/*`` records every time.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Iterable, Optional
+
+#: sketch quantiles exported as per-kind telemetry series
+_KIND_QUANTILES = (("p50", 0.50), ("p99", 0.99), ("p999", 0.999))
+
+
+def _round(x: float) -> float:
+    """9-decimal rounding, the repo's canonical-JSON float convention."""
+    return round(float(x), 9)
+
+
+class SLOSpec:
+    """One service-level objective over one request kind.
+
+    ``objective`` is ``"latency"`` (a request is *good* when it neither
+    failed nor exceeded ``threshold_s``) or ``"availability"`` (good
+    when its outcome is not ``failed``).  ``target`` is the required
+    good fraction; ``fast_window_s`` / ``slow_window_s`` and
+    ``burn_threshold`` parameterize the multi-window alert.
+    """
+
+    __slots__ = ("name", "kind", "objective", "target", "threshold_s",
+                 "fast_window_s", "slow_window_s", "burn_threshold")
+
+    def __init__(self, name: str, kind: str, objective: str,
+                 target: float, threshold_s: Optional[float] = None,
+                 fast_window_s: float = 2.0, slow_window_s: float = 10.0,
+                 burn_threshold: float = 2.0):
+        if objective not in ("latency", "availability"):
+            raise ValueError(f"unknown objective {objective!r}, expected "
+                             "'latency' or 'availability'")
+        if objective == "latency" and threshold_s is None:
+            raise ValueError(f"latency SLO {name!r} needs threshold_s")
+        if not 0.0 < target < 1.0:
+            raise ValueError(f"target must be in (0, 1), got {target}")
+        if fast_window_s <= 0 or slow_window_s <= 0 \
+                or fast_window_s > slow_window_s:
+            raise ValueError(
+                f"windows must satisfy 0 < fast <= slow, got "
+                f"{fast_window_s}/{slow_window_s}")
+        if burn_threshold <= 0:
+            raise ValueError(f"burn_threshold must be > 0, "
+                             f"got {burn_threshold}")
+        self.name = name
+        self.kind = kind
+        self.objective = objective
+        self.target = target
+        self.threshold_s = threshold_s
+        self.fast_window_s = fast_window_s
+        self.slow_window_s = slow_window_s
+        self.burn_threshold = burn_threshold
+
+    def is_good(self, record) -> bool:
+        """Whether one request record meets this objective."""
+        if record.outcome == "failed":
+            return False
+        if self.objective == "latency":
+            return record.latency <= self.threshold_s
+        return True
+
+    def to_json(self) -> dict:
+        """Canonical JSON form of the spec itself."""
+        return {
+            "name": self.name, "kind": self.kind,
+            "objective": self.objective, "target": self.target,
+            "threshold_s": self.threshold_s,
+            "fast_window_s": self.fast_window_s,
+            "slow_window_s": self.slow_window_s,
+            "burn_threshold": self.burn_threshold,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<SLOSpec {self.name} {self.kind}/{self.objective} "
+                f"target={self.target}>")
+
+
+#: the stock objectives ``repro slo`` / ``repro record`` evaluate:
+#: region fetches must be mostly fast and nearly always succeed.  The
+#: latency thresholds are sized for the scaled-down CI scenarios (an
+#: uncontended remote mread there is a few ms); real deployments pass
+#: their own specs.
+DEFAULT_SPECS = (
+    SLOSpec("mread-latency", kind="mread", objective="latency",
+            threshold_s=0.020, target=0.95),
+    SLOSpec("mread-availability", kind="mread", objective="availability",
+            target=0.999),
+    SLOSpec("cread-latency", kind="cread", objective="latency",
+            threshold_s=0.020, target=0.90),
+)
+
+
+class _SpecState:
+    """Per-simulator counters and sampled history of one spec."""
+
+    __slots__ = ("good", "total", "times", "goods", "totals",
+                 "alerting", "alerts")
+
+    def __init__(self):
+        self.good = 0
+        self.total = 0
+        #: parallel per-sample history for windowed burn rates
+        self.times: list[float] = []
+        self.goods: list[int] = []
+        self.totals: list[int] = []
+        self.alerting = False
+        self.alerts = 0
+
+
+class SloEngine:
+    """Evaluates SLO specs at telemetry sample points.
+
+    Wire-up: set ``collector.engine = engine`` (the SLI collector feeds
+    request outcomes in), attach the engine as ``telemetry.slo`` (the
+    sampler calls :meth:`sample` / :meth:`finalize`), and optionally
+    hand it the event log for ``slo/*`` records.  Zero-cost when
+    nothing is wired: every hook site guards on the attribute being
+    None / ``enabled``.
+    """
+
+    def __init__(self, specs: Optional[Iterable[SLOSpec]] = None,
+                 sli=None, eventlog=None):
+        self.enabled = True
+        self.specs = list(DEFAULT_SPECS if specs is None else specs)
+        names = [s.name for s in self.specs]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate SLO spec names in {names}")
+        self.sli = sli
+        self.eventlog = eventlog
+        self._states: dict[object, list[_SpecState]] = {}
+
+    def _states_for(self, sim) -> list[_SpecState]:
+        states = self._states.get(sim)
+        if states is None:
+            states = self._states[sim] = [_SpecState()
+                                          for _ in self.specs]
+        return states
+
+    # -- feeding (from the SLI collector) ----------------------------------
+    def observe(self, sim, record) -> None:
+        """Count one request record against every matching spec."""
+        states = self._states_for(sim)
+        for spec, state in zip(self.specs, states):
+            if spec.kind != record.kind:
+                continue
+            state.total += 1
+            if spec.is_good(record):
+                state.good += 1
+
+    # -- sampling (from Telemetry.sample_now) ------------------------------
+    def sample(self, run, sim, t: float) -> None:
+        """Evaluate every spec now; record series + transition events."""
+        sli = self.sli
+        if sli is not None and sli.enabled:
+            sli_run = sli.run_for(sim, create=False)
+            if sli_run is not None:
+                for kind in sorted(sli_run.kinds):
+                    stats = sli_run.kinds[kind]
+                    run.record("slo", kind, "requests", "count", t,
+                               stats.count)
+                    for gauge, q in _KIND_QUANTILES:
+                        value = stats.sketch.quantile(q)
+                        if value is not None:
+                            run.record("slo", kind, gauge, "s", t, value)
+        states = self._states.get(sim)
+        if states is None:
+            return
+        for spec, state in zip(self.specs, states):
+            if state.total == 0:
+                continue
+            state.times.append(t)
+            state.goods.append(state.good)
+            state.totals.append(state.total)
+            compliance = state.good / state.total
+            burn_fast = self._burn(spec, state, t, spec.fast_window_s)
+            burn_slow = self._burn(spec, state, t, spec.slow_window_s)
+            alerting = burn_fast >= spec.burn_threshold \
+                and burn_slow >= spec.burn_threshold
+            run.record("slo", spec.name, "compliance", "ratio", t,
+                       compliance)
+            run.record("slo", spec.name, "burn_fast", "x", t, burn_fast)
+            run.record("slo", spec.name, "burn_slow", "x", t, burn_slow)
+            run.record("slo", spec.name, "alerting", "bool", t,
+                       1.0 if alerting else 0.0)
+            if alerting != state.alerting:
+                state.alerting = alerting
+                eventlog = self.eventlog
+                if alerting:
+                    state.alerts += 1
+                if eventlog is not None and eventlog.enabled:
+                    event = "slo.alert.start" if alerting \
+                        else "slo.alert.stop"
+                    level = "warn" if alerting else "info"
+                    eventlog.emit(
+                        sim, level, "slo", event, spec=spec.name,
+                        kind=spec.kind, objective=spec.objective,
+                        burn_fast=_round(burn_fast),
+                        burn_slow=_round(burn_slow),
+                        compliance=_round(compliance))
+
+    @staticmethod
+    def _burn(spec: SLOSpec, state: _SpecState, t: float,
+              window_s: float) -> float:
+        """Error-budget burn rate over ``(t - window_s, t]``.
+
+        The baseline is the last sample at or before the window start
+        (counts are cumulative, so the delta is the window's traffic);
+        before the first sample the baseline is zero.  No traffic in
+        the window means nothing is burning.
+        """
+        idx = bisect_right(state.times, t - window_s) - 1
+        base_good = state.goods[idx] if idx >= 0 else 0
+        base_total = state.totals[idx] if idx >= 0 else 0
+        d_total = state.total - base_total
+        if d_total <= 0:
+            return 0.0
+        bad_fraction = 1.0 - (state.good - base_good) / d_total
+        return bad_fraction / (1.0 - spec.target)
+
+    # -- end of run --------------------------------------------------------
+    def finalize(self, run, sim) -> None:
+        """Emit one ``slo.summary`` record per evaluated spec."""
+        states = self._states.get(sim)
+        eventlog = self.eventlog
+        if states is None or eventlog is None or not eventlog.enabled:
+            return
+        for spec, state in zip(self.specs, states):
+            if state.total == 0:
+                continue
+            compliance = state.good / state.total
+            met = compliance >= spec.target
+            eventlog.emit(
+                sim, "info" if met else "warn", "slo", "slo.summary",
+                spec=spec.name, kind=spec.kind,
+                objective=spec.objective, target=spec.target,
+                good=state.good, total=state.total,
+                compliance=_round(compliance), met=met,
+                alerts=state.alerts)
+
+    # -- reading -----------------------------------------------------------
+    def spec_summaries(self) -> list[dict]:
+        """Per-spec totals aggregated across simulators (sorted by
+        spec declaration order) for reports and ``/api/slo``."""
+        out = []
+        for i, spec in enumerate(self.specs):
+            good = total = alerts = 0
+            alerting = False
+            for states in self._states.values():
+                state = states[i]
+                good += state.good
+                total += state.total
+                alerts += state.alerts
+                alerting = alerting or state.alerting
+            doc = spec.to_json()
+            doc.update({
+                "good": good, "total": total,
+                "compliance": _round(good / total) if total else None,
+                "met": (good / total >= spec.target) if total else None,
+                "alerts": alerts, "alerting": alerting,
+            })
+            out.append(doc)
+        return out

@@ -1,0 +1,110 @@
+"""The ``repro slo`` report: request SLIs, blame table, SLO verdicts.
+
+Builds one canonical-JSON document from a fed
+:class:`~repro.obs.slo.sli.SliCollector` (and optionally a
+:class:`~repro.obs.slo.engine.SloEngine`) and renders it as the three
+tables the CLI prints: per-kind tail latencies with outcome mix, the
+per-stage critical-path blame table (the request-level analogue of the
+paper's Tables 3/4), and the per-spec SLO verdicts.  All floats are
+rounded before serialization so repeated seeded runs produce
+byte-identical documents — the CI slo-smoke step ``cmp``'s two of them.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.metrics.report import format_table
+from repro.obs.slo.sli import STAGE_ORDER, SliCollector
+
+
+def _ms(seconds: Optional[float]) -> Optional[float]:
+    """Seconds -> milliseconds rounded to 6 decimals (ns precision)."""
+    return None if seconds is None else round(seconds * 1e3, 6)
+
+
+def build_slo_report(sli: SliCollector, engine=None,
+                     meta: Optional[dict] = None) -> dict:
+    """The canonical SLO report document (deterministic, rounded)."""
+    kinds = {}
+    for kind, stats in sli.merged_kinds().items():
+        sketch = stats.sketch
+        kinds[kind] = {
+            "count": stats.count,
+            "outcomes": dict(sorted(stats.outcomes.items())),
+            "latency_ms": {
+                "mean": _ms(sketch.mean()),
+                "p50": _ms(sketch.quantile(0.50)),
+                "p90": _ms(sketch.quantile(0.90)),
+                "p99": _ms(sketch.quantile(0.99)),
+                "p999": _ms(sketch.quantile(0.999)),
+                "max": _ms(sketch.max),
+            },
+            "dominant": dict(sorted(stats.dominant.items())),
+            "blame_ms": {
+                stage: _ms(secs / stats.count)
+                for stage, secs in sorted(stats.stage_s.items())
+            },
+        }
+    return {
+        "meta": meta or {},
+        "alpha": sli.alpha,
+        "requests": sli.total_requests(),
+        "kinds": kinds,
+        "specs": engine.spec_summaries() if engine is not None else [],
+    }
+
+
+def _fmt(value: Optional[float], pattern: str = "%.3f") -> str:
+    return "n/a" if value is None else pattern % value
+
+
+def format_slo_report(doc: dict) -> str:
+    """Render one report document as the CLI's three tables."""
+    out = []
+    kinds = doc["kinds"]
+    alpha_pct = doc["alpha"] * 100.0
+    rows = []
+    for kind, k in kinds.items():
+        lat = k["latency_ms"]
+        top = max(k["dominant"].items(),
+                  key=lambda kv: (kv[1], kv[0]))[0] if k["dominant"] \
+            else "n/a"
+        mix = " ".join(f"{o}:{n}" for o, n in k["outcomes"].items())
+        rows.append([kind, str(k["count"]), _fmt(lat["mean"]),
+                     _fmt(lat["p50"]), _fmt(lat["p99"]),
+                     _fmt(lat["p999"]), top, mix])
+    out.append(format_table(
+        ["kind", "count", "mean ms", "p50 ms", "p99 ms", "p999 ms",
+         "top stage", "outcomes"],
+        rows,
+        title=(f"request SLIs ({doc['requests']} requests, "
+               f"sketch error <= {alpha_pct:g}%)")))
+    blame_rows = []
+    for kind, k in kinds.items():
+        blame = k["blame_ms"]
+        blame_rows.append(
+            [kind] + [_fmt(blame.get(stage)) for stage in STAGE_ORDER])
+    out.append("")
+    out.append(format_table(
+        ["kind"] + [f"{s} ms" for s in STAGE_ORDER], blame_rows,
+        title="critical-path blame (mean ms per request, "
+              "Tables 3/4 shape)"))
+    specs = doc["specs"]
+    if specs:
+        spec_rows = []
+        for s in specs:
+            status = "n/a" if s["met"] is None \
+                else ("burning" if s["alerting"]
+                      else ("ok" if s["met"] else "violated"))
+            spec_rows.append([
+                s["name"], s["kind"], s["objective"],
+                f"{s['target']:g}",
+                _fmt(s["compliance"], "%.6g"),
+                str(s["alerts"]), status])
+        out.append("")
+        out.append(format_table(
+            ["slo", "kind", "objective", "target", "compliance",
+             "alerts", "status"],
+            spec_rows, title="SLO verdicts"))
+    return "\n".join(out)

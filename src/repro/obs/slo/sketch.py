@@ -1,0 +1,180 @@
+"""Streaming percentile sketch: a deterministic log-bucket histogram.
+
+Tail-latency reporting at thousand-host scale cannot retain every
+sample: a 2000-host run produces millions of request latencies, and the
+serving workload the ROADMAP plans will produce orders of magnitude
+more.  This module provides the classic logarithmic-bucket sketch (the
+scheme behind DDSketch / HDR-style histograms): values are hashed into
+geometrically-spaced buckets, so any quantile is answered from O(log
+range) counters with a *proven relative-error bound* and no sample
+retention.
+
+Guarantee
+---------
+For relative accuracy ``alpha`` (default 1%), let ``gamma = (1 + alpha)
+/ (1 - alpha)``.  A positive value ``x`` lands in bucket ``i =
+ceil(log(x, gamma))``, whose representative value is the bucket
+midpoint ``2 * gamma**i / (gamma + 1)``.  Every value in bucket ``i``
+lies in ``(gamma**(i-1), gamma**i]``, and the midpoint is within
+``alpha`` *relative* error of every point of that interval — so for any
+quantile ``q``, ``quantile(q)`` returns a value ``v`` with::
+
+    |v - x_q| <= alpha * x_q
+
+where ``x_q`` is the exact q-quantile of the inserted values (nearest-
+rank definition).  ``tests/obs/slo/test_sketch.py`` property-tests this
+bound against exact percentiles with hypothesis.
+
+Determinism: buckets are a plain dict keyed by integer index, all
+iteration is over sorted keys, and no wall clock or RNG is involved —
+two identical insert sequences produce byte-identical ``to_json()``
+documents.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Optional
+
+#: values at or below this threshold land in the dedicated zero bucket
+#: (1e-12 s = one picosecond, far below any simulated latency)
+ZERO_THRESHOLD = 1e-12
+
+
+class LatencySketch:
+    """A mergeable log-bucket quantile sketch with bound ``alpha``.
+
+    The API mirrors the metrics layer's ``Recorder`` sample channels
+    (``add`` / ``count`` / summary accessors) so call sites read the
+    same, but only O(log range) bucket counters are kept.
+    """
+
+    __slots__ = ("alpha", "_gamma", "_log_gamma", "buckets", "zero",
+                 "count", "total", "min", "max")
+
+    def __init__(self, alpha: float = 0.01):
+        if not 0.0 < alpha < 1.0:
+            raise ValueError(f"alpha must be in (0, 1), got {alpha}")
+        self.alpha = alpha
+        self._gamma = (1.0 + alpha) / (1.0 - alpha)
+        self._log_gamma = math.log(self._gamma)
+        #: bucket index -> count of values in (gamma**(i-1), gamma**i]
+        self.buckets: dict[int, int] = {}
+        #: count of values <= ZERO_THRESHOLD
+        self.zero = 0
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    # -- recording ---------------------------------------------------------
+    def add(self, value: float) -> None:
+        """Insert one (non-negative) value."""
+        if value < 0.0:
+            raise ValueError(f"sketch values must be >= 0, got {value}")
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        if value <= ZERO_THRESHOLD:
+            self.zero += 1
+            return
+        index = math.ceil(math.log(value) / self._log_gamma)
+        self.buckets[index] = self.buckets.get(index, 0) + 1
+
+    def extend(self, values: Iterable[float]) -> None:
+        """Insert every value of an iterable."""
+        for value in values:
+            self.add(value)
+
+    def merge(self, other: "LatencySketch") -> None:
+        """Fold another sketch of the *same alpha* into this one."""
+        if other.alpha != self.alpha:
+            raise ValueError(
+                f"cannot merge sketches with different alpha "
+                f"({self.alpha} vs {other.alpha})")
+        self.count += other.count
+        self.total += other.total
+        self.zero += other.zero
+        for index, n in other.buckets.items():
+            self.buckets[index] = self.buckets.get(index, 0) + n
+        if other.min is not None and (self.min is None
+                                      or other.min < self.min):
+            self.min = other.min
+        if other.max is not None and (self.max is None
+                                      or other.max > self.max):
+            self.max = other.max
+
+    # -- queries -----------------------------------------------------------
+    def mean(self) -> float:
+        """Arithmetic mean of the inserted values (exact, not sketched)."""
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> Optional[float]:
+        """The q-quantile with relative error <= ``alpha``.
+
+        Uses the nearest-rank definition: the returned bucket is the one
+        holding the ``ceil(q * count)``-th smallest value (rank 1 for
+        ``q=0``).  Returns None for an empty sketch.  The answer is
+        clamped into ``[min, max]`` so degenerate single-bucket sketches
+        never report values outside the observed range.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return None
+        rank = max(1, math.ceil(q * self.count))
+        if rank <= self.zero:
+            return 0.0
+        seen = self.zero
+        for index in sorted(self.buckets):
+            seen += self.buckets[index]
+            if seen >= rank:
+                gamma = self._gamma
+                value = 2.0 * gamma ** index / (gamma + 1.0)
+                return min(max(value, self.min), self.max)
+        return self.max  # pragma: no cover - float-edge fallback
+
+    def percentiles(self, points: Iterable[float] = (0.50, 0.90, 0.99,
+                                                     0.999)) -> dict:
+        """``{"p50": ..., "p99": ...}`` for the given quantile points."""
+        out = {}
+        for q in points:
+            label = ("p%g" % (q * 100)).replace(".", "")
+            out[label] = self.quantile(q)
+        return out
+
+    # -- export ------------------------------------------------------------
+    def to_json(self) -> dict:
+        """Canonical JSON form (sorted bucket keys, mergeable)."""
+        return {
+            "alpha": self.alpha,
+            "count": self.count,
+            "zero": self.zero,
+            "total": self.total,
+            "min": self.min,
+            "max": self.max,
+            "buckets": {str(i): self.buckets[i]
+                        for i in sorted(self.buckets)},
+        }
+
+    @classmethod
+    def from_json(cls, doc: dict) -> "LatencySketch":
+        """Rebuild a sketch from :meth:`to_json` output."""
+        sketch = cls(alpha=doc["alpha"])
+        sketch.count = doc["count"]
+        sketch.zero = doc["zero"]
+        sketch.total = doc["total"]
+        sketch.min = doc["min"]
+        sketch.max = doc["max"]
+        sketch.buckets = {int(i): n for i, n in doc["buckets"].items()}
+        return sketch
+
+    def __len__(self) -> int:
+        return self.count
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<LatencySketch n={self.count} alpha={self.alpha} "
+                f"buckets={len(self.buckets)}>")

@@ -350,6 +350,10 @@ class Telemetry:
         self.max_samples = max_samples
         self.auditor = auditor
         self.audit_every = audit_every
+        #: optional :class:`~repro.obs.slo.engine.SloEngine` evaluated at
+        #: every sample point and at finalize (same hook shape as the
+        #: auditor; None costs one attribute read per sample)
+        self.slo = None
         self._runs: dict[object, RunTelemetry] = {}
         self._finalized = False
 
@@ -435,6 +439,9 @@ class Telemetry:
         if auditor is not None and auditor.enabled \
                 and run.samples % self.audit_every == 0:
             auditor.audit_run(run, sim, teardown=False)
+        slo = self.slo
+        if slo is not None and slo.enabled:
+            slo.sample(run, sim, t)
 
     def finalize(self) -> None:
         """End-of-run pass: one last sample plus the teardown audit
@@ -446,6 +453,8 @@ class Telemetry:
             self.sample_now(sim)
             if self.auditor is not None and self.auditor.enabled:
                 self.auditor.audit_run(run, sim, teardown=True)
+            if self.slo is not None and self.slo.enabled:
+                self.slo.finalize(run, sim)
 
     # -- export ------------------------------------------------------------
     def iter_series(self) -> Iterable[tuple[RunTelemetry, GaugeSeries]]:

@@ -79,6 +79,10 @@ class Tracer:
         self.kernel_events = kernel_events
         #: all spans in begin order (instants have ``end == start``)
         self.spans: list[Span] = []
+        #: optional span-end observer (``on_span_end(sim, span)``) — the
+        #: SLI collector (:mod:`repro.obs.slo.sli`) attaches here; None
+        #: costs one attribute read per span end
+        self.sink = None
         self._next_id = 0
         #: open-span stacks keyed by track (simulated-process id)
         self._stacks: dict[int, list[Span]] = {}
@@ -139,6 +143,9 @@ class Tracer:
         stack = self._stacks.get(span.track)
         if stack and span in stack:
             stack.remove(span)
+        sink = self.sink
+        if sink is not None:
+            sink.on_span_end(sim, span)
 
     def instant(self, sim, name: str, component: str,
                 tags: Optional[dict] = None) -> Span:

@@ -1,0 +1,241 @@
+"""SLO engine unit tests: spec validation, burn rates, alert windows.
+
+Drives the engine with hand-built request records and a scripted clock
+so the multi-window burn-rate rule is checked against arithmetic done
+by hand: the alert must require *both* windows above threshold, must
+emit exactly one start/stop event pair per episode, and the series it
+records must flow into an ordinary ``RunTelemetry``.
+"""
+
+import pytest
+
+from repro.obs.eventlog import EventLog
+from repro.obs.fleet.model import build_slo_summary, slo_status
+from repro.obs.slo import DEFAULT_SPECS, SLOSpec, SloEngine
+from repro.obs.timeseries import RunTelemetry
+
+
+class FakeSim:
+    """A stand-in simulator: the engine and event log only read .now."""
+
+    def __init__(self):
+        self.now = 0.0
+
+
+class FakeRecord:
+    """The three fields SLOSpec.is_good reads off a request record."""
+
+    def __init__(self, kind, latency=0.001, outcome="local"):
+        self.kind = kind
+        self.latency = latency
+        self.outcome = outcome
+
+
+def test_spec_validation():
+    with pytest.raises(ValueError, match="objective"):
+        SLOSpec("x", kind="mread", objective="throughput", target=0.9)
+    with pytest.raises(ValueError, match="threshold_s"):
+        SLOSpec("x", kind="mread", objective="latency", target=0.9)
+    with pytest.raises(ValueError, match="target"):
+        SLOSpec("x", kind="mread", objective="availability", target=1.0)
+    with pytest.raises(ValueError, match="windows"):
+        SLOSpec("x", kind="mread", objective="availability", target=0.9,
+                fast_window_s=5.0, slow_window_s=1.0)
+    with pytest.raises(ValueError, match="burn_threshold"):
+        SLOSpec("x", kind="mread", objective="availability", target=0.9,
+                burn_threshold=0.0)
+    with pytest.raises(ValueError, match="duplicate"):
+        SloEngine(specs=[DEFAULT_SPECS[0], DEFAULT_SPECS[0]])
+
+
+def test_is_good_semantics():
+    latency = SLOSpec("l", kind="mread", objective="latency",
+                      threshold_s=0.010, target=0.9)
+    avail = SLOSpec("a", kind="mread", objective="availability",
+                    target=0.9)
+    fast = FakeRecord("mread", latency=0.005)
+    slow = FakeRecord("mread", latency=0.050)
+    failed = FakeRecord("mread", latency=0.001, outcome="failed")
+    assert latency.is_good(fast) and not latency.is_good(slow)
+    assert not latency.is_good(failed)      # failure is never good
+    assert avail.is_good(fast) and avail.is_good(slow)
+    assert not avail.is_good(failed)
+
+
+def feed(engine, sim, kind, n, **kwargs):
+    for _ in range(n):
+        engine.observe(sim, FakeRecord(kind, **kwargs))
+
+
+def test_multi_window_burn_rate_alert_lifecycle():
+    """Healthy traffic, then a failure cliff, then recovery: the alert
+    must wait for the slow window to confirm the fast window, fire
+    once, and stop once the slow window drains."""
+    spec = SLOSpec("avail", kind="mread", objective="availability",
+                   target=0.9, fast_window_s=2.0, slow_window_s=10.0,
+                   burn_threshold=2.0)
+    sim = FakeSim()
+    eventlog = EventLog(level="debug")
+    engine = SloEngine(specs=[spec], eventlog=eventlog)
+    run = RunTelemetry(run_id=1, interval_s=1.0)
+
+    # 20 s of healthy traffic: burn stays 0, no alert
+    for t in range(20):
+        sim.now = float(t)
+        feed(engine, sim, "mread", 10)
+        engine.sample(run, sim, sim.now)
+    alerting = run.get("slo", "avail", "alerting")
+    assert alerting.values == [0.0] * 20
+
+    # a cliff: everything fails.  bad fraction 1.0 => burn 10x in both
+    # windows once the fast window is saturated
+    fired_at = None
+    for t in range(20, 26):
+        sim.now = float(t)
+        feed(engine, sim, "mread", 10, outcome="failed")
+        engine.sample(run, sim, sim.now)
+        if fired_at is None \
+                and run.get("slo", "avail", "alerting").values[-1]:
+            fired_at = t
+    assert fired_at is not None, "cliff never fired the alert"
+    starts = eventlog.select(component="slo", event="slo.alert.start")
+    assert len(starts) == 1
+    assert starts[0].level == "warn"
+    assert starts[0].fields["burn_fast"] >= 2.0
+    assert starts[0].fields["burn_slow"] >= 2.0
+
+    # recovery: healthy traffic again until the slow window drains
+    stopped_at = None
+    for t in range(26, 45):
+        sim.now = float(t)
+        feed(engine, sim, "mread", 10)
+        engine.sample(run, sim, sim.now)
+        if stopped_at is None \
+                and not run.get("slo", "avail", "alerting").values[-1]:
+            stopped_at = t
+    assert stopped_at is not None, "alert never cleared after recovery"
+    stops = eventlog.select(component="slo", event="slo.alert.stop")
+    assert len(stops) == 1 and stops[0].level == "info"
+    assert stops[0].time == float(stopped_at)
+
+    # exactly one episode end to end
+    summaries = engine.spec_summaries()
+    assert summaries[0]["alerts"] == 1
+    assert summaries[0]["alerting"] is False
+
+
+def test_fast_window_blip_alone_does_not_alert():
+    """A short blip saturates the fast window but not the slow one:
+    the multi-window rule must suppress it."""
+    spec = SLOSpec("avail", kind="mread", objective="availability",
+                   target=0.9, fast_window_s=2.0, slow_window_s=10.0,
+                   burn_threshold=2.0)
+    sim = FakeSim()
+    engine = SloEngine(specs=[spec])
+    run = RunTelemetry(run_id=1, interval_s=1.0)
+    for t in range(30):
+        sim.now = float(t)
+        # one bad second at t=20 amid heavy healthy traffic
+        bad = 2 if t == 20 else 0
+        feed(engine, sim, "mread", 50 - bad)
+        feed(engine, sim, "mread", bad, outcome="failed")
+        engine.sample(run, sim, sim.now)
+    assert run.get("slo", "avail", "alerting").values == [0.0] * 30
+    fast = run.get("slo", "avail", "burn_fast").values
+    slow = run.get("slo", "avail", "burn_slow").values
+    assert max(fast) > max(slow)       # the blip hit the fast window
+
+
+def test_finalize_emits_summary_with_verdict():
+    spec = SLOSpec("lat", kind="cread", objective="latency",
+                   threshold_s=0.010, target=0.9)
+    sim = FakeSim()
+    eventlog = EventLog(level="debug")
+    engine = SloEngine(specs=[spec], eventlog=eventlog)
+    run = RunTelemetry(run_id=1, interval_s=1.0)
+    feed(engine, sim, "cread", 8, latency=0.005)
+    feed(engine, sim, "cread", 2, latency=0.050)
+    engine.sample(run, sim, 0.0)
+    engine.finalize(run, sim)
+    (summary,) = eventlog.select(component="slo", event="slo.summary")
+    assert summary.level == "warn"               # 0.8 < target 0.9
+    assert summary.fields["good"] == 8
+    assert summary.fields["total"] == 10
+    assert summary.fields["compliance"] == pytest.approx(0.8)
+    assert summary.fields["met"] is False
+
+
+def test_specs_ignore_other_kinds_and_quiet_specs_record_nothing():
+    sim = FakeSim()
+    engine = SloEngine()          # DEFAULT_SPECS: mread + cread
+    run = RunTelemetry(run_id=1, interval_s=1.0)
+    feed(engine, sim, "mwrite", 5)        # matches no spec
+    engine.sample(run, sim, 0.0)
+    assert run.get("slo", "mread-latency", "compliance") is None
+    assert run.get("slo", "cread-latency", "compliance") is None
+    engine.finalize(run, sim)             # no eventlog, no traffic: no-op
+    for summary in engine.spec_summaries():
+        assert summary["total"] == 0
+        assert summary["compliance"] is None
+        assert summary["met"] is None
+
+
+# ---------------------------------------------------------------------------
+# The fleet model over recorded slo series (the /api/slo + repro top path)
+# ---------------------------------------------------------------------------
+
+def make_slo_run():
+    run = RunTelemetry(run_id=1, interval_s=1.0)
+    for t in range(3):
+        run.record("slo", "mread", "requests", "count", float(t), 10 + t)
+        run.record("slo", "mread", "p50", "s", float(t), 0.002)
+        run.record("slo", "mread", "p99", "s", float(t), 0.015)
+        run.record("slo", "mread", "p999", "s", float(t), 0.018)
+        run.record("slo", "spec-a", "compliance", "ratio", float(t), 0.97)
+        run.record("slo", "spec-a", "burn_fast", "x", float(t), 0.5)
+        run.record("slo", "spec-a", "burn_slow", "x", float(t), 0.5)
+        run.record("slo", "spec-a", "alerting", "bool", float(t), 0.0)
+    return run
+
+
+def test_build_slo_summary_splits_kinds_and_specs():
+    kinds, specs = build_slo_summary(make_slo_run())
+    assert [k["kind"] for k in kinds] == ["mread"]
+    assert kinds[0]["requests"] == 12 and kinds[0]["p999"] == 0.018
+    assert [s["spec"] for s in specs] == ["spec-a"]
+    row = specs[0]
+    assert row["compliance"] == 0.97 and row["alerting"] is False
+    # no slo.summary events handed in: summary-only keys degrade to None
+    assert row["target"] is None and row["met"] is None
+    assert row["status"] == "ok"
+
+
+def test_build_slo_summary_merges_summary_events():
+    sim = FakeSim()
+    sim.now = 2.0
+    eventlog = EventLog(level="debug")
+    eventlog.emit(sim, "warn", "slo", "slo.summary", spec="spec-a",
+                  kind="mread", objective="availability", target=0.999,
+                  good=97, total=100, compliance=0.97, met=False,
+                  alerts=1)
+    _, specs = build_slo_summary(make_slo_run(), eventlog)
+    row = specs[0]
+    assert row["target"] == 0.999 and row["met"] is False
+    assert row["good"] == 97 and row["alerts"] == 1
+    assert row["status"] == "violated"
+
+
+def test_slo_status_vocabulary():
+    assert slo_status({"compliance": None}) == "n/a"
+    assert slo_status({"compliance": 0.5, "alerting": True}) == "burning"
+    assert slo_status({"compliance": 0.5, "met": False}) == "violated"
+    assert slo_status({"compliance": 0.5, "target": 0.9}) == "violated"
+    assert slo_status({"compliance": 0.99, "target": 0.9}) == "ok"
+    assert slo_status({"compliance": 0.99}) == "ok"
+
+
+def test_run_without_slo_series_yields_empty_rows():
+    run = RunTelemetry(run_id=1, interval_s=1.0)
+    run.record("cluster", "cluster", "donated_bytes", "bytes", 0.0, 1.0)
+    kinds, specs = build_slo_summary(run)
+    assert kinds == [] and specs == []

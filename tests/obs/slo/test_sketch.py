@@ -1,0 +1,147 @@
+"""Property tests for the streaming percentile sketch.
+
+The sketch's contract is a *proven* relative-error bound: for any
+insert sequence and any quantile ``q``, the answer is within ``alpha``
+relative error of the exact nearest-rank quantile.  Hypothesis drives
+that bound directly against sorted-list ground truth; the remaining
+tests pin mergeability, the JSON round trip, and the zero bucket.
+"""
+
+import json
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.slo.sketch import ZERO_THRESHOLD, LatencySketch
+
+#: strictly positive latencies spanning the simulator's realistic range
+#: (nanoseconds to ~11 days of virtual time)
+latencies = st.floats(min_value=1e-9, max_value=1e6,
+                      allow_nan=False, allow_infinity=False)
+quantiles = st.floats(min_value=0.0, max_value=1.0,
+                      allow_nan=False, allow_infinity=False)
+
+
+def exact_quantile(values, q):
+    """Nearest-rank quantile over the raw values (the ground truth)."""
+    ordered = sorted(values)
+    rank = max(1, math.ceil(q * len(ordered)))
+    return ordered[rank - 1]
+
+
+@settings(max_examples=200, deadline=None)
+@given(values=st.lists(latencies, min_size=1, max_size=300),
+       q=quantiles,
+       alpha=st.sampled_from([0.001, 0.01, 0.05, 0.1]))
+def test_quantile_within_documented_error_bound(values, q, alpha):
+    sketch = LatencySketch(alpha=alpha)
+    sketch.extend(values)
+    answer = sketch.quantile(q)
+    truth = exact_quantile(values, q)
+    # tiny float slack: a value exactly on a bucket boundary may round
+    # into the neighbor bucket, overshooting the bound by one ulp-scale
+    assert abs(answer - truth) <= alpha * truth * (1 + 1e-9) + 1e-15, \
+        f"alpha={alpha} q={q}: sketch {answer} vs exact {truth}"
+
+
+@settings(max_examples=100, deadline=None)
+@given(values=st.lists(latencies, min_size=1, max_size=200))
+def test_p99_p999_within_one_percent(values):
+    """The bound at the repo's default alpha, at the tail quantiles the
+    SLO layer actually reports."""
+    sketch = LatencySketch()     # alpha = 0.01
+    sketch.extend(values)
+    for q in (0.5, 0.99, 0.999):
+        truth = exact_quantile(values, q)
+        assert abs(sketch.quantile(q) - truth) <= 0.01 * truth * (1 + 1e-9)
+
+
+@settings(max_examples=100, deadline=None)
+@given(a=st.lists(latencies, max_size=100),
+       b=st.lists(latencies, max_size=100))
+def test_merge_equals_extend_of_concatenation(a, b):
+    merged = LatencySketch()
+    merged.extend(a)
+    other = LatencySketch()
+    other.extend(b)
+    merged.merge(other)
+    direct = LatencySketch()
+    direct.extend(a + b)
+    doc_m, doc_d = merged.to_json(), direct.to_json()
+    # `total` is a float accumulator: merge adds subtotals, extend adds
+    # element-wise, so the last ulp may differ — everything else (and
+    # hence every quantile answer) must be exactly equal
+    assert math.isclose(doc_m.pop("total"), doc_d.pop("total"),
+                        rel_tol=1e-12, abs_tol=1e-15)
+    assert doc_m == doc_d
+
+
+@settings(max_examples=100, deadline=None)
+@given(values=st.lists(latencies, max_size=150))
+def test_json_round_trip_is_exact_and_canonical(values):
+    sketch = LatencySketch()
+    sketch.extend(values)
+    doc = sketch.to_json()
+    clone = LatencySketch.from_json(json.loads(json.dumps(doc)))
+    assert clone.to_json() == doc
+    for q in (0.0, 0.5, 0.99, 1.0):
+        assert clone.quantile(q) == sketch.quantile(q)
+
+
+@settings(max_examples=50, deadline=None)
+@given(values=st.lists(latencies, min_size=1, max_size=100))
+def test_quantiles_are_monotone_and_clamped(values):
+    sketch = LatencySketch()
+    sketch.extend(values)
+    answers = [sketch.quantile(q)
+               for q in (0.0, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0)]
+    assert answers == sorted(answers)
+    assert min(values) <= answers[0] and answers[-1] <= max(values)
+
+
+def test_empty_and_validation():
+    sketch = LatencySketch()
+    assert sketch.quantile(0.5) is None
+    assert sketch.mean() == 0.0
+    assert len(sketch) == 0
+    assert sketch.percentiles() == {"p50": None, "p90": None,
+                                    "p99": None, "p999": None}
+    with pytest.raises(ValueError):
+        sketch.add(-1.0)
+    with pytest.raises(ValueError):
+        sketch.quantile(1.5)
+    with pytest.raises(ValueError):
+        LatencySketch(alpha=0.0)
+    with pytest.raises(ValueError):
+        sketch.merge(LatencySketch(alpha=0.5))
+
+
+def test_zero_bucket():
+    """Zeros (an instant request) land in the dedicated zero bucket and
+    report as exactly 0.0 at the matching ranks."""
+    sketch = LatencySketch()
+    sketch.extend([0.0, ZERO_THRESHOLD, 0.010, 0.020])
+    assert sketch.zero == 2
+    assert sketch.quantile(0.0) == 0.0
+    assert sketch.quantile(0.5) == 0.0
+    assert sketch.quantile(1.0) == pytest.approx(0.020, rel=0.01)
+    assert sketch.mean() == pytest.approx(0.030 / 4)
+
+
+def test_mean_is_exact_not_sketched():
+    sketch = LatencySketch()
+    sketch.extend([0.001, 0.002, 0.003])
+    assert sketch.mean() == pytest.approx(0.002, abs=1e-15)
+
+
+def test_memory_is_logarithmic_in_range():
+    """10^6 distinct values over six decades need only O(log range)
+    buckets — the reason tails stay cheap at 2000-host scale."""
+    sketch = LatencySketch()
+    for i in range(100_000):
+        sketch.add(1e-6 * (1 + (i * 7919) % 999_983))
+    assert sketch.count == 100_000
+    expected = math.log(1e6) / math.log(sketch._gamma)
+    assert len(sketch.buckets) <= expected + 2

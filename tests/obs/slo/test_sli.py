@@ -1,0 +1,212 @@
+"""Unit tests for per-request SLI collection and critical paths.
+
+Drives a real tracer + simulator through hand-built span trees so the
+attribution math is checked against arithmetic done by hand: stage
+blame must sum to the request latency exactly, segments must tile the
+request window contiguously, and the outcome classifier must follow
+its documented precedence.
+"""
+
+import pytest
+
+from repro.obs.slo import (OUTCOMES, STAGE_ORDER, SliCollector, attach_sli,
+                           request_kind, stage_of)
+from repro.obs.tracer import Tracer
+from repro.sim import Simulator
+
+
+def make_collector():
+    sim = Simulator(seed=1)
+    tracer = Tracer()
+    sli = SliCollector()
+    attach_sli(tracer, sli)
+    return sim, tracer, sli
+
+
+def run_spans(script):
+    """Run ``script(sim, tracer)`` as a process; return the collector."""
+    sim, tracer, sli = make_collector()
+    sim.run(until=sim.process(script(sim, tracer)))
+    return sli
+
+
+def test_stage_mapping_covers_every_component():
+    assert stage_of("lib") == "client"
+    assert stage_of("regionlib") == "client"
+    assert stage_of("rpc") == "rpc"
+    assert stage_of("net") == "net"
+    assert stage_of("imd") == "imd"
+    assert stage_of("disk") == "disk"
+    assert stage_of("pagecache") == "disk"
+    assert stage_of("manager") == "manager"
+    assert stage_of("something-new") == "client"    # unknown -> client
+    assert set(STAGE_ORDER) >= set(stage_of(c) for c in
+                                   ("lib", "rpc", "net", "imd", "disk",
+                                    "manager"))
+
+
+def test_request_kind_recognizes_roots_only():
+    class FakeSpan:
+        def __init__(self, name, component):
+            self.name, self.component = name, component
+
+    assert request_kind(FakeSpan("mread", "lib")) == "mread"
+    assert request_kind(FakeSpan("cread", "regionlib")) == "cread"
+    assert request_kind(FakeSpan("rpc.read", "rpc")) == "rpc.read"
+    assert request_kind(FakeSpan("bulk.send", "net")) == "bulk.send"
+    assert request_kind(FakeSpan("rpc.retry.read", "rpc")) is None
+    assert request_kind(FakeSpan("mread.page", "lib")) is None
+    assert request_kind(FakeSpan("disk.read", "disk")) is None
+    assert request_kind(FakeSpan("transit", "net")) is None
+
+
+def test_critical_path_decomposition_by_hand():
+    """mread [0, 10ms]: rpc.read [0, 5] with nested net [2, 5], a 1 ms
+    client gap [5, 6], then disk [6, 10].  Innermost wins, uncovered
+    time belongs to the root."""
+    def script(sim, tracer):
+        root = tracer.begin(sim, "mread", "lib")
+        rpc = tracer.begin(sim, "rpc.read", "rpc")
+        yield sim.timeout(0.002)
+        net = tracer.begin(sim, "transit", "net")
+        yield sim.timeout(0.003)
+        tracer.end(sim, net)
+        tracer.end(sim, rpc)
+        yield sim.timeout(0.001)
+        disk = tracer.begin(sim, "disk.read", "disk")
+        yield sim.timeout(0.004)
+        tracer.end(sim, disk)
+        tracer.end(sim, root)
+
+    sli = run_spans(script)
+    records = {r.kind: r for r in sli.iter_records()}
+    assert set(records) == {"mread", "rpc.read"}
+
+    mread = records["mread"]
+    assert mread.latency == pytest.approx(0.010)
+    assert mread.stages["rpc"] == pytest.approx(0.002)
+    assert mread.stages["net"] == pytest.approx(0.003)
+    assert mread.stages["client"] == pytest.approx(0.001)
+    assert mread.stages["disk"] == pytest.approx(0.004)
+    assert sum(mread.stages.values()) == pytest.approx(mread.latency)
+    assert mread.dominant == "disk"
+    assert mread.outcome == "disk-fallback"
+
+    # segments tile the window contiguously, in order
+    assert [s[2] for s in mread.segments] == ["rpc", "net", "client",
+                                              "disk"]
+    assert mread.segments[0][0] == mread.start
+    assert mread.segments[-1][1] == mread.end
+    for (_, hi, _s), (lo, _, _s2) in zip(mread.segments,
+                                         mread.segments[1:]):
+        assert hi == lo
+
+    # the nested rpc.read request got its own, finer record
+    rpc_rec = records["rpc.read"]
+    assert rpc_rec.stages["rpc"] == pytest.approx(0.002)
+    assert rpc_rec.stages["net"] == pytest.approx(0.003)
+    assert rpc_rec.outcome == "remote-imd"
+
+
+def test_outcome_precedence():
+    """failed > retried > disk-fallback > remote-imd > local."""
+    def script(sim, tracer):
+        # local: no rpc/net/imd/disk time at all
+        local = tracer.begin(sim, "cread", "regionlib")
+        yield sim.timeout(0.001)
+        tracer.end(sim, local)
+        # failed beats everything, even with disk time inside
+        failed = tracer.begin(sim, "mwrite", "lib")
+        disk = tracer.begin(sim, "disk.write", "disk")
+        yield sim.timeout(0.001)
+        tracer.end(sim, disk)
+        failed.tag("err", "eio")
+        tracer.end(sim, failed)
+        # retried: an rpc descendant with attempts > 1
+        retried = tracer.begin(sim, "mread", "lib")
+        rpc = tracer.begin(sim, "rpc.read", "rpc")
+        rpc.tag("attempts", 2)
+        yield sim.timeout(0.001)
+        tracer.end(sim, rpc)
+        tracer.end(sim, retried)
+
+    sli = run_spans(script)
+    outcomes = {r.kind: r.outcome for r in sli.iter_records()
+                if r.kind in ("cread", "mwrite", "mread")}
+    assert outcomes == {"cread": "local", "mwrite": "failed",
+                        "mread": "retried"}
+    for outcome in outcomes.values():
+        assert outcome in OUTCOMES
+
+
+def test_zero_duration_request_records_cleanly():
+    def script(sim, tracer):
+        span = tracer.begin(sim, "msync", "lib")
+        tracer.end(sim, span)        # instant: nothing dirty to push
+        yield sim.timeout(0.0)
+
+    sli = run_spans(script)
+    (record,) = list(sli.iter_records())
+    assert record.kind == "msync"
+    assert record.latency == 0.0
+    assert record.outcome == "local"
+    assert record.segments == []
+    assert record.stages == {"client": 0.0}
+
+
+def test_index_is_pruned_after_each_request_tree():
+    """Memory stays bounded by the deepest in-flight tree: once a
+    parentless span ends, its whole causal tree leaves the index."""
+    def script(sim, tracer):
+        for _ in range(50):
+            root = tracer.begin(sim, "cread", "regionlib")
+            inner = tracer.begin(sim, "disk.read", "disk")
+            yield sim.timeout(0.001)
+            tracer.end(sim, inner)
+            tracer.end(sim, root)
+
+    sli = run_spans(script)
+    (run,) = sli.runs()
+    assert run.requests == 50
+    assert run.ended == {} and run.children == {}
+    assert run.kinds["cread"].count == 50
+
+
+def test_keep_records_false_keeps_only_aggregates():
+    sim = Simulator(seed=1)
+    tracer = Tracer()
+    sli = SliCollector(keep_records=False)
+    attach_sli(tracer, sli)
+
+    def script():
+        span = tracer.begin(sim, "mread", "lib")
+        yield sim.timeout(0.002)
+        tracer.end(sim, span)
+
+    sim.run(until=sim.process(script()))
+    assert sli.total_requests() == 1
+    assert list(sli.iter_records()) == []
+    stats = sli.merged_kinds()["mread"]
+    assert stats.count == 1
+    assert stats.sketch.quantile(0.5) == pytest.approx(0.002, rel=0.01)
+
+
+def test_disabled_collector_records_nothing():
+    sim = Simulator(seed=1)
+    tracer = Tracer()
+    sli = SliCollector()
+    sli.enabled = False
+    attach_sli(tracer, sli)
+    span = tracer.begin(sim, "mread", "lib")
+    tracer.end(sim, span)
+    assert sli.total_requests() == 0
+    assert sli.runs() == []
+
+
+def test_attach_sli_returns_previous_sink():
+    tracer = Tracer()
+    first = SliCollector()
+    assert attach_sli(tracer, first) is None
+    second = SliCollector()
+    assert attach_sli(tracer, second) is first
+    assert tracer.sink is second

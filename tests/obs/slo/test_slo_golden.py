@@ -1,0 +1,100 @@
+"""SLO determinism: golden report, byte-identical repeats, zero cost.
+
+The golden file pins the full canonical-JSON ``repro slo`` report of a
+seeded fig7 run (including burn-rate alert counts).  Regenerate after
+an intentional behavior change with::
+
+    REPRO_REGOLDEN=1 PYTHONPATH=src python -m pytest \
+        tests/obs/slo/test_slo_golden.py
+"""
+
+import io
+import os
+
+import pytest
+
+from repro.obs.fleet.model import build_slo_view
+from repro.obs.fleet.whatif import run_scenario
+from repro.obs.slo import format_slo_report
+from repro.sweep.spec import canonical_text, jsonify
+
+GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "golden")
+
+FIXTURES = {
+    # healthy run: all SLOs met, no alerts
+    "slo_fig7_seed3.json": dict(scenario="fig7", seed=3),
+    # chaos run: failures burn the error budget, alerts fire
+    "slo_fig7_chaos_seed3.json": dict(scenario="fig7", seed=3,
+                                      chaos=True),
+}
+
+
+@pytest.mark.parametrize("golden_name,kwargs", sorted(FIXTURES.items()))
+def test_slo_report_matches_golden_files(golden_name, kwargs):
+    doc = run_scenario(slo=True, **kwargs)["slo_report"]
+    text = canonical_text(jsonify(doc)) + "\n"
+    path = os.path.join(GOLDEN_DIR, golden_name)
+    if os.environ.get("REPRO_REGOLDEN"):
+        with open(path, "w") as fp:
+            fp.write(text)
+    with open(path) as fp:
+        assert fp.read() == text, \
+            f"SLO report drifted from {golden_name}; if " \
+            "intentional, regenerate with REPRO_REGOLDEN=1"
+
+
+def test_repeated_runs_are_byte_identical():
+    """Same seed twice: report JSON, formatted tables, slo/* event
+    records and the /api/slo document must all match byte for byte."""
+    def one():
+        res = run_scenario("fig7", seed=3, slo=True)
+        report = canonical_text(jsonify(res["slo_report"])) + "\n"
+        tables = format_slo_report(res["slo_report"])
+        api = canonical_text(jsonify(build_slo_view(
+            res["telemetry"], res["eventlog"]))) + "\n"
+        buf = io.StringIO()
+        res["eventlog"].dump_jsonl(buf)
+        slo_lines = [line for line in buf.getvalue().splitlines()
+                     if '"component": "slo"' in line
+                     or '"component":"slo"' in line]
+        return report, tables, api, slo_lines
+
+    first, second = one(), one()
+    assert first == second
+
+
+def test_burn_rate_alerts_fire_under_chaos():
+    """The chaos golden actually exercises the alert machinery: host
+    failures burn the mread availability budget, the alert starts and
+    stops, and the summary still carries the final verdict."""
+    res = run_scenario("fig7", seed=3, chaos=True, slo=True)
+    events = {e.event for e in res["eventlog"].events
+              if e.component == "slo"}
+    assert "slo.alert.start" in events
+    assert "slo.alert.stop" in events
+    assert "slo.summary" in events
+    by_name = {s["name"]: s for s in res["slo"].spec_summaries()}
+    assert by_name["mread-availability"]["alerts"] >= 1
+    assert by_name["mread-availability"]["alerting"] is False
+
+
+def test_disabled_slo_leaves_scenario_results_identical():
+    """run_scenario with slo=False (the default every existing caller
+    uses) must produce byte-identical telemetry with the engine absent:
+    the layer costs nothing when off."""
+    plain = run_scenario("fig7", seed=3)
+    wired = run_scenario("fig7", seed=3, slo=True)
+    assert "sli" not in plain and plain["slo"] is None \
+        if "slo" in plain else True
+    # non-slo series must be unaffected by the slo layer riding along
+    def series_fingerprint(res):
+        out = []
+        for run in res["telemetry"].runs():
+            for s in run.select():
+                if s.kind == "slo":
+                    continue
+                out.append((run.run_id, s.key, tuple(s.times),
+                            tuple(s.values)))
+        return out
+
+    assert series_fingerprint(plain) == series_fingerprint(wired)
