@@ -12,6 +12,7 @@ Examples::
     python -m repro slo fig7 --out fig7-slo.json
     python -m repro fig7 --telemetry-out fig7.csv --events-out fig7.jsonl \\
         --audit raise
+    python -m repro serve-bench --shards 1 2 4 8 --out BENCH_serving.json
     python -m repro chaos fig7 --seed 3 --plan-out plan.json
     python -m repro chaos fig7 --plan-in plan.json --events-out chaos.jsonl
     python -m repro sweep ci-grid --jobs 4 --cache-dir .sweep-cache
@@ -176,6 +177,23 @@ def cmd_chaos(args) -> None:
         print(f"wrote {n} events to {args.events_out}", file=sys.stderr)
 
 
+def cmd_serve_bench(args) -> None:
+    """Serve-bench: shard-count scaling of the Zipfian serving tier."""
+    import json
+
+    from repro.exp import serving as sv
+    results = sv.run_serve_bench(
+        tuple(args.shards), jobs=getattr(args, "jobs", 1),
+        seed=args.seed, replication=not args.no_replication,
+        arrival_rate=args.rate, duration_s=args.duration,
+        n_keys=args.keys)
+    print(sv.format_serving(results))
+    if args.out:
+        with open(args.out, "w") as f:
+            json.dump(results, f, indent=1, sort_keys=True)
+        print(f"wrote {args.out}")
+
+
 def cmd_all(args) -> None:
     """Everything: shell out to examples/reproduce_paper.py."""
     import subprocess
@@ -332,6 +350,8 @@ COMMANDS: dict[str, tuple[str, Callable]] = {
     "fig7": ("Figure 7: lu and dmine speedups", cmd_fig7),
     "fig8": ("Figure 8: synthetic benchmark panels", cmd_fig8),
     "scale": ("thousand-host scale-out throughput series", cmd_scale),
+    "serve-bench": ("sharded-directory serving tier: shard-count sweep",
+                    cmd_serve_bench),
     "nondedicated": ("Section 5.3.1 desktop-cluster run", cmd_nondedicated),
     "ablations": ("design-choice ablations", cmd_ablations),
     "chaos": ("nemesis fault-injection run with invariant auditing",
@@ -377,6 +397,30 @@ def _add_experiment_args(p: argparse.ArgumentParser, name: str) -> None:
                        help="worker processes, one scaling point each")
         p.add_argument("--no-owners", action="store_true",
                        help="skip the background owner processes")
+        p.add_argument("--out", metavar="FILE", default=None,
+                       help="also write the series as JSON")
+    if name == "serve-bench":
+        p.add_argument("--shards", type=int, nargs="+",
+                       default=[1, 2, 4, 8],
+                       help="shard counts of the series "
+                            "(default: 1 2 4 8)")
+        p.add_argument("--seed", type=int, default=21)
+        p.add_argument("--rate", type=float, default=800.0,
+                       metavar="RPS",
+                       help="open-loop Poisson arrival rate "
+                            "(default: 800)")
+        p.add_argument("--duration", type=float, default=10.0,
+                       metavar="SECONDS",
+                       help="measured serving window (default: 10)")
+        p.add_argument("--keys", type=int, default=512,
+                       help="distinct keys in remote memory "
+                            "(default: 512)")
+        p.add_argument("--no-replication", action="store_true",
+                       help="run the shards without primary/backup "
+                            "log shipping")
+        p.add_argument("--jobs", type=int, default=1,
+                       help="worker processes, one shard-count point "
+                            "each (results identical at any value)")
         p.add_argument("--out", metavar="FILE", default=None,
                        help="also write the series as JSON")
     if name == "nondedicated":

@@ -67,6 +67,28 @@ class DodoConfig:
     #: (repro whatif) exists to compare these.
     placement: str = "random"
 
+    # -- manager sharding / replication (PR 9) -------------------------------
+    #: number of region-directory shards; 1 = the paper's single manager
+    shards: int = 1
+    #: give each shard a backup manager fed by synchronous log shipping
+    replication: bool = False
+    #: backup -> primary liveness-probe interval
+    repl_heartbeat_s: float = 0.5
+    #: consecutive missed probes before the backup promotes itself
+    repl_promote_misses: int = 2
+    #: modeled CPU cost of one directory operation on a shard manager
+    #: (0 = free, the paper's behavior; serve-bench sets it so the
+    #: directory is an honest bottleneck that sharding relieves)
+    mgr_service_s: float = 0.0
+    #: routing attempts a client makes across a shard's replicas before
+    #: giving up (bounds retry storms during failover)
+    shard_attempts: int = 8
+    #: sharded primaries run a periodic anti-entropy scrub at this
+    #: interval, freeing imd regions no directory entry references
+    #: (two-pass: a region must stay orphaned across consecutive passes
+    #: before it is reaped); <= 0 disables
+    scrub_interval_s: float = 5.0
+
     # -- runtime library ----------------------------------------------------------
     #: refraction period: no allocation attempts for this long after a
     #: failed allocation (Section 3.1)

@@ -23,6 +23,7 @@ from typing import Optional
 
 from repro.core.allocator import make_allocator
 from repro.core.config import CMD_PORT, IMD_PORT, DodoConfig
+from repro.core.shard import ShardMap
 from repro.cluster.workstation import Workstation
 from repro.metrics.recorder import Recorder
 from repro.net.bulk import BulkError, recv_bulk, send_bulk
@@ -37,12 +38,16 @@ class IdleMemoryDaemon:
                  epoch: int, cmd_host: Optional[str] = None,
                  pool_bytes: Optional[int] = None,
                  allocator_kind: str = "first-fit",
-                 control_port: int = IMD_PORT):
+                 control_port: int = IMD_PORT,
+                 shard_map: Optional[ShardMap] = None):
         self.sim = sim
         self.ws = ws
         self.config = config
         self.epoch = epoch
         self.cmd_host = cmd_host
+        #: sharded-directory mode: register with every shard's primary
+        #: and tag each hosted region with the shard that placed it
+        self.shard_map = shard_map
         if pool_bytes is None:
             pool_bytes = min(config.max_pool_bytes,
                              ws.recruitable_memory(config.headroom_fraction))
@@ -67,10 +72,15 @@ class IdleMemoryDaemon:
             "read": self._h_read,
             "write": self._h_write,
             "ping": self._h_ping,
+            "inventory": self._h_inventory,
         }, name=f"imd.{ws.name}", component="imd")
         self._server.start()
         #: logical (requested) size of each hosted region, by pool offset
         self._regions: dict[int, int] = {}
+        #: which directory shard placed each region (0 in classic mode)
+        self._region_shard: dict[int, int] = {}
+        #: per-shard manager incarnation we last registered with
+        self._shard_incarnations: dict[int, int] = {}
         self.active_transfers = 0
         self.stopping = False
         self.exited = False
@@ -98,6 +108,12 @@ class IdleMemoryDaemon:
         return self.sim.process(self._register())
 
     def _register(self):
+        if self.shard_map is not None:
+            ok = True
+            for sid in sorted(self.shard_map.shards):
+                got = yield from self._register_shard(sid)
+                ok = ok and got
+            return ok
         if self.cmd_host is None:
             return False
         sock = self.endpoint.socket()
@@ -129,11 +145,78 @@ class IdleMemoryDaemon:
             self._cmd_incarnation = inc
         return True
 
+    def _register_shard(self, sid: int):
+        """Register with one shard's primary, trying the backup when the
+        primary is unreachable and chasing ``not_primary`` redirects
+        (bounded by ``shard_attempts``).  A changed shard incarnation
+        means that shard's directory restarted empty: regions it placed
+        here are unreachable garbage, so drop *only those*."""
+        info = self.shard_map.shards[sid]
+        candidates = [h for h in (info.primary, info.backup) if h]
+        for attempt in range(self.config.shard_attempts):
+            if self.exited or self.stopping:
+                return False
+            host = candidates[attempt % len(candidates)]
+            sock = self.endpoint.socket()
+            client = RpcClient(sock)
+            try:
+                reply = yield from client.call(
+                    (host, CMD_PORT), "imd_register",
+                    {"host": self.ws.name, "pool_bytes": self.pool_bytes,
+                     "epoch": self.epoch, "port": self.control_port,
+                     "largest_free": self.allocator.largest_free()},
+                    timeout=self.config.rpc_timeout_s, retries=1,
+                    backoff_s=self.config.rpc_backoff_s,
+                    backoff_jitter=self.config.rpc_backoff_jitter)
+            except RpcTimeout:
+                continue
+            finally:
+                sock.close()
+            if reply.get("not_primary"):
+                raw = reply.get("shard_map")
+                if raw:
+                    new = ShardMap.from_wire(raw)
+                    if new.version > self.shard_map.version:
+                        self.shard_map = new
+                        info = new.shards[sid]
+                        candidates = [h for h in (info.primary,
+                                                  info.backup) if h]
+                yield self.sim.timeout(self.config.rpc_timeout_s)
+                continue
+            if reply.get("ok"):
+                inc = reply.get("incarnation")
+                if inc is not None:
+                    prev = self._shard_incarnations.get(sid)
+                    if prev is not None and inc != prev:
+                        self._drop_shard_regions(sid)
+                    self._shard_incarnations[sid] = inc
+                return True
+        self.stats.add("register_failures")
+        return False
+
+    def _drop_shard_regions(self, sid: int) -> None:
+        """Free every region that shard ``sid`` placed (its directory
+        restarted empty and can never reference them again)."""
+        doomed = [off for off, s in sorted(self._region_shard.items())
+                  if s == sid]
+        for offset in doomed:
+            self.allocator.free(offset)
+            del self._regions[offset]
+            del self._region_shard[offset]
+        if doomed:
+            self.stats.add("regions_dropped", len(doomed))
+            if self.sim.eventlog.enabled:
+                self.sim.eventlog.warn(
+                    self.sim, "imd", "imd.reset", host=self.ws.name,
+                    epoch=self.epoch, shard=sid,
+                    regions_dropped=len(doomed))
+
     def _drop_all_regions(self) -> None:
         dropped = len(self._regions)
         for offset in list(self._regions):
             self.allocator.free(offset)
             del self._regions[offset]
+            self._region_shard.pop(offset, None)
         if dropped:
             self.stats.add("regions_dropped", dropped)
         if self.sim.eventlog.enabled:
@@ -248,6 +331,17 @@ class IdleMemoryDaemon:
         return self._piggyback({"ok": not self.stopping,
                                 "epoch": self.epoch})
 
+    def _h_inventory(self, args: dict, src) -> dict:
+        """List hosted regions (optionally only those a given shard
+        placed) — the promoted primary's anti-entropy scrub uses this to
+        find regions its replicated directory never heard of."""
+        shard = args.get("shard")
+        regions = [[off, size] for off, size in sorted(self._regions.items())
+                   if shard is None
+                   or self._region_shard.get(off, 0) == shard]
+        return self._piggyback({"ok": not self.stopping,
+                                "epoch": self.epoch, "regions": regions})
+
     def _h_alloc(self, args: dict, src) -> dict:
         if self.stopping:
             return self._piggyback({"ok": False, "reason": "shutting down"})
@@ -257,6 +351,7 @@ class IdleMemoryDaemon:
             self.stats.add("alloc_rejects")
             return self._piggyback({"ok": False, "reason": "no space"})
         self._regions[offset] = size
+        self._region_shard[offset] = int(args.get("shard", 0))
         self.stats.add("regions_hosted")
         return self._piggyback({"ok": True, "region_id": offset,
                                 "epoch": self.epoch})
@@ -267,6 +362,7 @@ class IdleMemoryDaemon:
         except KeyError:
             return self._piggyback({"ok": False, "reason": "no such region"})
         self._regions.pop(int(args["region_id"]), None)
+        self._region_shard.pop(int(args["region_id"]), None)
         self.stats.add("regions_freed")
         return self._piggyback({"ok": True, "freed": freed})
 

@@ -25,10 +25,11 @@ from typing import Optional
 
 from repro.core.config import CMD_PORT, DodoConfig
 from repro.core.descriptors import RegionKey, RegionStruct
+from repro.core.shard import ShardMap
 from repro.cluster.workstation import Workstation
 from repro.metrics.recorder import Recorder
 from repro.net.rpc import RpcClient, RpcServer, RpcTimeout
-from repro.sim import Interrupt, Simulator
+from repro.sim import Interrupt, Resource, Simulator
 
 
 @dataclass
@@ -73,54 +74,521 @@ def _unwire_key(raw) -> RegionKey:
 
 
 class CentralManager:
-    """The cmd process and its directories."""
+    """The cmd process and its directories.
+
+    PR 9 generalizes the single cmd into a *shard manager*: with
+    ``shard_map`` set, this instance owns the slice of the region
+    directory that the consistent-hash ring assigns to ``shard_id`` and
+    rejects misrouted keys with a ``wrong_shard`` reply carrying the
+    current map.  ``role="backup"`` builds a warm standby instead: it
+    applies the primary's shipped mutation log, answers every normal
+    verb with ``not_primary``, and promotes itself (same incarnation —
+    the directory survives) after missing enough liveness probes.  The
+    classic single-manager construction (``shard_map=None``) is
+    byte-identical to PR 4's behavior.
+    """
 
     def __init__(self, sim: Simulator, ws: Workstation, config: DodoConfig,
-                 port: int = CMD_PORT, incarnation: int = 1):
+                 port: int = CMD_PORT, incarnation: int = 1,
+                 shard_id: int = 0, shard_map: Optional[ShardMap] = None,
+                 role: str = "primary", peer: Optional[str] = None):
         self.sim = sim
         self.ws = ws
         self.config = config
         #: restart counter: a manager brought back after a crash carries a
         #: higher incarnation, and every client-facing reply and keep-alive
         #: echo is stamped with it so peers can detect the restart and
-        #: re-register (directories are in-memory and die with the cmd)
+        #: re-register (directories are in-memory and die with the cmd).
+        #: A *promoted backup* keeps the incarnation — the directory
+        #: state survived, so peers must NOT discard their descriptors.
         self.incarnation = incarnation
+        self.shard_id = shard_id
+        self.shard_map = shard_map
+        if role not in ("primary", "backup"):
+            raise ValueError(f"unknown manager role {role!r}")
+        if role == "backup" and shard_map is None:
+            raise ValueError("backup managers require a shard map")
+        self.role = role
+        #: backup host this primary ships its mutation log to (None =
+        #: unreplicated); on a backup, the primary it watches is read
+        #: from the shard map instead
+        self.peer = peer
+        self.stopped = False
+        #: replication log-shipping state: next sequence number to ship /
+        #: expect, unshipped records, and the degraded latch (set when
+        #: the backup stops answering; cleared by repl_sync)
+        self.repl_seq = 0
+        self._repl_pending: list[list] = []
+        self.repl_degraded = False
         self.iwd: dict[str, IwdEntry] = {}
         self.rd: dict[RegionKey, RdEntry] = {}
         self.clients: dict[str, ClientState] = {}
-        self.stats = Recorder("cmd")
-        self._rng = sim.rng("cmd.placement")
+        self.stats = Recorder("cmd" if shard_map is None
+                              else f"cmd{shard_id}")
+        self._rng = sim.rng("cmd.placement" if shard_map is None
+                            else f"cmd{shard_id}.placement")
         if config.placement not in PLACEMENTS:
             raise ValueError(f"unknown placement {config.placement!r}, "
                              f"expected one of {sorted(PLACEMENTS)}")
         self._rr = 0  # round-robin cursor (placement="round-robin")
         self.endpoint = ws.endpoint(config.transport)
+        self.port = port
         self._sock = self.endpoint.socket(port=port)
-        self._server = RpcServer(self._sock, {
-            "alloc": self._h_alloc,
-            "check_alloc": self._h_check_alloc,
-            "free": self._h_free,
-            "imd_register": self._h_imd_register,
-            "notify_busy": self._h_notify_busy,
-            "client_detach": self._h_client_detach,
-            "client_attach": self._h_client_attach,
-        }, name="cmd", component="manager")
+        self._cpu = Resource(sim, 1) if config.mgr_service_s > 0 else None
+        if shard_map is None:
+            handlers = {
+                "alloc": self._h_alloc,
+                "check_alloc": self._h_check_alloc,
+                "free": self._h_free,
+                "imd_register": self._h_imd_register,
+                "notify_busy": self._h_notify_busy,
+                "client_detach": self._h_client_detach,
+                "client_attach": self._h_client_attach,
+            }
+        else:
+            handlers = {
+                "alloc": self._sharded(self._h_alloc, keyed=True),
+                "check_alloc": self._sharded(self._h_check_alloc,
+                                             keyed=True),
+                "free": self._sharded(self._h_free, keyed=True),
+                "imd_register": self._sharded(self._h_imd_register),
+                "notify_busy": self._sharded(self._h_notify_busy),
+                "client_detach": self._sharded(self._h_client_detach),
+                "client_attach": self._sharded(self._h_client_attach),
+                "mgr_ping": self._h_mgr_ping,
+                "shard_map": self._h_shard_map,
+                "repl_apply": self._h_repl_apply,
+                "repl_sync": self._h_repl_sync,
+            }
+        self._server = RpcServer(self._sock, handlers,
+                                 name="cmd" if shard_map is None
+                                 else f"cmd{shard_id}",
+                                 component="manager")
         self._server.start()
-        self._keepalive = sim.process(self._keepalive_loop())
+        self._keepalive = None
+        self._watcher = None
+        self._scrubber = None
+        if role == "primary":
+            self._keepalive = sim.process(self._keepalive_loop())
+            if shard_map is not None:
+                self._scrubber = sim.process(self._reconcile_loop())
+        else:
+            self._watcher = sim.process(self._watch_primary())
         if sim.telemetry.enabled:
-            sim.telemetry.register(sim, "manager", "cmd", self)
+            name = "cmd" if shard_map is None else f"cmd{shard_id}"
+            sim.telemetry.register(sim, "manager", name, self)
 
     def stop(self) -> None:
+        self.stopped = True
         self._server.stop()
-        if self._keepalive.is_alive:
-            self._keepalive.interrupt("cmd-stop")
+        for proc in (self._keepalive, self._watcher, self._scrubber):
+            if proc is not None and proc.is_alive:
+                proc.interrupt("cmd-stop")
+
+    # -- sharding: routing guards + service time ---------------------------------
+    def _sharded(self, inner, keyed: bool = False):
+        """Wrap a classic handler for sharded operation: reject calls on
+        a backup (``not_primary``) or for keys this shard does not own
+        (``wrong_shard``), charge the modeled directory service time,
+        run the handler, then synchronously ship any directory mutations
+        to the backup before replying."""
+        def handler(args: dict, src):
+            guard = self._guard(args, keyed)
+            if guard is not None:
+                return guard
+            if self._cpu is not None:
+                yield self._cpu.acquire()
+                try:
+                    yield self.sim.timeout(self.config.mgr_service_s)
+                finally:
+                    self._cpu.release()
+            result = inner(args, src)
+            if hasattr(result, "__next__"):
+                reply = yield from result
+            else:
+                reply = result
+            yield from self._repl_flush()
+            return reply
+        return handler
+
+    def _guard(self, args: dict, keyed: bool) -> Optional[dict]:
+        """The routing checks every sharded verb runs first; None means
+        the call may proceed."""
+        if self.role != "primary":
+            self.stats.add("shard.not_primary")
+            return self._stamp({
+                "ok": False, "not_primary": True,
+                "primary": self.shard_map.primary(self.shard_id),
+                "shard_map": self.shard_map.to_wire()})
+        if keyed and self.shard_map.n_shards > 1:
+            key = _unwire_key(args["key"])
+            owner = self.shard_map.owner_of(key)
+            if owner != self.shard_id:
+                self.stats.add("shard.wrong_shard")
+                return self._stamp({
+                    "ok": False, "wrong_shard": True, "owner": owner,
+                    "shard_map": self.shard_map.to_wire()})
+        return None
+
+    def _h_mgr_ping(self, args: dict, src) -> dict:
+        """Liveness probe (backup -> primary heartbeat)."""
+        return {"ok": True, "incarnation": self.incarnation,
+                "role": self.role}
+
+    def _h_shard_map(self, args: dict, src) -> dict:
+        """Hand out the current routing table."""
+        return self._stamp({"ok": True,
+                            "shard_map": self.shard_map.to_wire()})
+
+    # -- replication: mutation capture ---------------------------------------------
+    # Every directory mutation flows through these helpers so the
+    # primary can append a log record; with no peer configured they are
+    # plain dict operations (the classic path pays nothing).
+    def _repl_log(self, record: list) -> None:
+        if self.peer is not None and self.role == "primary":
+            self._repl_pending.append(record)
+
+    def _rd_set(self, key: RegionKey, entry: RdEntry) -> None:
+        self.rd[key] = entry
+        self._repl_log(["rd_set", _wire_key(key), entry.struct.to_wire(),
+                        entry.owner])
+
+    def _rd_del(self, key: RegionKey) -> Optional[RdEntry]:
+        entry = self.rd.pop(key, None)
+        if entry is not None:
+            self._repl_log(["rd_del", _wire_key(key)])
+        return entry
+
+    def _iwd_set(self, entry: IwdEntry) -> None:
+        self.iwd[entry.host] = entry
+        self._repl_log(["iwd_set", [entry.host, entry.epoch,
+                                    entry.largest_free, entry.port]])
+
+    def _iwd_del(self, host: str) -> None:
+        if self.iwd.pop(host, None) is not None:
+            self._repl_log(["iwd_del", host])
+
+    def _client_set(self, cid: str, state: ClientState) -> None:
+        self.clients[cid] = state
+        self._repl_log(["client_set", [cid, state.addr, state.echo_port]])
+
+    def _client_del(self, cid: Optional[str]) -> None:
+        if self.clients.pop(cid, None) is not None:
+            self._repl_log(["client_del", cid])
+
+    # -- replication: log shipping + snapshots --------------------------------------
+    def _repl_flush(self):
+        """Ship pending log records to the backup, synchronously (the
+        reply a client sees is only sent once the backup acked).  A
+        backup that stops answering latches ``repl_degraded`` — the
+        primary keeps serving unreplicated (availability over
+        durability) until a repl_sync re-attaches a backup."""
+        if self.peer is None or self.role != "primary":
+            self._repl_pending.clear()
+            return
+        if not self._repl_pending:
+            return
+        if self.repl_degraded:
+            self._repl_pending.clear()
+            return
+        records = self._repl_pending
+        self._repl_pending = []
+        seq_from = self.repl_seq
+        self.repl_seq += len(records)
+        sock = self.endpoint.socket()
+        rpc = RpcClient(sock)
+        try:
+            reply = yield from rpc.call(
+                (self.peer, self.port), "repl_apply",
+                {"shard_id": self.shard_id, "seq_from": seq_from,
+                 "records": records, "incarnation": self.incarnation},
+                timeout=self.config.rpc_timeout_s, retries=1,
+                backoff_s=self.config.rpc_backoff_s,
+                backoff_jitter=self.config.rpc_backoff_jitter)
+        except RpcTimeout:
+            self.repl_degraded = True
+            self.stats.add("repl.degraded")
+            if self.sim.eventlog.enabled:
+                self.sim.eventlog.warn(self.sim, "manager",
+                                       "repl.degraded", host=self.ws.name,
+                                       shard=self.shard_id)
+            return
+        finally:
+            sock.close()
+        if reply.get("resync"):
+            yield from self._push_snapshot()
+
+    def _push_snapshot(self):
+        """Bring a gapped backup back in line with a full state image."""
+        sock = self.endpoint.socket()
+        rpc = RpcClient(sock)
+        try:
+            yield from rpc.call(
+                (self.peer, self.port), "repl_apply",
+                {"shard_id": self.shard_id, "snapshot": self._snapshot()},
+                timeout=self.config.rpc_timeout_s, retries=1,
+                backoff_s=self.config.rpc_backoff_s,
+                backoff_jitter=self.config.rpc_backoff_jitter)
+            self.stats.add("repl.snapshots")
+        except RpcTimeout:
+            self.repl_degraded = True
+            self.stats.add("repl.degraded")
+        finally:
+            sock.close()
+
+    def _snapshot(self) -> dict:
+        """Full replication image of the directory state (stable order
+        so identically-seeded runs ship identical bytes)."""
+        def keysort(kv):
+            key = kv[0]
+            return (key.inode, key.offset, key.client or "")
+        return {
+            "rd": [[_wire_key(k), e.struct.to_wire(), e.owner]
+                   for k, e in sorted(self.rd.items(), key=keysort)],
+            "iwd": [[e.host, e.epoch, e.largest_free, e.port]
+                    for _, e in sorted(self.iwd.items())],
+            "clients": [[cid, st.addr, st.echo_port]
+                        for cid, st in sorted(self.clients.items())],
+            "seq": self.repl_seq,
+            "incarnation": self.incarnation,
+            "shard_map": self.shard_map.to_wire(),
+        }
+
+    def _install_snapshot(self, snap: dict) -> None:
+        self.rd = {
+            _unwire_key(raw): RdEntry(struct=RegionStruct.from_wire(sw),
+                                      owner=owner)
+            for raw, sw, owner in snap["rd"]}
+        self.iwd = {
+            host: IwdEntry(host=host, epoch=int(epoch),
+                           largest_free=int(free), port=int(port))
+            for host, epoch, free, port in snap["iwd"]}
+        self.clients = {
+            cid: ClientState(addr=addr, echo_port=int(port),
+                             last_echo=self.sim.now)
+            for cid, addr, port in snap["clients"]}
+        self.repl_seq = int(snap["seq"])
+        self.incarnation = int(snap["incarnation"])
+        self.shard_map = ShardMap.from_wire(snap["shard_map"])
+        self.stats.add("repl.installed")
+
+    def _apply_record(self, rec: list) -> None:
+        kind = rec[0]
+        if kind == "rd_set":
+            self.rd[_unwire_key(rec[1])] = RdEntry(
+                struct=RegionStruct.from_wire(rec[2]), owner=rec[3])
+        elif kind == "rd_del":
+            self.rd.pop(_unwire_key(rec[1]), None)
+        elif kind == "iwd_set":
+            host, epoch, free, port = rec[1]
+            self.iwd[host] = IwdEntry(host=host, epoch=int(epoch),
+                                      largest_free=int(free),
+                                      port=int(port))
+        elif kind == "iwd_del":
+            self.iwd.pop(rec[1], None)
+        elif kind == "client_set":
+            cid, addr, port = rec[1]
+            self.clients[cid] = ClientState(addr=addr, echo_port=int(port),
+                                            last_echo=self.sim.now)
+        elif kind == "client_del":
+            self.clients.pop(rec[1], None)
+
+    def _h_repl_apply(self, args: dict, src) -> dict:
+        """Backup side of log shipping: apply records in sequence order;
+        a gap (lost batch while the primary thought us dead) asks for a
+        full snapshot instead of applying out of order."""
+        if self.role != "backup":
+            return {"ok": False, "reason": "not a backup"}
+        if "snapshot" in args:
+            self._install_snapshot(args["snapshot"])
+            return {"ok": True}
+        if int(args["seq_from"]) != self.repl_seq:
+            self.stats.add("repl.gap")
+            return {"ok": True, "resync": True}
+        for rec in args["records"]:
+            self._apply_record(rec)
+        self.repl_seq += len(args["records"])
+        self.stats.add("repl.applied", len(args["records"]))
+        return {"ok": True}
+
+    def _h_repl_sync(self, args: dict, src) -> dict:
+        """A (new) backup attaches: adopt it as the replication peer,
+        clear the degraded latch, publish it in the shard map, and hand
+        back a full snapshot."""
+        if self.role != "primary":
+            return {"ok": False, "not_primary": True,
+                    "primary": self.shard_map.primary(self.shard_id)}
+        self.peer = args["host"]
+        self.repl_degraded = False
+        self._repl_pending.clear()
+        self.shard_map = self.shard_map.promoted(
+            self.shard_id, self.ws.name, args["host"])
+        self.stats.add("repl.syncs")
+        if self.sim.eventlog.enabled:
+            self.sim.eventlog.info(self.sim, "manager", "repl.attached",
+                                   host=args["host"], shard=self.shard_id)
+        return {"ok": True, "snapshot": self._snapshot()}
+
+    def resync(self):
+        """Backup-side pull: fetch a full snapshot from the shard's
+        current primary (per our possibly-stale map, then its
+        ``primary`` hint) and install it.  Used by the nemesis healer
+        when it stands up a replacement backup."""
+        primary = self.shard_map.primary(self.shard_id)
+        for _ in range(self.config.shard_attempts):
+            if self.stopped:
+                return False
+            sock = self.endpoint.socket()
+            rpc = RpcClient(sock)
+            try:
+                reply = yield from rpc.call(
+                    (primary, self.port), "repl_sync",
+                    {"host": self.ws.name, "shard_id": self.shard_id},
+                    timeout=self.config.rpc_timeout_s, retries=1,
+                    backoff_s=self.config.rpc_backoff_s,
+                    backoff_jitter=self.config.rpc_backoff_jitter)
+            except RpcTimeout:
+                yield self.sim.timeout(self.config.repl_heartbeat_s)
+                continue
+            finally:
+                sock.close()
+            if reply.get("ok"):
+                self._install_snapshot(reply["snapshot"])
+                return True
+            hint = reply.get("primary")
+            if hint and hint != primary:
+                primary = hint
+                continue
+            yield self.sim.timeout(self.config.repl_heartbeat_s)
+        self.stats.add("repl.sync_failed")
+        return False
+
+    # -- replication: failover ------------------------------------------------------
+    def _watch_primary(self):
+        """Backup heartbeat loop: probe the primary; after enough
+        consecutive misses, promote ourselves."""
+        cfg = self.config
+        misses = 0
+        try:
+            while True:
+                yield self.sim.timeout(cfg.repl_heartbeat_s)
+                if self.role != "backup" or self.stopped:
+                    return
+                primary = self.shard_map.primary(self.shard_id)
+                sock = self.endpoint.socket()
+                rpc = RpcClient(sock)
+                try:
+                    yield from rpc.call(
+                        (primary, self.port), "mgr_ping",
+                        {"shard_id": self.shard_id},
+                        timeout=cfg.rpc_timeout_s, retries=1,
+                        backoff_s=cfg.rpc_backoff_s,
+                        backoff_jitter=cfg.rpc_backoff_jitter)
+                    misses = 0
+                except RpcTimeout:
+                    misses += 1
+                    if misses >= cfg.repl_promote_misses:
+                        self._promote()
+                        return
+                finally:
+                    sock.close()
+        except Interrupt:
+            return
+
+    def _promote(self) -> None:
+        """Become the shard's primary: same incarnation (the replicated
+        directory survived — clients keep their descriptors, imds keep
+        their regions), new shard-map version pointing at us, keep-alive
+        duty, and an anti-entropy scrub for regions leaked by
+        operations in flight at the crash."""
+        self.role = "primary"
+        self.peer = None
+        self.shard_map = self.shard_map.promoted(
+            self.shard_id, self.ws.name, None)
+        self.stats.add("repl.promotions")
+        if self.sim.eventlog.enabled:
+            self.sim.eventlog.warn(self.sim, "manager", "mgr.promoted",
+                                   host=self.ws.name, shard=self.shard_id,
+                                   version=self.shard_map.version)
+        self._keepalive = self.sim.process(self._keepalive_loop())
+        self._scrubber = self.sim.process(
+            self._reconcile_loop(immediate=True))
+
+    def _reconcile_loop(self, immediate: bool = False):
+        """Periodic anti-entropy scrub: inventory every known imd for
+        regions tagged to this shard and free those the directory does
+        not reference (an alloc whose reply was lost, an alloc placed
+        but not yet shipped when the old primary died, a free shipped
+        but not yet executed, a client retry that double-placed).
+
+        A region must be orphaned across *two consecutive* passes before
+        it is freed — a single-pass orphan may simply be an alloc whose
+        directory insert is still in flight.  ``immediate=True`` (used
+        at promotion) runs a first mark-only pass right away so crash
+        leftovers are reaped one interval later rather than two.
+        """
+        if self.config.scrub_interval_s <= 0:
+            return
+        suspects: set = set()
+        try:
+            if immediate:
+                suspects = yield from self._scrub_pass(suspects,
+                                                       free=False)
+            while not self.stopped:
+                yield self.sim.timeout(self.config.scrub_interval_s)
+                suspects = yield from self._scrub_pass(suspects)
+        except Interrupt:
+            return
+
+    def _scrub_pass(self, suspects: set, free: bool = True):
+        """One inventory sweep; returns the (host, epoch, offset) set of
+        orphans seen (and not freed) this pass."""
+        seen: set = set()
+        freed = 0
+        for host in sorted(self.iwd):
+            if self.stopped:
+                return seen
+            iwd = self.iwd.get(host)
+            if iwd is None:
+                continue
+            reply = yield from self._imd_call(
+                iwd, "inventory", {"shard": self.shard_id})
+            if reply is None or not reply.get("ok"):
+                continue
+            if int(reply["epoch"]) != iwd.epoch:
+                continue
+            hosted = sorted(int(off) for off, _ in reply["regions"])
+            for off in hosted:
+                live = self.iwd.get(host)
+                if live is None or live.epoch != iwd.epoch:
+                    break
+                if any(e.struct.host == host
+                       and e.struct.epoch == iwd.epoch
+                       and e.struct.pool_offset == off
+                       for e in self.rd.values()):
+                    continue
+                tag = (host, iwd.epoch, off)
+                if free and tag in suspects:
+                    yield from self._imd_call(
+                        iwd, "free", {"region_id": off})
+                    freed += 1
+                else:
+                    seen.add(tag)
+        yield from self._repl_flush()
+        if freed:
+            self.stats.add("scrub.freed", freed)
+            if self.sim.eventlog.enabled:
+                self.sim.eventlog.info(self.sim, "manager", "scrub.freed",
+                                       host=self.ws.name,
+                                       shard=self.shard_id, regions=freed)
+        return seen
 
     # -- imd-facing handlers ---------------------------------------------------------
     def _h_imd_register(self, args: dict, src) -> dict:
         entry = IwdEntry(host=args["host"], epoch=int(args["epoch"]),
                          largest_free=int(args["largest_free"]),
                          port=int(args["port"]))
-        self.iwd[entry.host] = entry
+        self._iwd_set(entry)
         self.stats.add("imd_registrations")
         return {"ok": True, "incarnation": self.incarnation}
 
@@ -128,7 +596,7 @@ class CentralManager:
         """A host was reclaimed: drop it from the IWD.  Its RD entries are
         invalidated lazily by the epoch check, as in the paper."""
         host = args["host"]
-        self.iwd.pop(host, None)
+        self._iwd_del(host)
         self.stats.add("busy_notifications")
         if self.sim.eventlog.enabled:
             self.sim.eventlog.info(self.sim, "manager", "host.busy",
@@ -141,6 +609,8 @@ class CentralManager:
         the runtime library can detect a restart (pure metadata — the
         charged wire size does not depend on the payload dict)."""
         reply["mgr_incarnation"] = self.incarnation
+        if self.shard_map is not None:
+            reply["shard"] = self.shard_id
         return reply
 
     def _track_client(self, args: dict, src) -> Optional[str]:
@@ -150,8 +620,9 @@ class CentralManager:
             return client
         state = self.clients.get(client)
         if state is None:
-            self.clients[client] = ClientState(
-                addr=src[0], echo_port=int(echo_port), last_echo=self.sim.now)
+            self._client_set(client, ClientState(
+                addr=src[0], echo_port=int(echo_port),
+                last_echo=self.sim.now))
         else:
             state.last_echo = self.sim.now
         return client
@@ -166,7 +637,7 @@ class CentralManager:
         iwd = self.iwd.get(entry.struct.host)
         if iwd is None or iwd.epoch != entry.struct.epoch:
             # stale: the hosting imd is gone or has been restarted
-            del self.rd[key]
+            self._rd_del(key)
             self.stats.add("check.stale")
             if self.sim.eventlog.enabled:
                 self.sim.eventlog.info(self.sim, "manager", "region.stale",
@@ -210,9 +681,11 @@ class CentralManager:
                     and existing.struct.length >= length:
                 self.stats.add("alloc.reused")
                 existing.owner = client or existing.owner
+                self._repl_log(["rd_set", _wire_key(key),
+                                existing.struct.to_wire(), existing.owner])
                 return self._stamp(
                     {"ok": True, "region": existing.struct.to_wire()})
-            del self.rd[key]  # stale or too small: replace
+            self._rd_del(key)  # stale or too small: replace
 
         candidates = [h for h, e in self.iwd.items()
                       if e.largest_free >= length]
@@ -222,7 +695,7 @@ class CentralManager:
             if iwd is None:
                 continue
             reply = yield from self._imd_call(
-                iwd, "alloc", {"size": length})
+                iwd, "alloc", {"size": length, "shard": self.shard_id})
             if reply is None:
                 continue  # host vanished; already dropped from IWD
             if reply.get("ok"):
@@ -230,7 +703,7 @@ class CentralManager:
                                       pool_offset=int(reply["region_id"]),
                                       length=length,
                                       epoch=int(reply["epoch"]))
-                self.rd[key] = RdEntry(struct=struct, owner=client)
+                self._rd_set(key, RdEntry(struct=struct, owner=client))
                 self.stats.add("alloc.placed")
                 if self.sim.eventlog.enabled:
                     self.sim.eventlog.info(
@@ -248,7 +721,7 @@ class CentralManager:
     def _h_free(self, args: dict, src):
         self._track_client(args, src)
         key = _unwire_key(args["key"])
-        entry = self.rd.pop(key, None)
+        entry = self._rd_del(key)
         if entry is None:
             self.stats.add("free.miss")
             return self._stamp({"ok": False, "reason": "no such region"})
@@ -268,14 +741,16 @@ class CentralManager:
         the client's regions in remote memory for a future run."""
         client = args.get("client")
         persist = bool(args.get("persist", False))
-        self.clients.pop(client, None)
+        self._client_del(client)
         freed = 0
         if not persist:
             freed = yield from self._reclaim_client(client)
         else:
-            for entry in self.rd.values():
+            for key, entry in self.rd.items():
                 if entry.owner == client:
                     entry.owner = None
+                    self._repl_log(["rd_set", _wire_key(key),
+                                    entry.struct.to_wire(), None])
             self.stats.add("detach.persist")
         return self._stamp({"ok": True, "freed": freed})
 
@@ -300,7 +775,7 @@ class CentralManager:
                 backoff_s=self.config.rpc_backoff_s,
                 backoff_jitter=self.config.rpc_backoff_jitter)
         except RpcTimeout:
-            self.iwd.pop(iwd.host, None)
+            self._iwd_del(iwd.host)
             self.stats.add("imd.dead")
             if self.sim.eventlog.enabled:
                 self.sim.eventlog.warn(self.sim, "manager", "imd.dead",
@@ -324,7 +799,7 @@ class CentralManager:
         freed = 0
         try:
             for key in doomed:
-                entry = self.rd.pop(key, None)
+                entry = self._rd_del(key)
                 if entry is None:
                     continue
                 iwd = self.iwd.get(entry.struct.host)
@@ -356,10 +831,14 @@ class CentralManager:
                         continue
                     sock = self.endpoint.socket()
                     rpc = RpcClient(sock)
+                    echo_args = {"client": cid,
+                                 "incarnation": self.incarnation}
+                    if self.shard_map is not None:
+                        echo_args["shard"] = self.shard_id
                     try:
                         yield from rpc.call(
                             (state.addr, state.echo_port), "echo",
-                            {"client": cid, "incarnation": self.incarnation},
+                            echo_args,
                             timeout=cfg.rpc_timeout_s, retries=2)
                         state.last_echo = self.sim.now
                         state.missed = 0
@@ -368,7 +847,7 @@ class CentralManager:
                         silent = self.sim.now - state.last_echo
                         if silent >= cfg.keepalive_threshold_s:
                             self.stats.add("clients_expired")
-                            self.clients.pop(cid, None)
+                            self._client_del(cid)
                             if self.sim.eventlog.enabled:
                                 self.sim.eventlog.warn(
                                     self.sim, "manager", "client.expired",
@@ -384,3 +863,4 @@ class CentralManager:
 
     def _drain_reclaim(self, cid: str):
         yield from self._reclaim_client(cid)
+        yield from self._repl_flush()

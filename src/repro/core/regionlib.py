@@ -20,6 +20,7 @@ runtime layer.  Calls are generator process bodies.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -591,3 +592,58 @@ class RegionCache:
         region.dirty = False
         self.stats.add("flushes")
         return True
+
+
+class DescriptorCache:
+    """A bounded LRU of runtime descriptors keyed by (fd, offset).
+
+    The serving tier (``workloads/serving.py``) touches millions of keys
+    but each worker may only pin a handful of descriptors; uncached keys
+    cost a directory round-trip (``mlookup``, falling back to ``mopen``)
+    — which is exactly the per-request manager load that sharding the
+    directory is meant to relieve.  Evicting an entry only forgets the
+    *descriptor*; the remote region itself stays where it is (regions in
+    the serving tier are opened persistently).
+    """
+
+    def __init__(self, runtime: DodoRuntime, capacity: int):
+        self.runtime = runtime
+        self.capacity = capacity
+        self._entries: OrderedDict[tuple[int, int], int] = OrderedDict()
+        self.stats = Recorder(f"desccache.{runtime.ws.name}")
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def invalidate(self, fd: int, offset: int) -> None:
+        """Forget a cached descriptor (after a failed read: the region
+        moved or its host died)."""
+        self._entries.pop((fd, offset), None)
+
+    def open(self, length: int, fd: int, offset: int):
+        """Generator: ``(descriptor, 0)`` or ``(-1, errno)``.
+
+        A cache hit is free (no directory traffic); a miss pays an
+        ``mlookup`` and, if no region exists yet, an ``mopen``.
+        """
+        key = (fd, offset)
+        desc = self._entries.get(key)
+        if desc is not None:
+            if self.runtime._entry(desc) is not None:
+                self._entries.move_to_end(key)
+                self.stats.add("hits")
+                return desc, 0
+            # descriptor went stale underneath us (host dropped,
+            # manager failover): fall through to a fresh lookup
+            del self._entries[key]
+            self.stats.add("stale")
+        self.stats.add("misses")
+        desc, err = yield from self.runtime.mlookup(length, fd, offset)
+        if err != 0:
+            desc, err = yield from self.runtime.mopen(length, fd, offset)
+        if err != 0:
+            return -1, err
+        self._entries[key] = desc
+        if len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+        return desc, 0

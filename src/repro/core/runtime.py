@@ -28,6 +28,7 @@ from typing import Optional
 from repro.core.config import CMD_PORT, DodoConfig
 from repro.core.descriptors import RegionKey, RegionStruct, RegionTableEntry
 from repro.core.errno import EINVAL, EIO, ENOMEM
+from repro.core.shard import ShardMap
 from repro.cluster.workstation import Workstation
 from repro.metrics.recorder import Recorder
 from repro.net.bulk import BulkError, recv_bulk, send_bulk
@@ -40,7 +41,7 @@ class DodoRuntime:
     """Per-application client library instance."""
 
     def __init__(self, sim: Simulator, ws: Workstation, config: DodoConfig,
-                 cmd_host: str):
+                 cmd_host: str, shard_map: Optional[ShardMap] = None):
         if ws.fs is None:
             raise ValueError(f"{ws.name} needs a local file system for "
                              "backing files")
@@ -48,9 +49,19 @@ class DodoRuntime:
         self.ws = ws
         self.config = config
         self.cmd = (cmd_host, CMD_PORT)
+        #: sharded-directory mode: route keyed calls by the consistent-
+        #: hash ring, chase wrong_shard/not_primary redirects, fail over
+        #: between a shard's replicas
+        self.shard_map = shard_map
         self.endpoint = ws.endpoint(config.transport)
         self._cmd_sock = self.endpoint.socket()
         self._cmd_rpc = RpcClient(self._cmd_sock)
+        #: per-manager-host persistent RPC clients (sharded mode)
+        self._shard_socks: dict[str, tuple] = {}
+        #: per-shard preferred endpoint (last host that answered)
+        self._shard_pref: dict[int, str] = {}
+        #: per-shard manager incarnation last observed
+        self._shard_incarnations: dict[int, int] = {}
         echo_sock = self.endpoint.socket()
         self.echo_port = echo_sock.port
         self._echo = RpcServer(echo_sock, {"echo": self._h_echo},
@@ -83,7 +94,11 @@ class DodoRuntime:
         client = self.client_id if self.config.multi_client_keys else None
         return RegionKey(inode=inode, offset=offset, client=client)
 
-    def _cmd_call(self, method: str, args: dict):
+    def _cmd_call(self, method: str, args: dict,
+                  key: Optional[RegionKey] = None):
+        if self.shard_map is not None:
+            reply = yield from self._sharded_call(method, args, key=key)
+            return reply
         args = dict(args)
         args["client"] = self.client_id
         args["echo_port"] = self.echo_port
@@ -96,6 +111,111 @@ class DodoRuntime:
         if isinstance(reply, dict):
             self._note_manager_incarnation(reply.get("mgr_incarnation"))
         return reply
+
+    # -- sharded routing ------------------------------------------------------------
+    def _rpc_for(self, host: str) -> RpcClient:
+        """Persistent per-manager-host RPC client (sharded mode)."""
+        pair = self._shard_socks.get(host)
+        if pair is None:
+            sock = self.endpoint.socket()
+            pair = (sock, RpcClient(sock))
+            self._shard_socks[host] = pair
+        return pair[1]
+
+    def _shard_candidates(self, sid: int) -> list[str]:
+        """The shard's replica hosts, preferred endpoint first."""
+        info = self.shard_map.shards[sid]
+        cands = [h for h in (info.primary, info.backup) if h]
+        pref = self._shard_pref.get(sid)
+        if pref in cands and cands[0] != pref:
+            cands.remove(pref)
+            cands.insert(0, pref)
+        return cands
+
+    def _adopt_map(self, raw: Optional[dict]) -> None:
+        """Replace our routing table when a reply embeds a newer one."""
+        if not raw:
+            return
+        new = ShardMap.from_wire(raw)
+        if new.version > self.shard_map.version:
+            self.shard_map = new
+            self.stats.add("shard.map_refresh")
+
+    def _sharded_call(self, method: str, args: dict,
+                      key: Optional[RegionKey] = None,
+                      shard: Optional[int] = None):
+        """Route one directory call in sharded mode: pick the owning
+        shard by the ring (or use the explicit ``shard``), try its
+        replicas — preferred endpoint first — and chase ``wrong_shard``
+        (stale map) and ``not_primary`` (failover in progress) redirects
+        until an answer or ``shard_attempts`` is exhausted."""
+        args = dict(args)
+        args["client"] = self.client_id
+        args["echo_port"] = self.echo_port
+        sid = shard if shard is not None else (
+            self.shard_map.owner_of(key) if key is not None else 0)
+        for attempt in range(self.config.shard_attempts):
+            cands = self._shard_candidates(sid)
+            host = cands[attempt % len(cands)]
+            try:
+                reply = yield from self._rpc_for(host).call(
+                    (host, CMD_PORT), method, args,
+                    timeout=self.config.rpc_timeout_s, retries=2,
+                    backoff_s=self.config.rpc_backoff_s,
+                    backoff_jitter=self.config.rpc_backoff_jitter)
+            except RpcTimeout:
+                self.stats.add("shard.retry")
+                self._shard_pref.pop(sid, None)
+                continue
+            if isinstance(reply, dict):
+                if reply.get("not_primary"):
+                    self.stats.add("shard.not_primary")
+                    self._adopt_map(reply.get("shard_map"))
+                    hint = reply.get("primary")
+                    if hint and hint != host:
+                        self._shard_pref[sid] = hint
+                    else:
+                        yield self.sim.timeout(self.config.rpc_timeout_s)
+                    continue
+                if reply.get("wrong_shard"):
+                    self.stats.add("shard.wrong_shard")
+                    self._adopt_map(reply.get("shard_map"))
+                    if shard is None and key is not None:
+                        sid = self.shard_map.owner_of(key)
+                    continue
+                self._shard_pref[sid] = host
+                self._note_shard_incarnation(
+                    sid, reply.get("mgr_incarnation"))
+            return reply
+        self.stats.add("shard.unreachable")
+        raise RpcTimeout(f"{method}: shard {sid} unreachable after "
+                         f"{self.config.shard_attempts} attempts")
+
+    def _note_shard_incarnation(self, sid: int,
+                                inc: Optional[int]) -> None:
+        """Per-shard incarnation tracking: a bump means that shard's
+        directory restarted empty, so drop only the descriptors whose
+        keys that shard owns (a promoted backup keeps the incarnation —
+        descriptors survive failover)."""
+        if inc is None:
+            return
+        prev = self._shard_incarnations.get(sid)
+        if prev is None or inc == prev:
+            self._shard_incarnations[sid] = inc
+            return
+        self._shard_incarnations[sid] = inc
+        doomed = [d for d, e in self._regions.items()
+                  if self.shard_map.owner_of(e.key) == sid]
+        for d in doomed:
+            del self._regions[d]
+        self.stats.add("manager_restarts")
+        if doomed:
+            self.stats.add("descriptors_dropped", len(doomed))
+        if self.sim.eventlog.enabled:
+            self.sim.eventlog.warn(
+                self.sim, "lib", "client.reregister", host=self.ws.name,
+                client=self.client_id, incarnation=inc, shard=sid,
+                descriptors_dropped=len(doomed))
 
     def _note_manager_incarnation(self, inc: Optional[int]) -> None:
         """Track the manager's restart counter.  On a change, every local
@@ -125,7 +245,11 @@ class DodoRuntime:
     def _h_echo(self, args: dict, src) -> dict:
         """Keep-alive echo handler; piggybacked incarnation detects a
         manager restart even when the library is otherwise idle."""
-        self._note_manager_incarnation(args.get("incarnation"))
+        if self.shard_map is not None and args.get("shard") is not None:
+            self._note_shard_incarnation(int(args["shard"]),
+                                         args.get("incarnation"))
+        else:
+            self._note_manager_incarnation(args.get("incarnation"))
         return {"ok": True}
 
     def _entry(self, desc: int) -> Optional[RegionTableEntry]:
@@ -173,13 +297,13 @@ class DodoRuntime:
                 # dmine pattern).  checkAlloc both finds and validates it.
                 reply = yield from self._cmd_call(
                     "check_alloc",
-                    {"key": [key.inode, key.offset, key.client]})
+                    {"key": [key.inode, key.offset, key.client]}, key=key)
                 if reply.get("ok") and reply["region"]["length"] < length:
                     reply = {"ok": False}  # too small: allocate replacement
                 if not reply.get("ok"):
                     reply = yield from self._cmd_call(
                         "alloc", {"key": [key.inode, key.offset, key.client],
-                                  "length": length})
+                                  "length": length}, key=key)
             except (RpcTimeout, RpcRemoteError):
                 self.stats.add("mopen.cmd_unreachable")
                 if span is not None:
@@ -223,7 +347,7 @@ class DodoRuntime:
             try:
                 reply = yield from self._cmd_call(
                     "check_alloc",
-                    {"key": [key.inode, key.offset, key.client]})
+                    {"key": [key.inode, key.offset, key.client]}, key=key)
             except (RpcTimeout, RpcRemoteError):
                 if span is not None:
                     span.tag("err", "enomem")
@@ -453,7 +577,8 @@ class DodoRuntime:
         try:
             try:
                 reply = yield from self._cmd_call(
-                    "free", {"key": [key.inode, key.offset, key.client]})
+                    "free", {"key": [key.inode, key.offset, key.client]},
+                    key=key)
             except (RpcTimeout, RpcRemoteError):
                 return -1, EINVAL
             # pop, not del: the reply may have carried a new manager
@@ -474,14 +599,27 @@ class DodoRuntime:
         Idempotent."""
         if self.detached:
             return None
-        try:
-            yield from self._cmd_call("client_detach", {"persist": persist})
-        except (RpcTimeout, RpcRemoteError):
-            pass
+        if self.shard_map is not None:
+            # every shard tracks this client independently
+            for sid in sorted(self.shard_map.shards):
+                try:
+                    yield from self._sharded_call(
+                        "client_detach", {"persist": persist}, shard=sid)
+                except (RpcTimeout, RpcRemoteError):
+                    pass
+        else:
+            try:
+                yield from self._cmd_call("client_detach",
+                                          {"persist": persist})
+            except (RpcTimeout, RpcRemoteError):
+                pass
         self.detached = True
         self._regions.clear()
         self._echo.stop()
         self._cmd_sock.close()
+        for sock, _rpc in self._shard_socks.values():
+            sock.close()
+        self._shard_socks.clear()
         return None
 
     # -- internals ---------------------------------------------------------------------

@@ -25,6 +25,7 @@ from repro.core.imd import IdleMemoryDaemon
 from repro.core.manager import CentralManager
 from repro.core.regionlib import RegionCache
 from repro.core.runtime import DodoRuntime
+from repro.core.shard import default_shard_map
 from repro.sim import Simulator
 from repro.storage.disk import DiskParams
 from repro.storage.filesystem import FsParams
@@ -59,6 +60,13 @@ class PlatformParams:
     bulk_fastpath: bool = True
     #: engage the flow-level datagram (RPC) fast path, same contract
     dgram_fastpath: bool = True
+    #: number of region-directory shards (1 + no replication + no
+    #: service time = the paper's single manager, byte-identical)
+    shards: int = 1
+    #: give each shard a log-shipping backup manager
+    replication: bool = False
+    #: modeled per-directory-op CPU time on each shard manager
+    mgr_service_s: float = 0.0
 
     def scaled(self, scale: float) -> "PlatformParams":
         """Shrink every size by ``scale``, preserving ratios."""
@@ -87,7 +95,14 @@ class Platform:
         self.config = config or DodoConfig(
             transport=p.transport, store_payload=p.store_payload,
             dedicated=True, max_pool_bytes=p.imd_pool_bytes,
-            bulk_fastpath=p.bulk_fastpath)
+            bulk_fastpath=p.bulk_fastpath, shards=p.shards,
+            replication=p.replication, mgr_service_s=p.mgr_service_s)
+        cfg = self.config
+        #: sharded-directory mode engages whenever any PR 9 knob is on,
+        #: so a 1-shard serve-bench run exercises the same code path as
+        #: an 8-shard one (fair scaling comparison)
+        self.sharded = dodo and (cfg.shards > 1 or cfg.replication
+                                 or cfg.mgr_service_s > 0)
 
         app_cache = p.app_fs_cache_dodo if dodo else p.app_fs_cache_baseline
         hosts = [
@@ -95,8 +110,16 @@ class Platform:
                      fs_cache_bytes=app_cache, fs_params=p.fs_params,
                      disk_params=DiskParams(
                          capacity_bytes=p.disk_capacity_bytes)),
-            HostSpec("mgr", total_mem_bytes=128 * MB),
         ]
+        if self.sharded:
+            for i in range(cfg.shards):
+                hosts.append(HostSpec(f"mgr{i:02d}",
+                                      total_mem_bytes=128 * MB))
+                if cfg.replication:
+                    hosts.append(HostSpec(f"bak{i:02d}",
+                                          total_mem_bytes=128 * MB))
+        else:
+            hosts.append(HostSpec("mgr", total_mem_bytes=128 * MB))
         for i in range(p.n_memory_hosts):
             hosts.append(HostSpec(f"mem{i:02d}", total_mem_bytes=128 * MB))
         self.cluster = Cluster(sim, ClusterConfig(
@@ -105,18 +128,48 @@ class Platform:
             dgram_fastpath=p.dgram_fastpath))
 
         self.app = self.cluster["app"]
-        self.mgr = self.cluster["mgr"]
+        self.mgr = self.cluster["mgr00" if self.sharded else "mgr"]
         self.cmd: Optional[CentralManager] = None
+        self.shard_map = None
+        self.cmds: list[CentralManager] = []
+        self.backup_cmds: list[CentralManager] = []
+        #: sharded mode: shard id -> every manager ever started for it
+        #: (append-only, like ``imds``); None on a classic platform —
+        #: the nemesis keys its manager_crash dispatch on this
+        self.shard_managers: Optional[dict[int, list[CentralManager]]] = \
+            None
         self.imds: list[IdleMemoryDaemon] = []
         self.nemesis = None
         if dodo:
-            self.cmd = CentralManager(sim, self.mgr, self.config)
+            if self.sharded:
+                self.shard_map = default_shard_map(cfg.shards,
+                                                   cfg.replication)
+                self.shard_managers = {}
+                for i in range(cfg.shards):
+                    primary = CentralManager(
+                        sim, self.cluster[f"mgr{i:02d}"], cfg,
+                        shard_id=i, shard_map=self.shard_map,
+                        peer=f"bak{i:02d}" if cfg.replication else None)
+                    self.cmds.append(primary)
+                    self.shard_managers[i] = [primary]
+                    if cfg.replication:
+                        backup = CentralManager(
+                            sim, self.cluster[f"bak{i:02d}"], cfg,
+                            shard_id=i, shard_map=self.shard_map,
+                            role="backup")
+                        self.backup_cmds.append(backup)
+                        self.shard_managers[i].append(backup)
+                self.cmd = self.cmds[0]
+            else:
+                self.cmd = CentralManager(sim, self.mgr, self.config)
             for i in range(p.n_memory_hosts):
                 ws = self.cluster[f"mem{i:02d}"]
                 imd = IdleMemoryDaemon(
-                    sim, ws, self.config, epoch=1, cmd_host="mgr",
+                    sim, ws, self.config, epoch=1,
+                    cmd_host=None if self.sharded else "mgr",
                     pool_bytes=p.imd_pool_bytes,
-                    allocator_kind=p.allocator_kind)
+                    allocator_kind=p.allocator_kind,
+                    shard_map=self.shard_map)
                 imd.register()
                 self.imds.append(imd)
             if faults is not None:
@@ -148,16 +201,40 @@ class Platform:
         components += [("nic", ws.name, ws.nic)
                        for ws in self.cluster.workstations.values()]
         components.append(("network", "network", self.cluster.network))
-        if self.cmd is not None:
+        if self.shard_managers is not None:
+            # role is decided at audit time: a promoted backup counts as
+            # a primary, a stopped manager is skipped entirely
+            for sid in sorted(self.shard_managers):
+                for mgr in self.shard_managers[sid]:
+                    if mgr.stopped:
+                        continue
+                    kind = ("manager" if mgr.role == "primary"
+                            else "manager_backup")
+                    components.append((kind, f"cmd{sid}", mgr))
+        elif self.cmd is not None:
             components.append(("manager", "cmd", self.cmd))
         components += [("imd", imd.ws.name, imd) for imd in self.imds]
         return auditor.audit_components(self.sim, components,
                                         teardown=teardown)
 
+    def live_primary(self, shard: int) -> Optional[CentralManager]:
+        """The shard's currently-serving primary, newest first (None
+        while failover is still in progress)."""
+        if self.shard_managers is None:
+            return self.cmd
+        for mgr in reversed(self.shard_managers[shard]):
+            if not mgr.stopped and mgr.role == "primary":
+                return mgr
+        return None
+
     def runtime(self) -> DodoRuntime:
         """A fresh libdodo instance on the app node."""
         if not self.dodo_enabled:
             raise RuntimeError("platform built without Dodo")
+        if self.sharded:
+            return DodoRuntime(self.sim, self.app, self.config,
+                               cmd_host=self.cmds[0].ws.name,
+                               shard_map=self.shard_map)
         return DodoRuntime(self.sim, self.app, self.config, cmd_host="mgr")
 
     def region_cache(self, policy: str = "lru",

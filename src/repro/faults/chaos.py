@@ -22,6 +22,12 @@ Scenarios:
 * ``"nondedicated"`` — the Section 5.3.1 desktop cluster with resource
   monitors and stochastic owners; faults land on top of the normal
   recruit/reclaim churn.
+* ``"failover"`` — the PR 9 sharded platform: a two-shard replicated
+  region directory, with ``manager_crash`` events drawn per shard so
+  the nemesis crashes shard primaries mid-workload and the backups
+  promote themselves (the manager hosts are protected from host-level
+  faults — directory loss is exercised through the crash/promote path,
+  not by nuking the node under it).
 
 The chaos configs enable the hardening this subsystem exists to
 exercise: exponential RPC backoff with jitter, imd heartbeat
@@ -37,7 +43,7 @@ from repro.faults.generate import random_plan
 from repro.faults.nemesis import Nemesis
 from repro.faults.plan import FaultPlan
 
-EXPERIMENTS = ("fig7", "nondedicated")
+EXPERIMENTS = ("fig7", "nondedicated", "failover")
 
 MB = 1024 * 1024
 
@@ -141,6 +147,56 @@ def _run_fig7(seed, plan, audit, horizon_s, eventlog_level) -> dict:
             config=_chaos_config(dict(
                 transport="udp", store_payload=False, dedicated=True,
                 max_pool_bytes=2 * MB)),
+            faults=plan, nemesis_auditor=auditor)
+        runner = ChaosRunner(platform, SyntheticParams(
+            pattern="hotcold", dataset_bytes=2 * MB, req_size=8192,
+            num_iter=3, compute_s=0.02))
+        result = sim.run(until=runner.run())
+        _settle(sim, platform.config, plan)
+        platform.audit(auditor, teardown=True)
+        nem = platform.nemesis
+        return {"plan": plan, "eventlog": log, "auditor": auditor,
+                "result": result, "degraded": runner.degraded,
+                "platform": platform,
+                "injected": nem.injected, "healed": nem.healed}
+    finally:
+        install_eventlog(previous)
+
+
+def _run_failover(seed, plan, audit, horizon_s, eventlog_level) -> dict:
+    from repro.exp.platform import Platform, PlatformParams
+    from repro.obs.audit import make_auditor
+    from repro.obs.eventlog import EventLog, install_eventlog
+    from repro.sim import Simulator
+    from repro.workloads.synthetic import SyntheticParams
+
+    n_mem, n_shards = 4, 2
+    mgr_hosts = [h for i in range(n_shards)
+                 for h in (f"mgr{i:02d}", f"bak{i:02d}")]
+    hosts = ["app"] + mgr_hosts + [f"mem{i:02d}" for i in range(n_mem)]
+    if plan is None:
+        plan = random_plan(seed, hosts, horizon_s=horizon_s,
+                           protected=tuple(["app"] + mgr_hosts),
+                           kinds=("host_crash", "nic_flap", "loss_burst",
+                                  "manager_crash"),
+                           shards=n_shards, experiment="failover")
+    log = EventLog(level=eventlog_level)
+    auditor = make_auditor(audit, eventlog=log)
+    previous = install_eventlog(log)
+    try:
+        sim = Simulator(seed=seed)
+        params = PlatformParams(
+            transport="udp", store_payload=False, n_memory_hosts=n_mem,
+            imd_pool_bytes=2 * MB, local_cache_bytes=512 * 1024,
+            app_fs_cache_dodo=1 * MB, app_fs_cache_baseline=4 * MB,
+            disk_capacity_bytes=256 * MB,
+            shards=n_shards, replication=True)
+        platform = Platform(
+            sim, params, dodo=True,
+            config=_chaos_config(dict(
+                transport="udp", store_payload=False, dedicated=True,
+                max_pool_bytes=2 * MB,
+                shards=n_shards, replication=True)),
             faults=plan, nemesis_auditor=auditor)
         runner = ChaosRunner(platform, SyntheticParams(
             pattern="hotcold", dataset_bytes=2 * MB, req_size=8192,
@@ -265,11 +321,16 @@ def _settle(sim, config, plan: FaultPlan) -> None:
     state (imd heartbeats, client re-attach) converges before the strict
     teardown audit."""
     grace = 2.0 * max(config.imd_reregister_s, 1.0) + 1.0
+    if config.shards > 1 or config.replication:
+        # the sharded anti-entropy scrubber needs two full passes to
+        # reap a region orphaned moments before the workload ended
+        grace += 2.0 * max(config.scrub_interval_s, 0.0) + 1.0
     until = max(sim.now, _plan_end(plan)) + grace
     sim.run(until=until)
 
 
-_SCENARIOS = {"fig7": _run_fig7, "nondedicated": _run_nondedicated}
+_SCENARIOS = {"fig7": _run_fig7, "nondedicated": _run_nondedicated,
+              "failover": _run_failover}
 
 
 def format_chaos(run: dict) -> str:

@@ -53,6 +53,7 @@ def random_plan(seed: int,
                 disk_hosts: Optional[Sequence[str]] = None,
                 protected: Sequence[str] = ("app",),
                 kinds: Optional[Sequence[str]] = None,
+                shards: Optional[int] = None,
                 experiment: str = "") -> FaultPlan:
     """Generate a replayable fault schedule.
 
@@ -61,6 +62,11 @@ def random_plan(seed: int,
     generated plan cannot trivially kill the workload itself).
     ``disk_hosts`` are slowdown candidates (default: the protected
     hosts, i.e. the app node's disk — the interesting one).
+    ``shards`` (when set) makes each ``manager_crash`` target one
+    randomly-drawn directory shard, with a per-shard busy map; leaving
+    it None keeps the classic single-manager schedule — and since the
+    rng draw sequence is untouched in that case, pre-sharding plans
+    regenerate byte-identically.
     """
     rng = random.Random(seed)
     targets = [h for h in hosts if h not in set(protected)]
@@ -122,11 +128,19 @@ def random_plan(seed: int,
                 time=time, kind=kind, target=target, duration_s=duration,
                 value=round(rng.uniform(2.0, 8.0), 3)))
         elif kind == "manager_crash":
-            if busy.get("manager", 0.0) > time:
-                continue
-            busy["manager"] = time + duration
-            events.append(FaultSpec(time=time, kind=kind,
-                                    duration_s=duration))
+            if shards is None:
+                if busy.get("manager", 0.0) > time:
+                    continue
+                busy["manager"] = time + duration
+                events.append(FaultSpec(time=time, kind=kind,
+                                        duration_s=duration))
+            else:
+                sid = rng.randrange(shards)
+                if busy.get(f"manager:{sid}", 0.0) > time:
+                    continue
+                busy[f"manager:{sid}"] = time + duration
+                events.append(FaultSpec(time=time, kind=kind,
+                                        duration_s=duration, shard=sid))
     plan = FaultPlan(
         events=tuple(events), seed=seed, experiment=experiment,
         description=f"random_plan(seed={seed}, horizon_s={horizon_s}, "

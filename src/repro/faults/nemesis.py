@@ -99,6 +99,8 @@ class Nemesis:
             fields["value"] = ev.value
         if ev.group:
             fields["group"] = ",".join(ev.group)
+        if ev.shard is not None:
+            fields["shard"] = ev.shard
         getattr(log, level)(self.sim, "nemesis", event,
                             host=ev.target or "", **fields)
 
@@ -136,11 +138,14 @@ class Nemesis:
                        if imd.ws is ws]
         epoch = max(dead_epochs, default=0) + 1
         params = getattr(self.targets, "params", None)
+        shard_map = getattr(self.targets, "shard_map", None)
         imd = IdleMemoryDaemon(
             self.sim, ws, self.targets.config, epoch=epoch,
-            cmd_host=self.targets.mgr.name,
+            cmd_host=None if shard_map is not None
+            else self.targets.mgr.name,
             pool_bytes=getattr(params, "imd_pool_bytes", None),
-            allocator_kind=getattr(params, "allocator_kind", "first-fit"))
+            allocator_kind=getattr(params, "allocator_kind", "first-fit"),
+            shard_map=shard_map)
         self.targets.imds.append(imd)
         self.stats.add("imd_respawns")
         yield imd.register()
@@ -224,14 +229,26 @@ class Nemesis:
         from repro.core.config import CMD_PORT
         from repro.net.rpc import RpcClient, RpcTimeout
         cfg = self.targets.config
+        shard_managers = getattr(self.targets, "shard_managers", None)
+        if shard_managers is None:
+            cmd_hosts = [self.targets.mgr.name]
+        else:
+            # every shard's IWD lists this host — tell them all
+            cmd_hosts = []
+            for sid in sorted(shard_managers):
+                primary = self.targets.live_primary(sid)
+                if primary is not None:
+                    cmd_hosts.append(primary.ws.name)
         sock = ws.endpoint(cfg.transport).socket()
         try:
-            yield from RpcClient(sock).call(
-                (self.targets.mgr.name, CMD_PORT), "notify_busy",
-                {"host": ws.name}, timeout=cfg.rpc_timeout_s,
-                retries=cfg.rpc_retries)
-        except RpcTimeout:
-            self.stats.add("cmd_unreachable")
+            for cmd_host in cmd_hosts:
+                try:
+                    yield from RpcClient(sock).call(
+                        (cmd_host, CMD_PORT), "notify_busy",
+                        {"host": ws.name}, timeout=cfg.rpc_timeout_s,
+                        retries=cfg.rpc_retries)
+                except RpcTimeout:
+                    self.stats.add("cmd_unreachable")
         finally:
             sock.close()
 
@@ -248,6 +265,8 @@ class Nemesis:
         return heal
 
     def _do_manager_crash(self, ev):
+        if getattr(self.targets, "shard_managers", None) is not None:
+            return (yield from self._do_shard_primary_crash(ev))
         cmd = self.targets.cmd
         if cmd is None:
             return None
@@ -264,3 +283,55 @@ class Nemesis:
             self.stats.add("manager_restarts")
             return None
         return heal
+
+    def _do_shard_primary_crash(self, ev):
+        """Crash one shard's serving primary.
+
+        With replication on, the heal does *not* bring the primary back
+        — the backup promotes itself via heartbeat misses — it restarts
+        the crashed node as the shard's new backup and resyncs it off
+        the promoted primary.  Without replication the heal restarts the
+        primary with a bumped incarnation (clients and imds notice the
+        per-shard incarnation change and drop that shard's state).
+        """
+        sid = ev.shard or 0
+        victim = self.targets.live_primary(sid)
+        if victim is None:
+            return None
+        incarnation = victim.incarnation
+        replicated = victim.peer is not None
+        victim.stop()
+        self.stats.add("manager_crashes")
+        yield self.sim.timeout(0)
+
+        def heal():
+            return self._heal_shard(sid, victim, incarnation, replicated)
+        return heal
+
+    def _heal_shard(self, sid, victim, incarnation, replicated):
+        from repro.core.manager import CentralManager
+        cfg = self.targets.config
+        if not replicated:
+            mgr = CentralManager(
+                self.sim, victim.ws, cfg, incarnation=incarnation + 1,
+                shard_id=sid, shard_map=self.targets.shard_map)
+            self.targets.shard_managers[sid].append(mgr)
+            self.stats.add("manager_restarts")
+            yield self.sim.timeout(0)
+            return
+        # wait (bounded) for the backup's heartbeat watcher to promote
+        deadline = self.sim.now + 10.0 * cfg.repl_heartbeat_s \
+            * max(cfg.repl_promote_misses, 1)
+        while self.targets.live_primary(sid) is None \
+                and self.sim.now < deadline:
+            yield self.sim.timeout(cfg.repl_heartbeat_s)
+        primary = self.targets.live_primary(sid)
+        if primary is None:
+            self.stats.add("promotion_timeouts")
+            return
+        backup = CentralManager(
+            self.sim, victim.ws, cfg, incarnation=primary.incarnation,
+            shard_id=sid, shard_map=primary.shard_map, role="backup")
+        self.targets.shard_managers[sid].append(backup)
+        self.stats.add("backup_respawns")
+        yield from backup.resync()

@@ -17,7 +17,10 @@ kind                target                   value / group
 ``partition``       —                        ``group`` = hosts on the cut side
 ``reclaim_storm``   host name                —  (owner activity for duration)
 ``disk_slowdown``   host name (with disk)    ``value`` = service-time factor
-``manager_crash``   —                        —  (restarted after duration)
+``manager_crash``   —                        ``shard`` = directory shard whose
+                                             primary is crashed (None = the
+                                             classic single manager; restarted
+                                             or failed over after ``duration_s``)
 ==================  =======================  ==================================
 """
 
@@ -55,6 +58,10 @@ class FaultSpec:
     #: partition only: the hosts on one side of the cut (everything else
     #: forms the other side)
     group: tuple = ()
+    #: manager_crash only: which directory shard's primary to crash.
+    #: None targets the classic single manager — and is *omitted* from
+    #: the wire form, so pre-sharding plans replay byte-identically.
+    shard: Optional[int] = None
 
     def validate(self) -> None:
         if self.kind not in KINDS:
@@ -76,6 +83,12 @@ class FaultSpec:
                     f"[{lo}, {hi}]")
         if self.kind == "partition" and not self.group:
             raise ValueError("partition: needs a non-empty group")
+        if self.shard is not None:
+            if self.kind != "manager_crash":
+                raise ValueError(f"{self.kind}: shard operand is only "
+                                 f"valid for manager_crash")
+            if not isinstance(self.shard, int) or self.shard < 0:
+                raise ValueError(f"manager_crash: bad shard {self.shard!r}")
 
     def to_dict(self) -> dict:
         d = {"time": self.time, "kind": self.kind}
@@ -87,6 +100,8 @@ class FaultSpec:
             d["value"] = self.value
         if self.group:
             d["group"] = list(self.group)
+        if self.shard is not None:
+            d["shard"] = self.shard
         return d
 
     @classmethod
@@ -97,7 +112,9 @@ class FaultSpec:
                                else float(d["duration_s"])),
                    value=(None if d.get("value") is None
                           else float(d["value"])),
-                   group=tuple(d.get("group", ())))
+                   group=tuple(d.get("group", ())),
+                   shard=(None if d.get("shard") is None
+                          else int(d["shard"])))
         spec.validate()
         return spec
 

@@ -90,6 +90,8 @@ class Auditor:
             by_kind.setdefault(kind, []).append(obj)
         found: list[Finding] = []
         self._check_directory(sim, by_kind, teardown, found)
+        self._check_shards(sim, by_kind, found)
+        self._check_replication(sim, by_kind, teardown, found)
         self._check_allocators(sim, by_kind, found)
         self._check_donations(sim, by_kind, found)
         self._check_network(sim, by_kind, found)
@@ -146,7 +148,9 @@ class Auditor:
         live imd hosting a large-enough allocated region at that offset.
         Reverse (teardown only — mid-run an alloc reply can be in flight
         between the imd and the manager): every region hosted by a
-        vouched-for imd must appear in the directory.
+        vouched-for imd must appear in the directory.  With a sharded
+        directory the reverse check is against the *union* of all shard
+        directories — each shard only knows its own slice.
         """
         live = self._live_imds(by_kind)
         crashed = self._crashed_hosts(by_kind)
@@ -192,21 +196,108 @@ class Auditor:
                         f"region at offset {s.pool_offset} "
                         f"({hosted} bytes) is not backed by an allocated "
                         f"block (allocator says {backing})", sim.now))
-            if not teardown:
+        if not teardown:
+            return
+        mgrs = list(by_kind.get("manager", ()))
+        for (host, epoch), imd in live.items():
+            vouchers = [cmd for cmd in mgrs
+                        if cmd.iwd.get(host) is not None
+                        and cmd.iwd[host].epoch == epoch]
+            if not vouchers:
                 continue
-            for (host, epoch), imd in live.items():
-                iwd = cmd.iwd.get(host)
-                if iwd is None or iwd.epoch != epoch:
-                    continue
-                in_rd = {e.struct.pool_offset for e in cmd.rd.values()
-                         if e.struct.host == host
-                         and e.struct.epoch == epoch}
-                for offset in imd._regions:
-                    if offset not in in_rd:
+            in_rd: set[int] = set()
+            for cmd in vouchers:
+                in_rd |= {e.struct.pool_offset for e in cmd.rd.values()
+                          if e.struct.host == host
+                          and e.struct.epoch == epoch}
+            for offset in imd._regions:
+                if offset not in in_rd:
+                    found.append(Finding(
+                        "directory.orphan_region", host,
+                        f"imd hosts a region at offset {offset} that "
+                        f"no RD entry in any shard references", sim.now))
+
+    def _check_shards(self, sim, by_kind, found) -> None:
+        """Cross-shard exclusivity and routing (any time).
+
+        No region key may appear in two primaries' directories, and a
+        sharded primary must only hold keys the hash ring routes to it.
+        """
+        mgrs = [cmd for cmd in by_kind.get("manager", ())
+                if getattr(cmd, "shard_map", None) is not None]
+        seen: dict = {}
+        for cmd in mgrs:
+            for key in cmd.rd:
+                other = seen.get(key)
+                if other is not None and other != cmd.shard_id:
+                    found.append(Finding(
+                        "shard.duplicate_key", f"cmd{cmd.shard_id}",
+                        f"region key {key} is owned by both shard "
+                        f"{other} and shard {cmd.shard_id}", sim.now))
+                else:
+                    seen[key] = cmd.shard_id
+                if cmd.shard_map.n_shards > 1:
+                    owner = cmd.shard_map.owner_of(key)
+                    if owner != cmd.shard_id:
                         found.append(Finding(
-                            "directory.orphan_region", host,
-                            f"imd hosts a region at offset {offset} that "
-                            f"no RD entry references", sim.now))
+                            "shard.misrouted", f"cmd{cmd.shard_id}",
+                            f"region key {key} hashes to shard {owner} "
+                            f"but sits in shard {cmd.shard_id}'s "
+                            f"directory", sim.now))
+
+    def _check_replication(self, sim, by_kind, teardown, found) -> None:
+        """Backup log-shipping vs. primary state.
+
+        Mid-run, a backup may only *lag* its primary (seq monotonicity).
+        At teardown (quiesced, and replication not degraded) the backup
+        must hold byte-identical directory state: region directory wire
+        forms, IWD membership (host/epoch/port — free-space hints are
+        deliberately not replicated), and known-client sets.
+        """
+        backups = {cmd.shard_id: cmd
+                   for cmd in by_kind.get("manager_backup", ())}
+        if not backups:
+            return
+        for cmd in by_kind.get("manager", ()):
+            bak = backups.get(getattr(cmd, "shard_id", None))
+            if bak is None or cmd.peer != bak.ws.name:
+                continue
+            sid = cmd.shard_id
+            if bak.repl_seq > cmd.repl_seq:
+                found.append(Finding(
+                    "replication.seq", f"cmd{sid}",
+                    f"backup applied seq {bak.repl_seq}, primary only "
+                    f"shipped {cmd.repl_seq}", sim.now))
+            if not teardown or cmd.repl_degraded:
+                continue
+            if cmd._repl_pending:
+                found.append(Finding(
+                    "replication.unshipped", f"cmd{sid}",
+                    f"{len(cmd._repl_pending)} mutation(s) still "
+                    f"queued at quiesce", sim.now))
+            p_rd = {str(k): e.struct.to_wire() for k, e in cmd.rd.items()}
+            b_rd = {str(k): e.struct.to_wire() for k, e in bak.rd.items()}
+            if p_rd != b_rd:
+                only_p = sorted(set(p_rd) - set(b_rd))
+                only_b = sorted(set(b_rd) - set(p_rd))
+                diff = sorted(k for k in set(p_rd) & set(b_rd)
+                              if p_rd[k] != b_rd[k])
+                found.append(Finding(
+                    "replication.rd_divergence", f"cmd{sid}",
+                    f"primary-only={only_p} backup-only={only_b} "
+                    f"differing={diff}", sim.now))
+            p_iwd = {h: (w.epoch, w.port) for h, w in cmd.iwd.items()}
+            b_iwd = {h: (w.epoch, w.port) for h, w in bak.iwd.items()}
+            if p_iwd != b_iwd:
+                found.append(Finding(
+                    "replication.iwd_divergence", f"cmd{sid}",
+                    f"primary={sorted(p_iwd.items())} "
+                    f"backup={sorted(b_iwd.items())}", sim.now))
+            if set(cmd.clients) != set(bak.clients):
+                found.append(Finding(
+                    "replication.client_divergence", f"cmd{sid}",
+                    f"primary={sorted(cmd.clients)} "
+                    f"backup={sorted(bak.clients)}", sim.now))
 
     def _check_allocators(self, sim, by_kind, found) -> None:
         """Each live imd's allocator accounting must be self-consistent

@@ -27,7 +27,8 @@ Everything is byte-identical deterministic, reads simulated state only
 See docs/OBSERVABILITY.md.
 """
 
-from repro.obs.slo.engine import DEFAULT_SPECS, SloEngine, SLOSpec
+from repro.obs.slo.engine import (DEFAULT_SPECS, SERVING_SPECS, SloEngine,
+                                  SLOSpec)
 from repro.obs.slo.report import build_slo_report, format_slo_report
 from repro.obs.slo.sketch import LatencySketch
 from repro.obs.slo.sli import (OUTCOMES, STAGE_ORDER, KindStats,
@@ -36,7 +37,7 @@ from repro.obs.slo.sli import (OUTCOMES, STAGE_ORDER, KindStats,
 
 __all__ = [
     "DEFAULT_SPECS", "KindStats", "LatencySketch", "OUTCOMES",
-    "RequestRecord", "STAGE_ORDER", "SLOSpec", "SliCollector",
-    "SloEngine", "attach_sli", "build_slo_report", "format_slo_report",
-    "request_kind", "stage_of",
+    "RequestRecord", "SERVING_SPECS", "STAGE_ORDER", "SLOSpec",
+    "SliCollector", "SloEngine", "attach_sli", "build_slo_report",
+    "format_slo_report", "request_kind", "stage_of",
 ]

@@ -115,6 +115,17 @@ DEFAULT_SPECS = (
             threshold_s=0.020, target=0.90),
 )
 
+#: objectives for the request-serving tier (``workloads/serving.py``,
+#: request kind ``"serve"``): end-to-end latency under 50 ms for 95% of
+#: requests, and almost no admission rejections / hard failures.  Sized,
+#: like the stock specs, for the scaled-down CI scenarios.
+SERVING_SPECS = (
+    SLOSpec("serve-latency", kind="serve", objective="latency",
+            threshold_s=0.050, target=0.95),
+    SLOSpec("serve-availability", kind="serve", objective="availability",
+            target=0.99),
+)
+
 
 class _SpecState:
     """Per-simulator counters and sampled history of one spec."""

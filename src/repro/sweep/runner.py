@@ -252,6 +252,28 @@ def _chaos(scenario: str = "fig7", seed: int = 0, audit: str = "raise",
     }
 
 
+# -- serving ------------------------------------------------------------------
+
+@experiment("serving")
+def _serving(n_shards: int = 1, replication: bool = True, seed: int = 21,
+             mgr_service_s: float = 0.002, arrival_rate: float = 800.0,
+             duration_s: float = 10.0, n_keys: int = 512,
+             n_workers: int = 8, write_fraction: float = 0.1,
+             desc_cache: int = 16) -> dict:
+    """One serve-bench point: the sharded-directory serving tier.
+
+    ``run_serving`` already returns plain JSON-safe data, so the
+    adapter is a pass-through; each point is a fresh simulator, making
+    the shard-count series a natural sweep axis.
+    """
+    from repro.exp.serving import run_serving
+    return run_serving(
+        n_shards=n_shards, replication=replication, seed=seed,
+        mgr_service_s=mgr_service_s, arrival_rate=arrival_rate,
+        duration_s=duration_s, n_keys=n_keys, n_workers=n_workers,
+        write_fraction=write_fraction, desc_cache=desc_cache)
+
+
 # -- selftest -----------------------------------------------------------------
 
 @experiment("selftest")

@@ -1,0 +1,267 @@
+"""A request-serving tier over Dodo remote memory (the PR 9 workload).
+
+A key-value / page-cache tier: ``n_keys`` fixed-size values live in
+remote memory as persistent Dodo regions (loaded once, then owned by
+nobody — the dmine pattern), and a pool of worker processes serves an
+**open-loop** stream of Poisson arrivals with Zipfian key popularity.
+Each worker holds a small :class:`~repro.core.regionlib.DescriptorCache`
+— a hot key is served straight from the worker's cached descriptor with
+one imd round-trip, while a cold key first pays a directory lookup.
+That per-request directory traffic is exactly the load the sharded
+manager (``core/shard.py``) exists to absorb: the serving benchmark
+(``repro serve-bench``) sweeps the shard count and watches the tail.
+
+Open-loop means arrivals do not wait for completions: when the
+directory (or the admission limit) cannot keep up, latency grows
+without bound and the admission controller starts rejecting — both are
+visible in the p99/p999 and the ``rejected`` count rather than being
+hidden by a closed loop's self-throttling.
+
+Latencies feed a :class:`~repro.obs.slo.sketch.LatencySketch` via
+:class:`~repro.obs.slo.sli.KindStats` (request kind ``"serve"``), so
+tail percentiles come from the same streaming stack the SLO engine
+uses; pass an :class:`~repro.obs.slo.engine.SloEngine` to evaluate the
+serving-tier objectives (:data:`repro.obs.slo.engine.SERVING_SPECS`)
+with burn-rate alerting during the run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.regionlib import DescriptorCache
+from repro.obs.slo.sli import KindStats, RequestRecord
+from repro.sim import AllOf, Store
+
+MB = 1024 * 1024
+
+#: outcome -> the stage charged with the request's whole latency (the
+#: serving tier records end-to-end latency, not a span decomposition)
+_STAGE_OF_OUTCOME = {
+    "remote-imd": "imd",
+    "disk-fallback": "disk",
+    "failed": "client",
+}
+
+
+@dataclass(frozen=True)
+class ServingParams:
+    """Shape of one serving run."""
+
+    #: distinct keys (values); total footprint is n_keys * value_bytes
+    n_keys: int = 512
+    value_bytes: int = 16 * 1024
+    #: Zipf popularity exponent (1.0 = classic, higher = more skew)
+    zipf_s: float = 1.1
+    #: open-loop Poisson arrival rate, requests per virtual second
+    arrival_rate: float = 800.0
+    #: measured serving window (after the load phase)
+    duration_s: float = 10.0
+    n_workers: int = 8
+    #: admission control: arrivals beyond this many in-flight requests
+    #: are rejected immediately (and count as failed)
+    max_inflight: int = 64
+    #: fraction of requests that write (remote push) instead of read
+    write_fraction: float = 0.1
+    #: per-worker descriptor-cache capacity; keys beyond it pay a
+    #: directory lookup per request
+    desc_cache: int = 16
+    #: latency objective used for the good-request count
+    latency_slo_s: float = 0.050
+
+
+class ServingTier:
+    """Loads the keyspace into remote memory, then serves the stream.
+
+    Usage::
+
+        tier = ServingTier(platform, ServingParams())
+        sim.run(until=sim.process(tier.run()))
+        results = tier.results()
+    """
+
+    def __init__(self, platform, params: ServingParams,
+                 engine=None):
+        self.platform = platform
+        self.params = params
+        self.sim = platform.sim
+        #: optional SloEngine fed one record per request
+        self.engine = engine
+        self.stats = KindStats("serve", alpha=0.01)
+        self.store = Store(self.sim)
+        self.inflight = 0
+        self.offered = 0
+        self.completed = 0
+        self.rejected = 0
+        self.failed = 0
+        self.disk_fallbacks = 0
+        self.writes = 0
+        self.good = 0
+        self._req_id = 0
+        #: every runtime the tier created (loader + workers) — the
+        #: shard-routing counters the bench reports live on these
+        self.runtimes: list = []
+        fs = platform.app.fs
+        size = params.n_keys * params.value_bytes
+        if not fs.exists("serving"):
+            fs.create("serving", size=size)
+        self.fh = fs.open("serving", "r+")
+        self.fs = fs
+        # Zipf CDF over key ranks; drawn by inverse-transform sampling
+        ranks = np.arange(1, params.n_keys + 1, dtype=np.float64)
+        weights = 1.0 / np.power(ranks, params.zipf_s)
+        self._cdf = np.cumsum(weights)
+        self._cdf /= self._cdf[-1]
+
+    # -- phases ------------------------------------------------------------
+    def run(self):
+        """Generator: load every key, then serve the arrival stream."""
+        yield from self._load()
+        p = self.params
+        workers = [self.sim.process(self._worker())
+                   for _ in range(p.n_workers)]
+        yield from self._arrivals()
+        # drain: workers finish what was admitted, then take the poison
+        while self.inflight > 0:
+            yield self.sim.timeout(0.01)
+        for _ in workers:
+            yield self.store.put(None)
+        yield AllOf(self.sim, workers)
+
+    def _load(self):
+        """Place every key's region in remote memory, persistently."""
+        p = self.params
+        loader = self.platform.runtime()
+        self.runtimes.append(loader)
+        for k in range(p.n_keys):
+            desc, err = yield from loader.mopen(
+                p.value_bytes, self.fh.fd, k * p.value_bytes)
+            if err != 0:
+                raise RuntimeError(
+                    f"serving load failed at key {k}/{p.n_keys} "
+                    f"(errno {err}): size the imd pools to hold the "
+                    f"whole keyspace")
+        yield from loader.detach(persist=True)
+
+    def _arrivals(self):
+        """Open-loop Poisson arrivals with Zipfian keys."""
+        p = self.params
+        rng_gap = self.sim.rng("serving.arrivals")
+        rng_key = self.sim.rng("serving.keys")
+        rng_rw = self.sim.rng("serving.rw")
+        end = self.sim.now + p.duration_s
+        while True:
+            yield self.sim.timeout(float(
+                rng_gap.exponential(1.0 / p.arrival_rate)))
+            if self.sim.now >= end:
+                return
+            self.offered += 1
+            key = int(np.searchsorted(self._cdf, float(rng_key.random()),
+                                      side="right"))
+            key = min(key, p.n_keys - 1)
+            is_write = float(rng_rw.random()) < p.write_fraction
+            if self.inflight >= p.max_inflight:
+                self.rejected += 1
+                self._observe(self.sim.now, self.sim.now, "failed")
+                continue
+            self.inflight += 1
+            yield self.store.put((key, is_write, self.sim.now))
+
+    def _worker(self):
+        """One serving worker: own runtime, own descriptor cache."""
+        runtime = self.platform.runtime()
+        self.runtimes.append(runtime)
+        cache = DescriptorCache(runtime, self.params.desc_cache)
+        while True:
+            req = yield self.store.get()
+            if req is None:
+                return
+            key, is_write, t0 = req
+            outcome = yield from self._serve(runtime, cache, key,
+                                             is_write)
+            self.inflight -= 1
+            self._observe(t0, self.sim.now, outcome)
+
+    def _serve(self, runtime, cache: DescriptorCache, key: int,
+               is_write: bool):
+        """One request; returns its outcome class."""
+        p = self.params
+        offset = key * p.value_bytes
+        desc, err = yield from cache.open(p.value_bytes, self.fh.fd,
+                                          offset)
+        if err == 0:
+            if is_write:
+                self.writes += 1
+                _, err = yield from runtime.mpush(desc, 0, p.value_bytes)
+            else:
+                _, err, _ = yield from runtime.mread(desc, 0,
+                                                     p.value_bytes)
+            if err == 0:
+                return "remote-imd"
+            cache.invalidate(self.fh.fd, offset)
+        # remote memory unavailable (failover window, lost region):
+        # a real tier would go to its backing store, so this one does
+        self.disk_fallbacks += 1
+        yield self.fs.read(self.fh, offset, p.value_bytes)
+        return "disk-fallback"
+
+    # -- accounting --------------------------------------------------------
+    def _observe(self, start: float, end: float, outcome: str) -> None:
+        self._req_id += 1
+        stage = _STAGE_OF_OUTCOME[outcome]
+        record = RequestRecord(
+            "serve", self._req_id, 0, start, end, outcome, stage,
+            {stage: end - start}, [])
+        self.stats.observe(record)
+        if outcome == "failed":
+            self.failed += 1
+        else:
+            self.completed += 1
+            if record.latency <= self.params.latency_slo_s:
+                self.good += 1
+        engine = self.engine
+        if engine is not None and engine.enabled:
+            engine.observe(self.sim, record)
+
+    def results(self) -> dict:
+        """JSON-safe summary (virtual-time quantities only)."""
+        p = self.params
+        sketch = self.stats.sketch
+
+        def _ms(q: float) -> Optional[float]:
+            v = sketch.quantile(q)
+            return None if v is None else round(v * 1e3, 4)
+
+        return {
+            "offered": self.offered,
+            "completed": self.completed,
+            "rejected": self.rejected,
+            "failed": self.failed,
+            "writes": self.writes,
+            "disk_fallbacks": self.disk_fallbacks,
+            "throughput_rps": round(self.completed / p.duration_s, 3),
+            "good_fraction": round(self.good / self.completed, 6)
+            if self.completed else 0.0,
+            "latency_slo_ms": p.latency_slo_s * 1e3,
+            "p50_ms": _ms(0.50),
+            "p90_ms": _ms(0.90),
+            "p99_ms": _ms(0.99),
+            "p999_ms": _ms(0.999),
+            "mean_ms": round(sketch.mean() * 1e3, 4)
+            if self.stats.count else None,
+            "outcomes": dict(sorted(self.stats.outcomes.items())),
+            "shard_routing": self.shard_routing(),
+        }
+
+    def shard_routing(self) -> dict:
+        """Summed ``shard.*`` routing counters across every runtime the
+        tier created (bounded-retry-storm evidence for the chaos tests)."""
+        totals: dict[str, float] = {}
+        for rt in self.runtimes:
+            for name, value in rt.stats.counters.items():
+                if name.startswith("shard."):
+                    totals[name] = totals.get(name, 0.0) + value
+        return dict(sorted(totals.items()))

@@ -1,0 +1,122 @@
+"""Property tests: the consistent-hash ring's load-balance guarantees.
+
+Hypothesis drives the three claims PR 9's sharded directory rests on:
+
+* **uniform spread** — with :data:`~repro.core.shard.VNODES` virtual
+  nodes per shard, no shard owns a pathological share of a large key
+  population (the docstring's ~1.4x arc bound plus sampling noise);
+* **minimal movement** — adding a shard re-owns keys *only to the new
+  shard*; removing one re-owns *only its own* keys.  Every other
+  key→shard assignment is untouched, which is what lets a resharding
+  migrate a bounded fraction of the directory;
+* **stable serialization** — a :class:`~repro.core.shard.ShardMap`
+  survives the JSON round trip exactly, and its text form is
+  byte-stable (sorted keys), the property byte-identical replay and
+  the content-addressed sweep cache both assume.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.descriptors import RegionKey
+from repro.core.shard import HashRing, ShardInfo, ShardMap
+
+#: a fixed large key population (hypothesis varies the ring, not the
+#: keys: the spread bound is a property of the ring geometry)
+KEYS = [RegionKey(inode=i % 17 + 1, offset=i * 4096,
+                  client=None if i % 3 else f"cl{i % 5}")
+        for i in range(2000)]
+
+shard_sets = st.sets(st.integers(0, 31), min_size=2, max_size=8)
+
+
+def spread(ring):
+    counts = {sid: 0 for sid in ring.shard_ids}
+    for key in KEYS:
+        counts[ring.owner_of_key(key)] += 1
+    return counts
+
+
+@settings(max_examples=25, deadline=None)
+@given(shard_sets)
+def test_spread_is_near_uniform(sids):
+    ring = HashRing(sorted(sids))
+    counts = spread(ring)
+    fair = len(KEYS) / len(sids)
+    # every shard gets a meaningful share: no shard starves (< fair/3)
+    # or hogs (> 2.5x fair) — loose enough for 2000-key sampling noise,
+    # tight enough to catch a broken ring (one shard owning everything)
+    assert min(counts.values()) > fair / 3.0
+    assert max(counts.values()) < fair * 2.5
+
+
+@settings(max_examples=40, deadline=None)
+@given(shard_sets, st.integers(0, 31))
+def test_adding_a_shard_moves_keys_only_to_it(sids, new_sid):
+    ring = HashRing(sorted(sids))
+    if new_sid in sids:
+        return
+    grown = ring.with_shard(new_sid)
+    moved = 0
+    for key in KEYS:
+        before, after = ring.owner_of_key(key), grown.owner_of_key(key)
+        if before != after:
+            assert after == new_sid  # movement only toward the newcomer
+            moved += 1
+    # the newcomer takes roughly its fair share, never a majority
+    assert moved < len(KEYS) * 2.5 / (len(sids) + 1)
+
+
+@settings(max_examples=40, deadline=None)
+@given(shard_sets)
+def test_removing_a_shard_moves_only_its_keys(sids):
+    ring = HashRing(sorted(sids))
+    victim = min(sids)
+    shrunk = ring.without_shard(victim)
+    for key in KEYS:
+        before, after = ring.owner_of_key(key), shrunk.owner_of_key(key)
+        if before != victim:
+            assert after == before  # survivors keep everything they had
+        else:
+            assert after != victim
+
+
+@settings(max_examples=40, deadline=None)
+@given(shard_sets)
+def test_add_then_remove_is_identity(sids):
+    ring = HashRing(sorted(sids))
+    new_sid = max(sids) + 1
+    roundtrip = ring.with_shard(new_sid).without_shard(new_sid)
+    assert roundtrip.shard_ids == ring.shard_ids
+    assert all(roundtrip.owner_of_key(k) == ring.owner_of_key(k)
+               for k in KEYS[:200])
+
+
+shard_maps = st.builds(
+    ShardMap,
+    st.lists(st.integers(0, 15), min_size=1, max_size=8, unique=True).map(
+        lambda sids: [ShardInfo(s, f"mgr{s:02d}",
+                                f"bak{s:02d}" if s % 2 else None)
+                      for s in sorted(sids)]),
+    version=st.integers(1, 1000))
+
+
+@settings(max_examples=50, deadline=None)
+@given(shard_maps)
+def test_shard_map_json_round_trip_is_exact_and_stable(m):
+    text = m.to_json()
+    back = ShardMap.from_json(text)
+    assert back == m
+    assert back.version == m.version
+    assert back.to_json() == text  # byte-stable re-serialization
+    assert ShardMap.from_wire(m.to_wire()) == m
+
+
+@settings(max_examples=30, deadline=None)
+@given(shard_maps, st.integers(0, 15))
+def test_promotion_chain_keeps_routing_stable(m, sid):
+    if sid not in m.shards:
+        return
+    m2 = m.promoted(sid, f"bak{sid:02d}").promoted(sid, f"mgr{sid:02d}")
+    assert m2.version == m.version + 2
+    assert all(m2.owner_of(k) == m.owner_of(k) for k in KEYS[:200])

@@ -1,8 +1,9 @@
 #!/usr/bin/env python
 """Schema check for the checked-in benchmark baselines.
 
-Validates ``benchmarks/BENCH_primitives.json`` and
-``benchmarks/BENCH_scaling.json`` (or any files passed as arguments,
+Validates ``benchmarks/BENCH_primitives.json``,
+``benchmarks/BENCH_scaling.json`` and ``benchmarks/BENCH_serving.json``
+(or any files passed as arguments,
 matched by name) with nothing but the standard library, so the CI step
 needs no installed package — the gate scripts themselves read these
 files, and a malformed refresh would otherwise surface as a confusing
@@ -12,7 +13,8 @@ Checks per file:
 
 * every required field is present with the right type;
 * throughput, wall-clock and footprint numbers are finite and positive;
-* the scaling series is sorted by strictly increasing host count.
+* the scaling/serving series are sorted by strictly increasing host
+  count / shard count.
 
 Exit 1 with one line per problem.  Run from the repo root::
 
@@ -32,6 +34,7 @@ ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 DEFAULTS = [
     os.path.join(ROOT, "benchmarks", "BENCH_primitives.json"),
     os.path.join(ROOT, "benchmarks", "BENCH_scaling.json"),
+    os.path.join(ROOT, "benchmarks", "BENCH_serving.json"),
 ]
 
 #: required top-level numeric fields of BENCH_primitives.json
@@ -50,6 +53,15 @@ SCALING_POINT_NUMBERS = ["virtual_s", "elapsed_s", "wall_s", "build_wall_s",
                          "events_per_sec", "peak_rss_mb"]
 SCALING_POINT_INTS = ["hosts", "seed", "events", "requests"]
 SCALING_FASTPATH = ["dgrams", "bulk_transfers", "disk_batches"]
+
+#: required per-point fields of BENCH_serving.json (all virtual-time)
+SERVING_POINT_NUMBERS = ["arrival_rate", "duration_s", "mgr_service_s",
+                         "throughput_rps", "p50_ms", "p99_ms", "p999_ms",
+                         "mean_ms", "latency_slo_ms", "virtual_s"]
+SERVING_POINT_INTS = ["shards", "offered", "completed", "n_keys"]
+#: present and integer-typed, but legitimately zero in a healthy run
+SERVING_POINT_COUNTS = ["rejected", "failed", "writes", "disk_fallbacks",
+                        "audit_findings", "seed"]
 
 
 def _positive_number(value) -> bool:
@@ -128,6 +140,47 @@ def check_scaling(doc: dict, where: str) -> list:
     return problems
 
 
+def check_serving(doc: dict, where: str) -> list:
+    """BENCH_serving.json: the shard-count serving series."""
+    problems: list = []
+    if not isinstance(doc, dict):
+        return [f"{where}: top level must be an object"]
+    _require(problems, where, doc, "python", "str")
+    points = doc.get("points")
+    if not isinstance(points, list) or not points:
+        problems.append(f"{where}: 'points' must be a non-empty list")
+        return problems
+    shards_seen = []
+    for i, point in enumerate(points):
+        at = f"{where}: points[{i}]"
+        if not isinstance(point, dict):
+            problems.append(f"{at}: must be an object")
+            continue
+        for key in SERVING_POINT_NUMBERS:
+            _require(problems, at, point, key, "number")
+        for key in SERVING_POINT_INTS:
+            _require(problems, at, point, key, "int")
+        for key in SERVING_POINT_COUNTS:
+            value = point.get(key)
+            if isinstance(value, bool) or not isinstance(value, int) \
+                    or value < 0:
+                problems.append(f"{at}: {key!r} must be a non-negative "
+                                f"integer, got {value!r}")
+        good = point.get("good_fraction")
+        if not isinstance(good, (int, float)) or isinstance(good, bool) \
+                or not 0.0 <= good <= 1.0:
+            problems.append(f"{at}: 'good_fraction' must be in [0, 1], "
+                            f"got {good!r}")
+        if not isinstance(point.get("replication"), bool):
+            problems.append(f"{at}: 'replication' must be a boolean")
+        if isinstance(point.get("shards"), int):
+            shards_seen.append(point["shards"])
+    if shards_seen != sorted(set(shards_seen)):
+        problems.append(f"{where}: shard counts must be strictly "
+                        f"increasing, got {shards_seen}")
+    return problems
+
+
 def check_file(path: str) -> list:
     """Dispatch on the file name; unknown names are a problem too."""
     name = os.path.basename(path)
@@ -142,8 +195,10 @@ def check_file(path: str) -> list:
         return check_primitives(doc, name)
     if "scaling" in name:
         return check_scaling(doc, name)
+    if "serving" in name:
+        return check_serving(doc, name)
     return [f"{name}: unrecognized benchmark file (expected a name "
-            f"containing 'primitives' or 'scaling')"]
+            f"containing 'primitives', 'scaling' or 'serving')"]
 
 
 def main(argv=None) -> int:
