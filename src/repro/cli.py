@@ -140,6 +140,27 @@ def cmd_nondedicated(args) -> None:
         nd.NonDedicatedParams(num_iter=args.iters))))
 
 
+def cmd_cache(args) -> None:
+    """Elastic-caching ablation: eviction policies × workloads, plus
+    the migration and adaptive variants (docs/CACHING.md)."""
+    from repro.exp.cache import format_cache, run_cache_ablation
+    try:
+        results = run_cache_ablation(
+            seed=args.seed, num_iter=args.iters,
+            policies=tuple(args.policies),
+            workloads=tuple(args.workloads))
+    except ValueError as exc:
+        # unknown policy / workload names land here from config
+        # validation: one repro: line and exit 2, not a traceback
+        raise CliError(str(exc)) from exc
+    print(format_cache(results))
+    if args.out:
+        from repro.sweep.spec import canonical_text
+        with open(args.out, "w") as fp:
+            fp.write(canonical_text(results) + "\n")
+        print(f"wrote ablation results to {args.out}", file=sys.stderr)
+
+
 def cmd_ablations(args) -> None:
     """All design-choice ablations, one table each."""
     from repro.exp import ablations as ab
@@ -354,6 +375,8 @@ COMMANDS: dict[str, tuple[str, Callable]] = {
                     cmd_serve_bench),
     "nondedicated": ("Section 5.3.1 desktop-cluster run", cmd_nondedicated),
     "ablations": ("design-choice ablations", cmd_ablations),
+    "cache": ("elastic-caching ablation: policies, migration, "
+              "online selection", cmd_cache),
     "chaos": ("nemesis fault-injection run with invariant auditing",
               cmd_chaos),
     "sweep": ("parallel cached sweep over a grid of experiment points",
@@ -425,6 +448,24 @@ def _add_experiment_args(p: argparse.ArgumentParser, name: str) -> None:
                        help="also write the series as JSON")
     if name == "nondedicated":
         p.add_argument("--iters", type=int, default=4)
+    if name == "cache":
+        # policy/workload names are validated by the config layer, not
+        # argparse choices, so typos produce the one-line repro: error
+        # that names every accepted value
+        p.add_argument("--policies", nargs="+", metavar="POLICY",
+                       default=["none", "lru", "lfu", "clock",
+                                "cost-aware"],
+                       help="eviction policies to ablate (default: "
+                            "none lru lfu clock cost-aware)")
+        p.add_argument("--workloads", nargs="+", metavar="WORKLOAD",
+                       default=["nondedicated", "fig7"],
+                       help="workloads to run each policy on "
+                            "(default: nondedicated fig7)")
+        p.add_argument("--seed", type=int, default=9)
+        p.add_argument("--iters", type=int, default=6,
+                       help="benchmark iterations per cell (default: 6)")
+        p.add_argument("--out", metavar="FILE", default=None,
+                       help="also write the ablation as canonical JSON")
     if name == "ablations":
         p.add_argument("--scale", type=_scale, default=1 / 128)
     if name == "all":

@@ -19,6 +19,9 @@ CMD_PORT = 6000
 IMD_PORT = 6001
 RMD_PORT = 6002
 
+#: placement policies accepted by :attr:`DodoConfig.placement`
+PLACEMENTS = ("random", "most-free", "round-robin")
+
 
 @dataclass(frozen=True)
 class ObsConfig:
@@ -44,8 +47,70 @@ class ObsConfig:
 
 
 @dataclass(frozen=True)
+class CacheConfig:
+    """The elastic-caching policy block (``DodoConfig.cache``).
+
+    Governs how the imd region pools behave as *caches* rather than
+    plain allocators (docs/CACHING.md).  The default ``policy="none"``
+    reproduces the original system exactly — no eviction, no shadow
+    accounting, no migration, byte-identical event streams — so every
+    paper experiment is unaffected unless a run opts in.
+
+    Accepted ``policy`` values: ``"none"`` (off), ``"lru"``, ``"lfu"``,
+    ``"clock"`` and ``"cost-aware"`` (GreedyDual-Size-Frequency); see
+    :data:`repro.core.policy.CACHE_POLICIES`.
+    """
+
+    #: donor-side eviction policy: "none" disables the subsystem
+    policy: str = "none"
+    #: online policy selection: run shadow caches for every
+    #: ``shadow_policies`` candidate and switch the active policy when
+    #: its shadow trails the best one by ``adapt_min_regret`` hits over
+    #: an ``adapt_interval_s`` window (emits ``cache.switch`` records)
+    adaptive: bool = False
+    shadow_policies: tuple = ("lru", "lfu", "clock", "cost-aware")
+    adapt_interval_s: float = 5.0
+    adapt_min_regret: int = 8
+    #: hotspot-aware reclaim: when a donor turns busy, the manager first
+    #: migrates its hottest regions to other donors over the bulk fast
+    #: path (bounded below) instead of letting reclaim evict them
+    migration: bool = False
+    #: per-reclaim migration budget — keeps the busy-notification RPC
+    #: well inside the rmd's retry window, so the owner's reclaim delay
+    #: stays bounded even with migration on
+    migrate_max_regions: int = 8
+    migrate_max_bytes: int = 4 * MB
+
+    def __post_init__(self):
+        """Validate policy names early (a typo should fail at config
+        construction with a clear message, not deep inside a daemon)."""
+        from repro.core.policy import CACHE_POLICIES
+        accepted = ("none",) + tuple(sorted(CACHE_POLICIES))
+        if self.policy not in accepted:
+            raise ValueError(
+                f"unknown cache policy {self.policy!r}; choose from "
+                f"{sorted(accepted)}")
+        for name in self.shadow_policies:
+            if name not in CACHE_POLICIES:
+                raise ValueError(
+                    f"unknown shadow cache policy {name!r}; choose "
+                    f"from {sorted(CACHE_POLICIES)}")
+
+    @property
+    def enabled(self) -> bool:
+        """True when any elastic-caching behavior is switched on."""
+        return self.policy != "none"
+
+
+@dataclass(frozen=True)
 class DodoConfig:
-    """System-wide configuration shared by daemons and libraries."""
+    """System-wide configuration shared by daemons and libraries.
+
+    Accepted ``placement`` values: ``"random"``, ``"most-free"``,
+    ``"round-robin"``; anything else raises :class:`ValueError` at
+    construction.  The ``cache`` block (:class:`CacheConfig`) is
+    validated the same way.
+    """
 
     #: transport for all Dodo traffic: "udp" or "unet"
     transport: str = "udp"
@@ -66,6 +131,10 @@ class DodoConfig:
     #: (cycle through candidates in IWD order).  The what-if replayer
     #: (repro whatif) exists to compare these.
     placement: str = "random"
+    #: elastic-caching policy block: donor-side eviction policy, online
+    #: policy selection and hotspot-aware migration (docs/CACHING.md);
+    #: the default is completely inert
+    cache: CacheConfig = field(default_factory=CacheConfig)
 
     # -- manager sharding / replication (PR 9) -------------------------------
     #: number of region-directory shards; 1 = the paper's single manager
@@ -137,6 +206,14 @@ class DodoConfig:
     #: docs/PERFORMANCE.md); simulated timing is identical either way,
     #: only the number of simulator events spent computing it changes
     bulk_fastpath: bool = True
+
+    def __post_init__(self):
+        """Reject unknown placement names at construction time — the
+        CLI turns this into a one-line ``repro: ...`` error (exit 2)."""
+        if self.placement not in PLACEMENTS:
+            raise ValueError(
+                f"unknown placement {self.placement!r}; choose from "
+                f"{sorted(PLACEMENTS)}")
 
     def bulk_params(self) -> BulkParams:
         """Effective bulk parameters: ``bulk`` with the system-wide

@@ -41,15 +41,27 @@ class RegionStruct:
     pool_offset: int
     length: int
     epoch: int
+    #: per-allocation generation token.  Elastic caching lets an imd
+    #: evict and re-allocate the same pool offset within one epoch, so
+    #: ``(host, pool_offset, epoch)`` alone would let a stale descriptor
+    #: silently alias onto a stranger's bytes; the imd stamps each
+    #: allocation and rejects mismatched reads/writes.  Zero when the
+    #: cache subsystem is off — and then omitted from the wire, keeping
+    #: the original protocol byte-identical.
+    gen: int = 0
 
     def to_wire(self) -> dict:
-        return {"host": self.host, "pool_offset": self.pool_offset,
-                "length": self.length, "epoch": self.epoch}
+        d = {"host": self.host, "pool_offset": self.pool_offset,
+             "length": self.length, "epoch": self.epoch}
+        if self.gen:
+            d["gen"] = self.gen
+        return d
 
     @classmethod
     def from_wire(cls, d: dict) -> "RegionStruct":
         return cls(host=d["host"], pool_offset=d["pool_offset"],
-                   length=d["length"], epoch=d["epoch"])
+                   length=d["length"], epoch=d["epoch"],
+                   gen=d.get("gen", 0))
 
 
 @dataclass

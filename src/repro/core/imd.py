@@ -11,6 +11,18 @@ counter, and serves four operations over its control port:
 * ``read`` / ``write`` — from client runtime libraries; region data moves
   over the Section 4.4 bulk blast protocol on per-transfer ephemeral
   sockets.
+* ``migrate`` — from the central manager's hotspot-aware reclaim path
+  (docs/CACHING.md): blast one hosted region directly to another imd's
+  pre-opened receive port, so a busy donor's hot data survives reclaim.
+
+With a :class:`~repro.core.config.CacheConfig` policy active the pool
+behaves as a cache: a full pool evicts cold regions in policy order
+(never one pinned by an in-flight transfer) instead of rejecting the
+allocation, every access feeds the policy (and, when adaptive, a set of
+shadow caches whose regret drives online policy switching), and the
+inventory reply can carry per-region heat for the manager's migration
+ordering.  ``policy="none"`` — the default — leaves all of this code
+unreachable and the daemon byte-identical to the paper's behavior.
 
 On reclaim the daemon finishes in-flight transfers, then exits; every
 reply piggybacks the current largest free block so the central manager's
@@ -23,6 +35,7 @@ from typing import Optional
 
 from repro.core.allocator import make_allocator
 from repro.core.config import CMD_PORT, IMD_PORT, DodoConfig
+from repro.core.policy import PolicySelector, make_cache_policy
 from repro.core.shard import ShardMap
 from repro.cluster.workstation import Workstation
 from repro.metrics.recorder import Recorder
@@ -66,14 +79,18 @@ class IdleMemoryDaemon:
         self.endpoint = ws.endpoint(config.transport)
         self._ctrl_sock = self.endpoint.socket(port=control_port)
         self.control_port = control_port
-        self._server = RpcServer(self._ctrl_sock, {
+        handlers = {
             "alloc": self._h_alloc,
             "free": self._h_free,
             "read": self._h_read,
             "write": self._h_write,
             "ping": self._h_ping,
             "inventory": self._h_inventory,
-        }, name=f"imd.{ws.name}", component="imd")
+        }
+        if config.cache.migration:
+            handlers["migrate"] = self._h_migrate
+        self._server = RpcServer(self._ctrl_sock, handlers,
+                                 name=f"imd.{ws.name}", component="imd")
         self._server.start()
         #: logical (requested) size of each hosted region, by pool offset
         self._regions: dict[int, int] = {}
@@ -91,6 +108,29 @@ class IdleMemoryDaemon:
         self.killed = False
         #: the manager incarnation we last registered with
         self._cmd_incarnation: Optional[int] = None
+        #: elastic caching (docs/CACHING.md): eviction policy over hosted
+        #: regions, shadow caches for online selection, and transfer pins
+        #: that protect in-flight regions from eviction.  All None/empty
+        #: with the default ``cache.policy="none"``.
+        cache = config.cache
+        self.cache_policy = (make_cache_policy(cache.policy)
+                             if cache.enabled else None)
+        self.cache_selector = None
+        self._adapter = None
+        if cache.enabled and cache.adaptive:
+            self.cache_selector = PolicySelector(
+                cache.policy, cache.shadow_policies, pool_bytes,
+                min_regret=cache.adapt_min_regret)
+            self._adapter = sim.process(self._adapt_loop())
+        #: refcount of in-flight transfers per region (eviction shield)
+        self._pinned: dict[int, int] = {}
+        #: per-allocation generation stamps: eviction can re-allocate a
+        #: pool offset within one epoch, so reads/writes carrying a gen
+        #: are checked against the offset's current stamp (stale
+        #: descriptors must fail, not alias).  Unused (and off the
+        #: wire) when the cache subsystem is disabled.
+        self._gen = 0
+        self._region_gen: dict[int, int] = {}
         self._drained = sim.event()
         self._coalescer = sim.process(self._coalesce_loop())
         self._reregister = sim.process(self._reregister_loop()) \
@@ -203,6 +243,7 @@ class IdleMemoryDaemon:
             self.allocator.free(offset)
             del self._regions[offset]
             del self._region_shard[offset]
+            self._cache_remove(offset)
         if doomed:
             self.stats.add("regions_dropped", len(doomed))
             if self.sim.eventlog.enabled:
@@ -217,6 +258,7 @@ class IdleMemoryDaemon:
             self.allocator.free(offset)
             del self._regions[offset]
             self._region_shard.pop(offset, None)
+            self._cache_remove(offset)
         if dropped:
             self.stats.add("regions_dropped", dropped)
         if self.sim.eventlog.enabled:
@@ -266,6 +308,8 @@ class IdleMemoryDaemon:
             self._coalescer.interrupt("imd-exit")
         if self._reregister is not None and self._reregister.is_alive:
             self._reregister.interrupt("imd-exit")
+        if self._adapter is not None and self._adapter.is_alive:
+            self._adapter.interrupt("imd-exit")
         self.ws.guest_memory -= self.pool_bytes
         self.pool = None
         self.exited = True
@@ -303,6 +347,8 @@ class IdleMemoryDaemon:
             self._coalescer.interrupt("host-crash")
         if self._reregister is not None and self._reregister.is_alive:
             self._reregister.interrupt("host-crash")
+        if self._adapter is not None and self._adapter.is_alive:
+            self._adapter.interrupt("host-crash")
         self.ws.guest_memory -= self.pool_bytes
         self.pool = None
         self.exited = True
@@ -326,6 +372,99 @@ class IdleMemoryDaemon:
                 and not self._drained.triggered:
             self._drained.succeed()
 
+    # -- elastic caching (docs/CACHING.md) ---------------------------------------------
+    def _cache_insert(self, offset: int, size: int) -> None:
+        if self.cache_policy is not None:
+            self.cache_policy.on_insert(offset, size)
+        if self.cache_selector is not None:
+            self.cache_selector.access(offset, size)
+
+    def _cache_remove(self, offset: int) -> None:
+        self._region_gen.pop(offset, None)
+        if self.cache_policy is not None:
+            self.cache_policy.on_remove(offset)
+        if self.cache_selector is not None:
+            self.cache_selector.remove(offset)
+
+    def _note_access(self, offset: int) -> None:
+        if self.cache_policy is not None:
+            self.cache_policy.on_access(offset)
+        if self.cache_selector is not None:
+            self.cache_selector.access(offset,
+                                       self._regions.get(offset, 0))
+
+    def _pin(self, offset: int) -> None:
+        self._pinned[offset] = self._pinned.get(offset, 0) + 1
+
+    def _unpin(self, offset: int) -> None:
+        left = self._pinned.get(offset, 0) - 1
+        if left <= 0:
+            self._pinned.pop(offset, None)
+        else:
+            self._pinned[offset] = left
+
+    def _evict_for(self, size: int, shard: int) -> list:
+        """Evict cold regions, in policy order, until a ``size``-byte
+        block can be carved (or no eligible victim remains).  Pinned
+        regions and regions another directory shard placed are never
+        victims — the replying manager must own every evicted directory
+        entry so it can drop them from its own shard.  Returns the
+        evicted pool offsets."""
+        evicted = []
+        while True:
+            # first-fit frees lazily; merge so largest_free is honest
+            self.allocator.coalesce()
+            if self.allocator.largest_free() >= size:
+                break
+            ineligible = set(self._pinned)
+            ineligible.update(off for off, s in self._region_shard.items()
+                              if s != shard)
+            victim = self.cache_policy.victim(pinned=ineligible)
+            if victim is None:
+                break
+            bytes_out = self._regions.pop(victim)
+            self.allocator.free(victim)
+            self._region_shard.pop(victim, None)
+            self._cache_remove(victim)
+            evicted.append(victim)
+            self.stats.add("cache.evictions")
+            self.stats.add("cache.evicted_bytes", bytes_out)
+            if self.sim.eventlog.enabled:
+                self.sim.eventlog.debug(
+                    self.sim, "imd", "cache.evict", host=self.ws.name,
+                    epoch=self.epoch, region_id=victim, bytes=bytes_out)
+        return evicted
+
+    def _adapt_loop(self):
+        """Online policy selection: at each sample point compare the
+        shadow caches' window hit counts and switch the active policy
+        when its regret exceeds the configured threshold."""
+        from repro.sim import Interrupt
+        try:
+            while True:
+                yield self.sim.timeout(self.config.cache.adapt_interval_s)
+                if self.exited or self.stopping:
+                    return
+                choice = self.cache_selector.recommend()
+                if choice is not None:
+                    self._switch_policy(choice)
+        except Interrupt:
+            return
+
+    def _switch_policy(self, name: str) -> None:
+        """Swap the active eviction policy, re-registering every hosted
+        region so the new policy starts from the current pool contents
+        (recency/frequency state does not carry over — documented in
+        docs/CACHING.md)."""
+        self.cache_policy = make_cache_policy(name)
+        for offset in sorted(self._regions):
+            self.cache_policy.on_insert(offset, self._regions[offset])
+        self.stats.add("cache.switches")
+        if self.sim.eventlog.enabled:
+            self.sim.eventlog.info(
+                self.sim, "imd", "cache.switch", host=self.ws.name,
+                epoch=self.epoch, policy=name)
+
     # -- RPC handlers -----------------------------------------------------------------
     def _h_ping(self, args: dict, src) -> dict:
         return self._piggyback({"ok": not self.stopping,
@@ -339,22 +478,45 @@ class IdleMemoryDaemon:
         regions = [[off, size] for off, size in sorted(self._regions.items())
                    if shard is None
                    or self._region_shard.get(off, 0) == shard]
-        return self._piggyback({"ok": not self.stopping,
-                                "epoch": self.epoch, "regions": regions})
+        reply = {"ok": not self.stopping, "epoch": self.epoch,
+                 "regions": regions}
+        if args.get("heat") and self.cache_policy is not None:
+            # separate field so the [[offset, size]] shape of "regions"
+            # stays stable for the anti-entropy scrub
+            reply["heat"] = [[off, self.cache_policy.heat(off)]
+                             for off, _ in regions]
+        return self._piggyback(reply)
 
     def _h_alloc(self, args: dict, src) -> dict:
         if self.stopping:
             return self._piggyback({"ok": False, "reason": "shutting down"})
         size = int(args["size"])
+        shard = int(args.get("shard", 0))
         offset = self.allocator.alloc(size)
+        evicted: list = []
+        if offset is None and self.cache_policy is not None:
+            # evict in policy order (the coalesce inside may open space
+            # even when nothing is evicted), then retry once
+            evicted = self._evict_for(size, shard)
+            offset = self.allocator.alloc(size)
         if offset is None:
             self.stats.add("alloc_rejects")
-            return self._piggyback({"ok": False, "reason": "no space"})
+            reply = {"ok": False, "reason": "no space"}
+            if evicted:
+                reply["evicted"] = evicted
+            return self._piggyback(reply)
         self._regions[offset] = size
-        self._region_shard[offset] = int(args.get("shard", 0))
+        self._region_shard[offset] = shard
+        self._cache_insert(offset, size)
         self.stats.add("regions_hosted")
-        return self._piggyback({"ok": True, "region_id": offset,
-                                "epoch": self.epoch})
+        reply = {"ok": True, "region_id": offset, "epoch": self.epoch}
+        if self.cache_policy is not None:
+            self._gen += 1
+            self._region_gen[offset] = self._gen
+            reply["gen"] = self._gen
+        if evicted:
+            reply["evicted"] = evicted
+        return self._piggyback(reply)
 
     def _h_free(self, args: dict, src) -> dict:
         try:
@@ -363,6 +525,7 @@ class IdleMemoryDaemon:
             return self._piggyback({"ok": False, "reason": "no such region"})
         self._regions.pop(int(args["region_id"]), None)
         self._region_shard.pop(int(args["region_id"]), None)
+        self._cache_remove(int(args["region_id"]))
         self.stats.add("regions_freed")
         return self._piggyback({"ok": True, "freed": freed})
 
@@ -373,6 +536,12 @@ class IdleMemoryDaemon:
         size = self._regions.get(region_id)
         if size is None:
             raise KeyError("no such region")
+        gen = args.get("gen")
+        if gen is not None and int(gen) != self._region_gen.get(region_id):
+            # the offset was evicted and re-allocated since this
+            # descriptor was minted: fail like a lost region rather
+            # than aliasing onto the new tenant's bytes
+            raise KeyError("stale generation")
         offset = int(args["offset"])
         length = int(args["length"])
         if offset < 0 or offset > size or length < 0:
@@ -389,11 +558,13 @@ class IdleMemoryDaemon:
         except (KeyError, ValueError) as exc:
             self.stats.add("read_rejects")
             return self._piggyback({"ok": False, "reason": str(exc)})
+        self._note_access(region_id)
         data = None
         if self.pool is not None:
             base = region_id + offset
             data = bytes(self.pool[base:base + length])
         self._begin_transfer()
+        self._pin(region_id)
         try:
             sock = self.endpoint.socket(
                 recvbuf=self.config.data_recvbuf_bytes)
@@ -408,6 +579,7 @@ class IdleMemoryDaemon:
             self.stats.add("read_aborts")
             return self._piggyback({"ok": False, "reason": "client gone"})
         finally:
+            self._unpin(region_id)
             self._end_transfer()
         self.stats.add("bytes_read", length)
         return self._piggyback({"ok": True, "nbytes": length})
@@ -422,15 +594,18 @@ class IdleMemoryDaemon:
         except (KeyError, ValueError) as exc:
             self.stats.add("write_rejects")
             return self._piggyback({"ok": False, "reason": str(exc)})
+        self._note_access(region_id)
         sock = self.endpoint.socket(recvbuf=self.config.data_recvbuf_bytes)
         self._begin_transfer()
-        self.sim.process(self._write_receiver(sock, region_id, offset,
-                                              length))
+        self._pin(region_id)
+        self.sim.process(self._write_receiver(
+            sock, region_id, offset, length,
+            migrate=bool(args.get("migrate"))))
         return self._piggyback({"ok": True, "data_port": sock.port,
                                 "window": sock.recvbuf, "nbytes": length})
 
     def _write_receiver(self, sock, region_id: int, offset: int,
-                        length: int):
+                        length: int, migrate: bool = False):
         tracer = self.sim.tracer
         span = tracer.begin(self.sim, "imd.write_recv", "imd",
                             {"host": self.ws.name, "bytes": length}) \
@@ -449,6 +624,53 @@ class IdleMemoryDaemon:
                 n = min(length, len(data))
                 self.pool[base:base + n] = data[:n]
             self.stats.add("bytes_written", total)
+            if migrate:
+                # landing side of a hot-region migration: counted
+                # separately so the auditor can prove byte conservation
+                # against the source side's migrate.bytes_out
+                self.stats.add("migrate.regions_in")
+                self.stats.add("migrate.bytes_in", total)
         finally:
             tracer.end(self.sim, span)
+            self._unpin(region_id)
             self._end_transfer()
+
+    def _h_migrate(self, args: dict, src):
+        """Generator handler (registered only with ``cache.migration``
+        on): blast one hosted region to a destination imd's pre-opened
+        write port — the source side of the manager-orchestrated
+        hotspot migration (docs/CACHING.md).  ``migrate.bytes_out`` is
+        counted before the blast so the auditor's conservation check
+        (bytes_in <= bytes_out) holds even mid-transfer."""
+        if self.stopping:
+            return {"ok": False, "reason": "shutting down"}
+        try:
+            region_id, offset, length = self._region_span(args)
+        except (KeyError, ValueError) as exc:
+            self.stats.add("migrate.rejects")
+            return self._piggyback({"ok": False, "reason": str(exc)})
+        data = None
+        if self.pool is not None:
+            base = region_id + offset
+            data = bytes(self.pool[base:base + length])
+        self._begin_transfer()
+        self._pin(region_id)
+        self.stats.add("migrate.bytes_out", length)
+        try:
+            sock = self.endpoint.socket(
+                recvbuf=self.config.data_recvbuf_bytes)
+            try:
+                yield self.sim.process(send_bulk(
+                    sock, (str(args["dest_host"]), int(args["data_port"])),
+                    length, data=data, params=self.config.bulk_params(),
+                    window=args.get("window")))
+            finally:
+                sock.close()
+        except BulkError:
+            self.stats.add("migrate.aborts")
+            return self._piggyback({"ok": False, "reason": "dest gone"})
+        finally:
+            self._unpin(region_id)
+            self._end_transfer()
+        self.stats.add("migrate.regions_out")
+        return self._piggyback({"ok": True, "nbytes": length})

@@ -23,7 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
-from repro.core.config import CMD_PORT, DodoConfig
+from repro.core.config import CMD_PORT, PLACEMENTS, DodoConfig
 from repro.core.descriptors import RegionKey, RegionStruct
 from repro.core.shard import ShardMap
 from repro.cluster.workstation import Workstation
@@ -59,10 +59,6 @@ class ClientState:
     echo_port: int
     last_echo: float
     missed: int = 0
-
-
-#: placement policies accepted by :attr:`DodoConfig.placement`
-PLACEMENTS = ("random", "most-free", "round-robin")
 
 
 def _wire_key(key: RegionKey) -> list:
@@ -127,7 +123,8 @@ class CentralManager:
                               else f"cmd{shard_id}")
         self._rng = sim.rng("cmd.placement" if shard_map is None
                             else f"cmd{shard_id}.placement")
-        if config.placement not in PLACEMENTS:
+        if config.placement not in PLACEMENTS:  # defense in depth: the
+            # config's own __post_init__ already rejects unknown names
             raise ValueError(f"unknown placement {config.placement!r}, "
                              f"expected one of {sorted(PLACEMENTS)}")
         self._rr = 0  # round-robin cursor (placement="round-robin")
@@ -135,13 +132,20 @@ class CentralManager:
         self.port = port
         self._sock = self.endpoint.socket(port=port)
         self._cpu = Resource(sim, 1) if config.mgr_service_s > 0 else None
+        # hotspot-aware reclaim swaps in a *generator* notify_busy (the
+        # RpcServer runs generator handlers in their own process); the
+        # plain handler stays the default so the paper's event stream is
+        # untouched unless migration is configured on
+        notify_busy = (self._h_notify_busy_migrate
+                       if config.cache.enabled and config.cache.migration
+                       else self._h_notify_busy)
         if shard_map is None:
             handlers = {
                 "alloc": self._h_alloc,
                 "check_alloc": self._h_check_alloc,
                 "free": self._h_free,
                 "imd_register": self._h_imd_register,
-                "notify_busy": self._h_notify_busy,
+                "notify_busy": notify_busy,
                 "client_detach": self._h_client_detach,
                 "client_attach": self._h_client_attach,
             }
@@ -152,7 +156,7 @@ class CentralManager:
                                              keyed=True),
                 "free": self._sharded(self._h_free, keyed=True),
                 "imd_register": self._sharded(self._h_imd_register),
-                "notify_busy": self._sharded(self._h_notify_busy),
+                "notify_busy": self._sharded(notify_busy),
                 "client_detach": self._sharded(self._h_client_detach),
                 "client_attach": self._sharded(self._h_client_attach),
                 "mgr_ping": self._h_mgr_ping,
@@ -603,6 +607,158 @@ class CentralManager:
                                    host=host)
         return {"ok": True}
 
+    def _h_notify_busy_migrate(self, args: dict, src):
+        """Generator variant of notify_busy (installed only with
+        ``cache.migration`` on): before dropping the busy host from the
+        IWD, migrate its hottest directory-referenced regions to other
+        donors so clients refetch from remote memory instead of disk
+        (docs/CACHING.md).  Migration runs while the source imd is still
+        draining — the rmd only shuts it down once this reply lands —
+        and the per-reclaim byte/region budget keeps that well inside
+        the busy-notification retry window."""
+        host = args["host"]
+        migrated = yield from self._migrate_from(host)
+        self._iwd_del(host)
+        self.stats.add("busy_notifications")
+        if self.sim.eventlog.enabled:
+            self.sim.eventlog.info(self.sim, "manager", "host.busy",
+                                   host=host, migrated=migrated)
+        return {"ok": True, "migrated": migrated}
+
+    def _migrate_from(self, host: str):
+        """Hotspot-aware reclaim: pull the busy imd's heat-annotated
+        inventory, then move its hottest regions (hot first, bounded by
+        ``migrate_max_regions`` / ``migrate_max_bytes``) to other idle
+        hosts.  Returns the number of regions moved."""
+        iwd = self.iwd.get(host)
+        if iwd is None:
+            return 0
+        cache = self.config.cache
+        reply = yield from self._imd_call(
+            iwd, "inventory", {"shard": self.shard_id, "heat": True})
+        if reply is None or not reply.get("ok") \
+                or int(reply["epoch"]) != iwd.epoch:
+            return 0
+        heat = {int(off): int(h) for off, h in reply.get("heat", [])}
+        regions = [(int(off), int(size)) for off, size in reply["regions"]]
+        regions.sort(key=lambda t: (-heat.get(t[0], 0), t[0]))
+        by_offset = {e.struct.pool_offset: key
+                     for key, e in self.rd.items()
+                     if e.struct.host == host
+                     and e.struct.epoch == iwd.epoch}
+        moved = 0
+        budget = cache.migrate_max_bytes
+        for off, size in regions:
+            if moved >= cache.migrate_max_regions or budget <= 0:
+                break
+            if size > budget:
+                continue
+            key = by_offset.get(off)
+            if key is None:
+                continue  # not directory-referenced: nothing to save
+            ok = yield from self._migrate_one(iwd, key, off, size,
+                                              heat.get(off, 0))
+            if ok:
+                moved += 1
+                budget -= size
+        return moved
+
+    def _migrate_one(self, src_iwd: "IwdEntry", key: RegionKey,
+                     off: int, size: int, heat: int):
+        """Move one region: alloc on a destination donor, open its write
+        port, have the source blast the bytes straight across, repoint
+        the directory entry (with the destination's epoch), then free
+        the source copy.  Any failure leaves the old entry intact — the
+        region just gets reclaimed the paper's way."""
+        self.stats.add("migrate.attempted")
+        entry = self.rd.get(key)
+        if entry is None:
+            self.stats.add("migrate.failed")
+            return False
+        candidates = [h for h, e in self.iwd.items()
+                      if h != src_iwd.host and e.largest_free >= size]
+        if not candidates:
+            # every other donor looks full, but donors evict: offer the
+            # hot region anyway and let the destination displace colder
+            # ones (migration implies an active policy)
+            candidates = [h for h in self.iwd if h != src_iwd.host]
+        while candidates:
+            pick = self._pick_candidate(candidates)
+            dest = self.iwd.get(pick)
+            if dest is None:
+                continue
+            areply = yield from self._imd_call(
+                dest, "alloc", {"size": size, "shard": self.shard_id})
+            if areply is None or not areply.get("ok"):
+                continue
+            dest_off = int(areply["region_id"])
+            dest_epoch = int(areply["epoch"])
+            dest_gen = int(areply.get("gen", 0))
+            self._drop_evicted(pick, dest_epoch, areply.get("evicted"))
+            wargs = {"region_id": dest_off, "offset": 0,
+                     "length": size, "migrate": True}
+            if dest_gen:
+                wargs["gen"] = dest_gen
+            wreply = yield from self._imd_call(dest, "write", wargs)
+            if wreply is None or not wreply.get("ok"):
+                yield from self._free_on(pick, dest_off)
+                continue
+            margs = {"region_id": off, "offset": 0, "length": size,
+                     "dest_host": pick, "data_port": wreply["data_port"],
+                     "window": wreply.get("window")}
+            if entry.struct.gen:
+                # reject at the source if the hot region was evicted
+                # (and its offset re-used) while we were setting up
+                margs["gen"] = entry.struct.gen
+            mreply = yield from self._imd_call(src_iwd, "migrate", margs)
+            if mreply is None or not mreply.get("ok"):
+                yield from self._free_on(pick, dest_off)
+                break  # the source is the problem; stop trying dests
+            live = self.rd.get(key)
+            if live is None:
+                # the client freed the region mid-flight: drop the copy
+                yield from self._free_on(pick, dest_off)
+                break
+            struct = RegionStruct(host=pick, pool_offset=dest_off,
+                                  length=size, epoch=dest_epoch,
+                                  gen=dest_gen)
+            self._rd_set(key, RdEntry(struct=struct, owner=live.owner))
+            yield from self._free_on(src_iwd.host, off)
+            self.stats.add("migrate.ok")
+            self.stats.add("migrate.bytes", size)
+            if self.sim.eventlog.enabled:
+                self.sim.eventlog.info(
+                    self.sim, "manager", "cache.migrate",
+                    host=src_iwd.host, dest=pick, bytes=size, heat=heat)
+            return True
+        self.stats.add("migrate.failed")
+        return False
+
+    def _free_on(self, host: str, region_id: int):
+        """Best-effort free of one region on a (possibly gone) imd."""
+        iwd = self.iwd.get(host)
+        if iwd is not None:
+            yield from self._imd_call(iwd, "free", {"region_id": region_id})
+
+    def _drop_evicted(self, host: str, epoch: int, evicted) -> None:
+        """An imd alloc evicted cold regions to make space: drop their
+        directory entries (the imd only evicts regions this shard
+        placed, so every entry is ours to drop)."""
+        if not evicted:
+            return
+        offs = {int(o) for o in evicted}
+        doomed = [k for k, e in self.rd.items()
+                  if e.struct.host == host and e.struct.epoch == epoch
+                  and e.struct.pool_offset in offs]
+        for k in doomed:
+            self._rd_del(k)
+        if doomed:
+            self.stats.add("cache.entries_evicted", len(doomed))
+            if self.sim.eventlog.enabled:
+                self.sim.eventlog.debug(
+                    self.sim, "manager", "cache.evict_drop", host=host,
+                    regions=len(doomed))
+
     # -- client-facing handlers ----------------------------------------------------
     def _stamp(self, reply: dict) -> dict:
         """Stamp a client-facing reply with this manager's incarnation so
@@ -689,6 +845,12 @@ class CentralManager:
 
         candidates = [h for h, e in self.iwd.items()
                       if e.largest_free >= length]
+        if not candidates and self.config.cache.enabled:
+            # donors run an eviction policy: a host whose free-space
+            # hint says "full" can still make room, so consult them all
+            # and let each imd answer ENOMEM only when eviction can't
+            # open a large-enough hole
+            candidates = list(self.iwd)
         while candidates:
             pick = self._pick_candidate(candidates)
             iwd = self.iwd.get(pick)
@@ -698,11 +860,14 @@ class CentralManager:
                 iwd, "alloc", {"size": length, "shard": self.shard_id})
             if reply is None:
                 continue  # host vanished; already dropped from IWD
+            self._drop_evicted(pick, int(reply.get("epoch", iwd.epoch)),
+                               reply.get("evicted"))
             if reply.get("ok"):
                 struct = RegionStruct(host=pick,
                                       pool_offset=int(reply["region_id"]),
                                       length=length,
-                                      epoch=int(reply["epoch"]))
+                                      epoch=int(reply["epoch"]),
+                                      gen=int(reply.get("gen", 0)))
                 self._rd_set(key, RdEntry(struct=struct, owner=client))
                 self.stats.add("alloc.placed")
                 if self.sim.eventlog.enabled:

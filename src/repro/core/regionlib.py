@@ -203,6 +203,15 @@ class RegionCache:
             # remote copy lost (host crashed/reclaimed): self-heal to disk
             region.remote_desc = None
             self.stats.add("cread.remote_lost")
+            found = yield from self._reprobe_migrated(region)
+            if found:
+                n, err, data = yield from self.runtime.mread(
+                    region.remote_desc, offset, length)
+                if err == 0:
+                    self.stats.add("cread.remote_hits")
+                    self.stats.add("cread.migrated_hits")
+                    return n, 0, data
+                region.remote_desc = None
 
         self.stats.add("cread.disk_reads")
         loaded = yield from self._load_local(region)
@@ -470,6 +479,22 @@ class RegionCache:
             region.remote_desc = desc
             self.stats.add("probe.remote_found")
 
+    def _reprobe_migrated(self, region: CRegion):
+        """A remote read just failed: with elastic caching on, the copy
+        may not be gone but *migrated* to another donor (docs/CACHING.md)
+        — the hotspot-aware reclaim path repoints the directory entry.
+        One extra checkAlloc turns that into a remote refetch instead of
+        a disk read; off (the default), remote loss heals to disk as in
+        the paper.  Returns True when a live copy was found."""
+        if not self.runtime.config.cache.enabled:
+            return False
+        region.probed = False
+        yield from self._probe_remote(region)
+        if region.is_remote:
+            self.stats.add("probe.migrated_found")
+            return True
+        return False
+
     def _slice(self, region: CRegion, offset: int, length: int):
         if isinstance(region.local, bytearray):
             return bytes(region.local[offset:offset + length])
@@ -544,6 +569,13 @@ class RegionCache:
                 if err != 0:
                     region.remote_desc = None
                     data = None
+                    found = yield from self._reprobe_migrated(region)
+                    if found:
+                        n, err, data = yield from self.runtime.mread(
+                            region.remote_desc, 0, region.length)
+                        if err != 0:
+                            region.remote_desc = None
+                            data = None
             if data is None and not region.is_remote:
                 fh = self.ws.fs.handle(region.backing_fd)
                 if fh is None:

@@ -398,18 +398,21 @@ class DodoRuntime:
             # reply only matters on the failure path (bad region / daemon
             # exiting): the moment the data is complete the read is done, so
             # race the receiver against the RPC instead of waiting for both.
+            req = {"region_id": struct.pool_offset, "offset": offset,
+                   "length": length, "reply_port": reply_sock.port,
+                   "window": reply_sock.recvbuf}
+            if struct.gen:
+                req["gen"] = struct.gen
             rpc_proc = self.sim.process(self._imd_call_quiet(
-                struct, "read",
-                {"region_id": struct.pool_offset, "offset": offset,
-                 "length": length, "reply_port": reply_sock.port,
-                 "window": reply_sock.recvbuf},
-                data_bytes=length))
+                struct, "read", req, data_bytes=length))
             idx, val = yield AnyOf(self.sim, [receiver, rpc_proc])
+            rejected = False
             if idx == 0 or receiver.processed:
                 result = receiver.value
                 failed = result is None
             elif val is None or not val.get("ok"):
                 # RPC failed first: tear the receiver down.
+                rejected = val is not None
                 reply_sock.close()
                 yield receiver  # drains to None once the socket closes
                 result, failed = None, True
@@ -419,7 +422,14 @@ class DodoRuntime:
                 result = yield receiver
                 failed = result is None
             if failed:
-                self.drop_host(struct.host)
+                if rejected and self.config.cache.enabled:
+                    # a definitive negative reply: the host is alive but
+                    # this region is gone (evicted or migrated away) —
+                    # invalidate only this descriptor, not the host
+                    self._regions.pop(desc, None)
+                    self.stats.add("descriptors_dropped")
+                else:
+                    self.drop_host(struct.host)
                 self.stats.add("mread.enomem")
                 if span is not None:
                     span.tag("err", "enomem")
@@ -474,7 +484,13 @@ class DodoRuntime:
                     span.tag("err", "eio")
                 return -1, EIO
             if not remote_ok:
-                self.drop_host(entry.remote.host)
+                if remote_ok is None and self.config.cache.enabled:
+                    # host alive, region evicted/migrated: this
+                    # descriptor alone is stale
+                    self._regions.pop(desc, None)
+                    self.stats.add("descriptors_dropped")
+                else:
+                    self.drop_host(entry.remote.host)
                 self.stats.add("mwrite.enomem")
                 if span is not None:
                     span.tag("err", "enomem")
@@ -496,12 +512,13 @@ class DodoRuntime:
     def _remote_write(self, struct: RegionStruct, offset: int, length: int,
                       data: Optional[bytes]):
         try:
-            reply = yield from self._imd_call(
-                struct, "write",
-                {"region_id": struct.pool_offset, "offset": offset,
-                 "length": length})
+            req = {"region_id": struct.pool_offset, "offset": offset,
+                   "length": length}
+            if struct.gen:
+                req["gen"] = struct.gen
+            reply = yield from self._imd_call(struct, "write", req)
             if not reply.get("ok"):
-                return False
+                return None  # definitive reject: host alive, region gone
             sock = self.endpoint.socket()
             try:
                 yield self.sim.process(send_bulk(
@@ -538,7 +555,11 @@ class DodoRuntime:
             ok = yield self.sim.process(self._remote_write(
                 entry.remote, offset, length, data))
             if not ok:
-                self.drop_host(entry.remote.host)
+                if ok is None and self.config.cache.enabled:
+                    self._regions.pop(desc, None)
+                    self.stats.add("descriptors_dropped")
+                else:
+                    self.drop_host(entry.remote.host)
                 if span is not None:
                     span.tag("err", "enomem")
                 return -1, ENOMEM

@@ -87,9 +87,16 @@ class ChaosRunner:
             yield inner.fs.read(inner.fh, offset, length)
 
 
-def _chaos_config(base_kwargs: dict):
-    """A DodoConfig with the fault-tolerance knobs switched on."""
+def _chaos_config(base_kwargs: dict, cache=None):
+    """A DodoConfig with the fault-tolerance knobs switched on.
+
+    ``cache`` (a :class:`~repro.core.config.CacheConfig`) opts the run
+    into the elastic-caching subsystem; None keeps the stock
+    byte-identical configuration.
+    """
     from repro.core.config import DodoConfig
+    if cache is not None:
+        base_kwargs["cache"] = cache
     return DodoConfig(rpc_backoff_s=0.02, rpc_backoff_jitter=0.25,
                       imd_reregister_s=2.0, **base_kwargs)
 
@@ -102,24 +109,30 @@ def _plan_end(plan: FaultPlan) -> float:
 def run_chaos(experiment: str = "fig7", seed: int = 0,
               plan: Optional[FaultPlan] = None, audit: str = "raise",
               horizon_s: float = 20.0,
-              eventlog_level: str = "debug") -> dict:
+              eventlog_level: str = "debug", cache=None) -> dict:
     """One chaos run; see module docstring.  Returns a dict with keys
     ``plan``, ``eventlog``, ``auditor``, ``result``, ``degraded``,
-    ``platform`` (scenario-specific), ``injected`` and ``healed``."""
+    ``platform`` (scenario-specific), ``injected`` and ``healed``.
+
+    ``cache`` (a :class:`~repro.core.config.CacheConfig`, default None)
+    runs the scenario with the elastic-caching subsystem on — the
+    differential migration tests replay reclaim storms this way.
+    """
     if experiment not in EXPERIMENTS:
         raise ValueError(f"unknown chaos experiment {experiment!r}, "
                          f"expected one of {EXPERIMENTS}")
     if plan is not None and plan.seed is not None:
         seed = plan.seed
     run = _SCENARIOS[experiment](seed, plan, audit, horizon_s,
-                                 eventlog_level)
+                                 eventlog_level, cache)
     run["experiment"] = experiment
     run["seed"] = seed
     return run
 
 
 # -- scenarios ---------------------------------------------------------------
-def _run_fig7(seed, plan, audit, horizon_s, eventlog_level) -> dict:
+def _run_fig7(seed, plan, audit, horizon_s, eventlog_level,
+              cache=None) -> dict:
     from repro.exp.platform import Platform, PlatformParams
     from repro.obs.audit import make_auditor
     from repro.obs.eventlog import EventLog, install_eventlog
@@ -146,7 +159,7 @@ def _run_fig7(seed, plan, audit, horizon_s, eventlog_level) -> dict:
             sim, params, dodo=True,
             config=_chaos_config(dict(
                 transport="udp", store_payload=False, dedicated=True,
-                max_pool_bytes=2 * MB)),
+                max_pool_bytes=2 * MB), cache),
             faults=plan, nemesis_auditor=auditor)
         runner = ChaosRunner(platform, SyntheticParams(
             pattern="hotcold", dataset_bytes=2 * MB, req_size=8192,
@@ -163,7 +176,8 @@ def _run_fig7(seed, plan, audit, horizon_s, eventlog_level) -> dict:
         install_eventlog(previous)
 
 
-def _run_failover(seed, plan, audit, horizon_s, eventlog_level) -> dict:
+def _run_failover(seed, plan, audit, horizon_s, eventlog_level,
+                  cache=None) -> dict:
     from repro.exp.platform import Platform, PlatformParams
     from repro.obs.audit import make_auditor
     from repro.obs.eventlog import EventLog, install_eventlog
@@ -196,7 +210,7 @@ def _run_failover(seed, plan, audit, horizon_s, eventlog_level) -> dict:
             config=_chaos_config(dict(
                 transport="udp", store_payload=False, dedicated=True,
                 max_pool_bytes=2 * MB,
-                shards=n_shards, replication=True)),
+                shards=n_shards, replication=True), cache),
             faults=plan, nemesis_auditor=auditor)
         runner = ChaosRunner(platform, SyntheticParams(
             pattern="hotcold", dataset_bytes=2 * MB, req_size=8192,
@@ -214,7 +228,7 @@ def _run_failover(seed, plan, audit, horizon_s, eventlog_level) -> dict:
 
 
 def _run_nondedicated(seed, plan, audit, horizon_s,
-                      eventlog_level) -> dict:
+                      eventlog_level, cache=None) -> dict:
     from repro.cluster.idleness import IdlePolicy
     from repro.exp.nondedicated import NonDedicatedParams, build_cluster
     from repro.obs.audit import make_auditor
@@ -238,7 +252,7 @@ def _run_nondedicated(seed, plan, audit, horizon_s,
         cfg = _chaos_config(dict(
             transport=p.transport, store_payload=False, dedicated=False,
             max_pool_bytes=p.max_pool,
-            idle_policy=IdlePolicy(window_s=p.idle_window_s)))
+            idle_policy=IdlePolicy(window_s=p.idle_window_s)), cache)
         cluster, cfg, cmd, rmds, owners = build_cluster(
             sim, p, dodo=True, config=cfg)
         targets = _NonDedicatedTargets(sim, cluster, cfg, cmd, rmds)

@@ -95,6 +95,7 @@ class Auditor:
         self._check_allocators(sim, by_kind, found)
         self._check_donations(sim, by_kind, found)
         self._check_network(sim, by_kind, found)
+        self._check_migration(sim, by_kind, teardown, found)
         for f in found:
             self.findings.append(f)
             log = self.eventlog
@@ -385,6 +386,41 @@ class Auditor:
                     "network.conservation", "network",
                     f"{net.stats.count('tx.frames')} frames carried "
                     f"{tx_d} datagrams (need >= 1 frame each)", sim.now))
+
+    def _check_migration(self, sim, by_kind, teardown, found) -> None:
+        """Hotspot-migration conservation (docs/CACHING.md).
+
+        Any time: summed destination-side ``migrate.bytes_in`` may never
+        exceed summed source-side ``migrate.bytes_out`` — migration can
+        lose a transfer (busy source torn down mid-blast) but never
+        invent bytes.  The source counts bytes *before* blasting, so the
+        inequality holds even mid-transfer.  Imd stat recorders survive
+        exit, so exited daemons stay in the sums.  At teardown every
+        manager's attempts must be fully accounted:
+        ``migrate.attempted == migrate.ok + migrate.failed``.
+        """
+        imds = list(by_kind.get("imd", ()))
+        if imds:
+            bytes_out = sum(i.stats.count("migrate.bytes_out")
+                            for i in imds)
+            bytes_in = sum(i.stats.count("migrate.bytes_in")
+                           for i in imds)
+            if bytes_in > bytes_out:
+                found.append(Finding(
+                    "migration.conservation", "imd",
+                    f"destinations landed {bytes_in} migrated bytes, "
+                    f"sources only sent {bytes_out}", sim.now))
+        if not teardown:
+            return
+        for cmd in by_kind.get("manager", ()):
+            attempted = cmd.stats.count("migrate.attempted")
+            settled = cmd.stats.count("migrate.ok") \
+                + cmd.stats.count("migrate.failed")
+            if attempted != settled:
+                found.append(Finding(
+                    "migration.unaccounted", f"cmd{cmd.shard_id}",
+                    f"{attempted} migration attempt(s), only {settled} "
+                    f"settled as ok/failed", sim.now))
 
 
 def make_auditor(mode: str, eventlog=None) -> Optional[Auditor]:

@@ -199,6 +199,24 @@ def _ablation_pregrant(size: int = 8192, n: int = 50,
                                  seed=seed)
 
 
+# -- elastic caching ----------------------------------------------------------
+
+@experiment("cache")
+def _cache(policy: str = "none", migration: bool = False,
+           adaptive: bool = False, workload: str = "nondedicated",
+           seed: int = 9, num_iter: int = 6) -> dict:
+    """One elastic-caching ablation cell (docs/CACHING.md).
+
+    ``run_cache`` already returns flat JSON-safe counters, so the
+    adapter is a pass-through; the ``cache-ablation`` builtin spec
+    grids this over policies × workloads.
+    """
+    from repro.exp.cache import run_cache
+    return run_cache(policy=policy, migration=bool(migration),
+                     adaptive=bool(adaptive), workload=workload,
+                     seed=int(seed), num_iter=int(num_iter))
+
+
 # -- scale-out ----------------------------------------------------------------
 
 @experiment("scale")

@@ -248,6 +248,24 @@ BUILTIN_SPECS: dict[str, dict] = {
         "overrides": {"scale": 1 / 256},
         "grid": {"transport": ["udp", "unet"], "seed": [7, 17, 27]},
     },
+    "cache-ablation": {
+        "name": "cache-ablation",
+        "experiment": "cache",
+        "overrides": {"num_iter": 6},
+        "grid": {
+            "policy": ["none", "lru", "lfu", "clock", "cost-aware"],
+            "workload": ["nondedicated", "fig7"],
+            "seed": [9],
+        },
+        "points": [
+            {"overrides": {"policy": "cost-aware", "migration": True,
+                           "workload": "nondedicated"}, "seed": 9},
+            {"overrides": {"policy": "lru", "migration": True,
+                           "workload": "nondedicated"}, "seed": 9},
+            {"overrides": {"policy": "lru", "adaptive": True,
+                           "workload": "nondedicated"}, "seed": 9},
+        ],
+    },
 }
 
 

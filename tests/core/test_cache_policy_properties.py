@@ -1,0 +1,220 @@
+"""Property tests: donor-side cache policies under randomized streams.
+
+Hypothesis drives each :mod:`repro.core.policy` eviction policy through
+arbitrary insert/access/remove/evict interleavings and checks the
+invariants the imd relies on:
+
+* a victim is always a currently-held, never-pinned key (in-flight
+  migration sources stay put no matter the policy);
+* LRU evicts exactly what an ``OrderedDict`` recency model predicts;
+* CLOCK honours second chance — while any eligible region's reference
+  bit is clear, a referenced region is never the victim;
+* :class:`ShadowCache` never exceeds its byte capacity and its books
+  (``used`` vs held sizes) always balance, for every policy;
+* :class:`PolicySelector` only recommends a switch when the regret
+  bound is met, and the recommendation is the window's best shadow.
+
+Distinct from test_policy_properties.py, which models the *client-side*
+regionlib replacement policies of Figure 5.
+"""
+
+from collections import OrderedDict
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.policy import (CACHE_POLICIES, PolicySelector, ShadowCache,
+                               make_cache_policy)
+
+REGION = 64 * 1024  # one logical region; sizes vary around it below
+
+POLICY_NAMES = sorted(CACHE_POLICIES)
+
+
+@st.composite
+def policy_ops(draw):
+    """(kind, key, size) ops over a small key space; ``evict`` asks for
+    a victim with a randomly drawn pinned set and removes it."""
+    n = draw(st.integers(1, 80))
+    ops = []
+    for _ in range(n):
+        kind = draw(st.sampled_from(
+            ["insert", "access", "access", "remove", "evict"]))
+        key = draw(st.integers(0, 9))
+        size = draw(st.sampled_from([REGION // 4, REGION, 4 * REGION]))
+        ops.append((kind, key, size))
+    return ops
+
+
+def drive(policy, ops, on_evict=None):
+    """Run ops against a policy, tracking the live-key ground truth."""
+    live: dict[int, int] = {}
+    for kind, key, size in ops:
+        if kind == "insert":
+            if key not in live:
+                policy.on_insert(key, size)
+                live[key] = size
+        elif kind == "access":
+            policy.on_access(key)
+        elif kind == "remove":
+            policy.on_remove(key)
+            live.pop(key, None)
+        else:  # evict
+            pinned = {k for k in live if k % 3 == key % 3}
+            victim = policy.victim(pinned)
+            eligible = set(live) - pinned
+            if eligible:
+                assert victim in eligible, \
+                    f"victim {victim} not a live unpinned key {eligible}"
+            else:
+                assert victim is None
+            if on_evict is not None:
+                on_evict(victim, pinned)
+            if victim is not None:
+                policy.on_remove(victim)
+                live.pop(victim)
+    return live
+
+
+@pytest.mark.parametrize("name", POLICY_NAMES)
+@given(ops=policy_ops())
+@settings(max_examples=60, deadline=None)
+def test_victim_is_live_and_never_pinned(name, ops):
+    """Every policy: victims are held keys, pinned keys are immune,
+    and the size books track the live set exactly."""
+    policy = make_cache_policy(name)
+    live = drive(policy, ops)
+    assert sorted(policy.keys()) == sorted(live)
+    for key, size in live.items():
+        assert policy.size_of(key) == size
+
+
+@given(ops=policy_ops())
+@settings(max_examples=60, deadline=None)
+def test_lru_matches_recency_model(ops):
+    """LRU's victim is the recency model's least-recent eligible key."""
+    policy = make_cache_policy("lru")
+    model: OrderedDict[int, None] = OrderedDict()
+
+    def check(victim, pinned):
+        expected = next((k for k in model if k not in pinned), None)
+        assert victim == expected
+        if victim is not None:
+            model.pop(victim)
+            policy.on_remove(victim)
+
+    for kind, key, size in ops:
+        if kind == "insert":
+            if key not in model:
+                policy.on_insert(key, size)
+                model[key] = None
+        elif kind == "access":
+            policy.on_access(key)
+            if key in model:
+                model.move_to_end(key)
+        elif kind == "remove":
+            policy.on_remove(key)
+            model.pop(key, None)
+        else:
+            pinned = {k for k in model if k % 3 == key % 3}
+            check(policy.victim(pinned), pinned)
+    assert sorted(policy.keys()) == sorted(model)
+
+
+@given(ops=policy_ops())
+@settings(max_examples=60, deadline=None)
+def test_clock_second_chance(ops):
+    """CLOCK: while some eligible bit is clear, a referenced region is
+    never evicted — an access really does buy one more lap."""
+    policy = make_cache_policy("clock")
+
+    def check(victim, pinned):
+        if victim is not None and any(not bits[k] for k in eligible):
+            assert not bits[victim], \
+                f"evicted referenced {victim} over unreferenced regions"
+
+    for kind, key, size in ops:
+        if kind == "evict":
+            bits = dict(policy._ref)  # pre-sweep snapshot
+            pinned = {k for k in bits if k % 3 == key % 3}
+            eligible = set(bits) - pinned
+            victim = policy.victim(pinned)
+            check(victim, pinned)
+            if victim is not None:
+                policy.on_remove(victim)
+        elif kind == "insert":
+            if key not in policy:
+                policy.on_insert(key, size)
+        elif kind == "access":
+            policy.on_access(key)
+        else:
+            policy.on_remove(key)
+
+
+@pytest.mark.parametrize("name", POLICY_NAMES)
+@given(ops=policy_ops(), capacity=st.sampled_from(
+    [2 * REGION, 5 * REGION, 16 * REGION]))
+@settings(max_examples=40, deadline=None)
+def test_shadow_cache_capacity(name, ops, capacity):
+    """ShadowCache: ``used`` never exceeds capacity and always equals
+    the sum of the held regions' sizes, for every policy."""
+    shadow = ShadowCache(name, capacity)
+    for kind, key, size in ops:
+        if kind == "remove":
+            shadow.remove(key)
+        else:
+            shadow.access(key, size)
+        assert 0 <= shadow.used <= capacity
+        assert shadow.used == sum(shadow.policy.size_of(k)
+                                  for k in shadow.policy.keys())
+    assert shadow.hits + shadow.misses == sum(
+        1 for kind, _, _ in ops if kind != "remove")
+
+
+@given(ops=policy_ops(), min_regret=st.integers(1, 12))
+@settings(max_examples=40, deadline=None)
+def test_selector_switches_only_on_regret(ops, min_regret):
+    """PolicySelector: a recommendation appears iff the active policy
+    trails the best shadow by >= min_regret, names the best policy, and
+    resets the window either way."""
+    selector = PolicySelector("lru", POLICY_NAMES, 4 * REGION,
+                              min_regret=min_regret)
+    for i, (kind, key, size) in enumerate(ops):
+        if kind == "remove":
+            selector.remove(key)
+        else:
+            selector.access(key, size)
+        if i % 7 == 6:  # an adaptation point
+            hits = selector.window_hits()
+            regret = selector.regret()
+            assert regret == max(hits.values()) - hits[selector.active]
+            choice = selector.recommend()
+            if regret >= min_regret:
+                assert choice is not None
+                assert hits[choice] == max(hits.values())
+                assert selector.active == choice
+            else:
+                assert choice is None
+            assert all(s.hits == 0 and s.misses == 0
+                       for s in selector.shadows.values())
+
+
+def test_cost_aware_keeps_pinned_under_pressure():
+    """The in-flight migration source is pinned: repeated evictions
+    drain everything else but never touch it."""
+    policy = make_cache_policy("cost-aware")
+    for key in range(6):
+        policy.on_insert(key, REGION)
+    policy.on_access(3)  # hot, but pinned matters more
+    pinned = {3}
+    evicted = []
+    while True:
+        victim = policy.victim(pinned)
+        if victim is None:
+            break
+        assert victim != 3
+        evicted.append(victim)
+        policy.on_remove(victim)
+    assert sorted(evicted) == [0, 1, 2, 4, 5]
+    assert 3 in policy

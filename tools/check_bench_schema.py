@@ -2,8 +2,8 @@
 """Schema check for the checked-in benchmark baselines.
 
 Validates ``benchmarks/BENCH_primitives.json``,
-``benchmarks/BENCH_scaling.json`` and ``benchmarks/BENCH_serving.json``
-(or any files passed as arguments,
+``benchmarks/BENCH_scaling.json``, ``benchmarks/BENCH_serving.json``
+and ``benchmarks/BENCH_cache.json`` (or any files passed as arguments,
 matched by name) with nothing but the standard library, so the CI step
 needs no installed package — the gate scripts themselves read these
 files, and a malformed refresh would otherwise surface as a confusing
@@ -14,7 +14,9 @@ Checks per file:
 * every required field is present with the right type;
 * throughput, wall-clock and footprint numbers are finite and positive;
 * the scaling/serving series are sorted by strictly increasing host
-  count / shard count.
+  count / shard count;
+* the cache ablation's claim block is internally consistent (the
+  refetch savings match the two disk-read counts it cites).
 
 Exit 1 with one line per problem.  Run from the repo root::
 
@@ -35,6 +37,7 @@ DEFAULTS = [
     os.path.join(ROOT, "benchmarks", "BENCH_primitives.json"),
     os.path.join(ROOT, "benchmarks", "BENCH_scaling.json"),
     os.path.join(ROOT, "benchmarks", "BENCH_serving.json"),
+    os.path.join(ROOT, "benchmarks", "BENCH_cache.json"),
 ]
 
 #: required top-level numeric fields of BENCH_primitives.json
@@ -62,6 +65,18 @@ SERVING_POINT_INTS = ["shards", "offered", "completed", "n_keys"]
 #: present and integer-typed, but legitimately zero in a healthy run
 SERVING_POINT_COUNTS = ["rejected", "failed", "writes", "disk_fallbacks",
                         "audit_findings", "seed"]
+
+#: required per-row fields of BENCH_cache.json (all virtual-time)
+CACHE_ROW_INTS = ["requests"]
+#: present and integer-typed, but legitimately zero in a healthy run
+CACHE_ROW_COUNTS = ["seed", "local_hits", "remote_hits", "disk_reads",
+                    "remote_lost", "migrated_hits", "evictions",
+                    "evicted_bytes", "entries_evicted", "switches",
+                    "reclaims", "recruits"]
+CACHE_MIGRATIONS = ["attempted", "ok", "failed", "bytes"]
+CACHE_CLAIM_COUNTS = ["seed", "disk_reads_evict_only",
+                      "disk_reads_migration", "migrated_hits",
+                      "migrations_ok"]
 
 
 def _positive_number(value) -> bool:
@@ -181,6 +196,74 @@ def check_serving(doc: dict, where: str) -> list:
     return problems
 
 
+def _count(problems: list, where: str, obj: dict, key: str) -> None:
+    """Require a non-negative integer (zero is legitimate)."""
+    value = obj.get(key)
+    if isinstance(value, bool) or not isinstance(value, int) or value < 0:
+        problems.append(f"{where}: {key!r} must be a non-negative "
+                        f"integer, got {value!r}")
+
+
+def check_cache(doc: dict, where: str) -> list:
+    """BENCH_cache.json: the elastic-caching ablation rows + claim."""
+    problems: list = []
+    if not isinstance(doc, dict):
+        return [f"{where}: top level must be an object"]
+    _require(problems, where, doc, "python", "str")
+    rows = doc.get("rows")
+    if not isinstance(rows, list) or not rows:
+        problems.append(f"{where}: 'rows' must be a non-empty list")
+        return problems
+    for i, row in enumerate(rows):
+        at = f"{where}: rows[{i}]"
+        if not isinstance(row, dict):
+            problems.append(f"{at}: must be an object")
+            continue
+        for key in ("workload", "policy"):
+            _require(problems, at, row, key, "str")
+        for key in ("migration", "adaptive"):
+            if not isinstance(row.get(key), bool):
+                problems.append(f"{at}: {key!r} must be a boolean, "
+                                f"got {row.get(key)!r}")
+        _require(problems, at, row, "elapsed_s", "number")
+        for key in CACHE_ROW_INTS:
+            _require(problems, at, row, key, "int")
+        for key in CACHE_ROW_COUNTS:
+            _count(problems, at, row, key)
+        migrations = row.get("migrations")
+        if not isinstance(migrations, dict):
+            problems.append(f"{at}: missing 'migrations' object")
+        else:
+            for key in CACHE_MIGRATIONS:
+                _count(problems, f"{at}: migrations", migrations, key)
+    claim = doc.get("claim")
+    if not isinstance(claim, dict):
+        problems.append(f"{where}: missing 'claim' object")
+        return problems
+    at = f"{where}: claim"
+    for key in ("workload", "policy"):
+        _require(problems, at, claim, key, "str")
+    for key in CACHE_CLAIM_COUNTS:
+        _count(problems, at, claim, key)
+    if not isinstance(claim.get("migration_reduces_refetches"), bool):
+        problems.append(f"{at}: 'migration_reduces_refetches' must be "
+                        f"a boolean")
+    saved = claim.get("refetches_saved")
+    if isinstance(saved, bool) or not isinstance(saved, int):
+        problems.append(f"{at}: 'refetches_saved' must be an integer, "
+                        f"got {saved!r}")
+    elif (isinstance(claim.get("disk_reads_evict_only"), int)
+          and isinstance(claim.get("disk_reads_migration"), int)
+          and saved != (claim["disk_reads_evict_only"]
+                        - claim["disk_reads_migration"])):
+        problems.append(
+            f"{at}: 'refetches_saved' ({saved}) does not equal "
+            f"disk_reads_evict_only - disk_reads_migration "
+            f"({claim['disk_reads_evict_only']} - "
+            f"{claim['disk_reads_migration']})")
+    return problems
+
+
 def check_file(path: str) -> list:
     """Dispatch on the file name; unknown names are a problem too."""
     name = os.path.basename(path)
@@ -197,8 +280,11 @@ def check_file(path: str) -> list:
         return check_scaling(doc, name)
     if "serving" in name:
         return check_serving(doc, name)
+    if "cache" in name:
+        return check_cache(doc, name)
     return [f"{name}: unrecognized benchmark file (expected a name "
-            f"containing 'primitives', 'scaling' or 'serving')"]
+            f"containing 'primitives', 'scaling', 'serving' or "
+            f"'cache')"]
 
 
 def main(argv=None) -> int:
